@@ -1,0 +1,35 @@
+#ifndef LAKE_BENCH_BENCH_UTIL_H
+#define LAKE_BENCH_BENCH_UTIL_H
+
+/**
+ * @file
+ * Shared output helpers for the figure/table reproduction harnesses.
+ * Every bench prints a self-describing header naming the paper artifact
+ * it regenerates, then fixed-width rows that read like the original.
+ */
+
+#include <cstdio>
+#include <string>
+
+namespace lake::bench {
+
+/** Prints the banner naming the reproduced artifact. */
+inline void
+banner(const char *artifact, const char *description)
+{
+    std::printf("==============================================================================\n");
+    std::printf("%s — %s\n", artifact, description);
+    std::printf("==============================================================================\n");
+}
+
+/** Prints a footer summarizing the expected shape from the paper. */
+inline void
+expectation(const char *text)
+{
+    std::printf("------------------------------------------------------------------------------\n");
+    std::printf("paper shape: %s\n\n", text);
+}
+
+} // namespace lake::bench
+
+#endif // LAKE_BENCH_BENCH_UTIL_H

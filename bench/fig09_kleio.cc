@@ -1,0 +1,57 @@
+// Reproduces Fig. 9: time to predict page warmth through Kleio (the
+// 2-layer-LSTM TensorFlow model) for variable batch sizes, via LAKE's
+// high-level API. Data movement is synchronous inside the TF-style
+// handler, hence a single "LAKE (sync.)" series, as in the paper; a
+// TF-on-CPU reference line shows why Table 3 puts the crossover at 1.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lake.h"
+#include "mem/pagewarmth.h"
+#include "ml/backends.h"
+
+using namespace lake;
+
+int
+main()
+{
+    bench::banner("Fig. 9",
+                  "Kleio page-warmth inference time vs batch size (ms)");
+
+    core::Lake lake;
+    Rng rng(13);
+
+    ml::LstmConfig cfg = ml::LstmConfig::kleio();
+    ml::Lstm model(cfg, rng);
+    ml::KleioService kleio(lake.daemon(), model);
+
+    // TF-on-CPU reference: same runtime overheads, CPU-rate compute.
+    double cpu_ms_per_page =
+        toMs(static_cast<Nanos>(model.flopsPerSample() /
+                                lake.config().cpu.effective_gflops));
+
+    std::printf("%-8s %14s %14s\n", "pages", "LAKE (sync.)",
+                "TF-CPU (ref)");
+    for (std::size_t pages = 20; pages <= 1160; pages += 120) {
+        auto histories = mem::generatePageHistories(pages, cfg.seq_len,
+                                                    rng);
+        std::vector<float> batch =
+            mem::toLstmBatch(histories, cfg.seq_len);
+
+        Nanos t0 = lake.clock().now();
+        kleio.classify(lake.lib(), batch, pages);
+        double lake_ms = toMs(lake.clock().now() - t0);
+
+        double cpu_ms = toMs(ml::KleioService::kTfCallOverhead) +
+                        cpu_ms_per_page * static_cast<double>(pages);
+        std::printf("%-8zu %14.1f %14.1f\n", pages, lake_ms, cpu_ms);
+    }
+
+    bench::expectation(
+        "LAKE grows from ~100 ms at 20 pages to ~300 ms at 1160 (fixed "
+        "TF invocation overhead plus per-page graph executions); the "
+        "CPU runtime is slower at every batch, so the crossover is 1");
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Fig. 11: time to predict file-system readahead
+// configurations (KML) for variable batch sizes, plus the end-to-end
+// payoff KML's 2.3x RocksDB claim rests on (adaptive vs fixed
+// readahead over mixed access patterns).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lake.h"
+#include "fs/prefetch.h"
+#include "ml/backends.h"
+
+using namespace lake;
+
+int
+main()
+{
+    bench::banner("Fig. 11",
+                  "KML readahead classification time vs batch size (us)");
+
+    core::Lake lake;
+    Rng rng(19);
+
+    auto dataset = fs::buildPrefetchDataset(100, 256, rng);
+    ml::Mlp model = fs::trainPrefetchModel(dataset, 20, 0.05f, rng);
+
+    ml::CpuMlp cpu(model, lake.kernelCpu());
+    ml::LakeMlp gpu(model, lake.lib(), false, 1024);
+    ml::LakeMlp gpu_sync(model, lake.lib(), true, 1024);
+
+    std::printf("%-7s %11s %11s %13s\n", "batch", "CPU", "LAKE",
+                "LAKE (sync.)");
+    for (std::size_t batch : {1u,  2u,  4u,   8u,   16u, 32u,
+                              64u, 128u, 256u, 512u, 1024u}) {
+        ml::Matrix x(batch, fs::kPrefetchFeatures);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            x.data()[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+
+        Nanos t0 = lake.clock().now();
+        cpu.classify(x);
+        double cpu_us = toUs(lake.clock().now() - t0);
+        t0 = lake.clock().now();
+        gpu.classify(x);
+        double gpu_us = toUs(lake.clock().now() - t0);
+        t0 = lake.clock().now();
+        gpu_sync.classify(x);
+        double sync_us = toUs(lake.clock().now() - t0);
+
+        std::printf("%-7zu %11.1f %11.1f %13.1f\n", batch, cpu_us,
+                    gpu_us, sync_us);
+    }
+
+    // End-to-end flavour: classify each stream, apply the per-class
+    // readahead, and compare against fixed kernel readahead.
+    std::printf("\nadaptive vs fixed readahead (page-cache hits, mixed "
+                "patterns):\n");
+    std::printf("%-12s %12s %12s %12s\n", "pattern", "fixed-64",
+                "adaptive", "disk I/Os");
+    for (std::size_t cls = 0; cls < fs::kPatternClasses; ++cls) {
+        auto stream = fs::generateAccesses(
+            static_cast<fs::AccessPattern>(cls), 4096, 1 << 20, rng);
+        float feats[fs::kPrefetchFeatures];
+        fs::extractPrefetchFeatures(stream, feats);
+        ml::Matrix x(1, fs::kPrefetchFeatures);
+        std::copy(feats, feats + fs::kPrefetchFeatures, x.row(0));
+        int pred = model.classify(x)[0];
+
+        auto fixed = fs::simulateReadahead(stream, 64, 8192);
+        auto adaptive = fs::simulateReadahead(
+            stream, fs::kReadaheadPages[pred], 8192);
+        std::printf("%-12s %11.1f%% %11.1f%% %6llu vs %llu\n",
+                    fs::patternName(static_cast<fs::AccessPattern>(cls)),
+                    100.0 * fixed.hit_rate, 100.0 * adaptive.hit_rate,
+                    static_cast<unsigned long long>(fixed.disk_reads),
+                    static_cast<unsigned long long>(
+                        adaptive.disk_reads));
+    }
+
+    bench::expectation(
+        "GPU profitable past ~64 classifications; per-pattern readahead "
+        "matches fixed readahead on sequential streams while cutting "
+        "wasted disk I/O on random/strided ones (KML's 2.3x RocksDB "
+        "mechanism)");
+    return 0;
+}

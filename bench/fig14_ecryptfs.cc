@@ -1,0 +1,95 @@
+// Reproduces Fig. 14: I/O throughput of the AES-GCM eCryptfs across
+// block sizes, encrypting/decrypting on the CPU, with AES-NI, on a GPU
+// through LAKE, and with GPU+AES-NI combined.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lake.h"
+#include "crypto/engines.h"
+#include "fs/ecryptfs.h"
+
+using namespace lake;
+
+namespace {
+
+constexpr std::size_t kFileBytes = 8 << 20;
+
+struct Throughput
+{
+    double write_mbps;
+    double read_mbps;
+};
+
+Throughput
+measure(crypto::CipherEngine &engine, Clock &clock,
+        std::size_t block_bytes, const std::vector<std::uint8_t> &data)
+{
+    fs::ECryptFs fs(engine, clock, fs::LowerFsModel::testbed(),
+                    block_bytes);
+    Nanos t0 = clock.now();
+    Status st = fs.writeFile("/bench", data.data(), data.size());
+    LAKE_ASSERT(st.isOk(), "write failed");
+    double write_s = toSec(clock.now() - t0);
+
+    t0 = clock.now();
+    auto back = fs.readFile("/bench");
+    LAKE_ASSERT(back.isOk(), "read failed");
+    LAKE_ASSERT(back.value() == data, "data corrupted");
+    double read_s = toSec(clock.now() - t0);
+
+    double mb = static_cast<double>(data.size()) / 1e6;
+    return {mb / write_s, mb / read_s};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig. 14",
+                  "eCryptfs sequential throughput (MB/s) vs block size "
+                  "and cipher engine");
+
+    core::Lake lake;
+    std::uint8_t key[32];
+    for (int i = 0; i < 32; ++i)
+        key[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    gpu::CpuSpec cpu_spec = lake.config().cpu;
+
+    std::vector<std::uint8_t> data(kFileBytes);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+
+    crypto::CpuCipher cpu(key, 32, lake.clock(), cpu_spec);
+    crypto::AesNiCipher ni(key, 32, lake.clock(), cpu_spec);
+    crypto::LakeGpuCipher gpu(key, 32, lake.lib(), 4 << 20);
+    crypto::HybridCipher hybrid(key, 32, lake.lib(), lake.clock(),
+                                cpu_spec, 4 << 20);
+
+    std::printf("%-8s | %8s %8s | %8s %8s | %8s %8s | %8s %8s\n",
+                "block", "CPU rd", "CPU wr", "NI rd", "NI wr",
+                "LAKE rd", "LAKE wr", "HYB rd", "HYB wr");
+
+    for (std::size_t block = 4 << 10; block <= (4u << 20); block *= 2) {
+        Throughput c = measure(cpu, lake.clock(), block, data);
+        Throughput n = measure(ni, lake.clock(), block, data);
+        Throughput g = measure(gpu, lake.clock(), block, data);
+        Throughput h = measure(hybrid, lake.clock(), block, data);
+        std::printf(
+            "%5zuK   | %8.0f %8.0f | %8.0f %8.0f | %8.0f %8.0f "
+            "| %8.0f %8.0f\n",
+            block / 1024, c.read_mbps, c.write_mbps, n.read_mbps,
+            n.write_mbps, g.read_mbps, g.write_mbps, h.read_mbps,
+            h.write_mbps);
+    }
+
+    bench::expectation(
+        "CPU flat ~142 MB/s read / 136 write (crypto-bound); AES-NI "
+        "peaks ~670/560; LAKE overtakes AES-NI once per-extent remoting "
+        "amortizes (paper: 16KB reads / 128KB writes; here: hundreds of "
+        "KB) and plateaus ~840/836; GPU+AES-NI adds ~31%/22% over LAKE");
+    return 0;
+}

@@ -1,0 +1,174 @@
+// Host-time microbenchmarks (google-benchmark) for LAKE's core
+// primitives: command serialization, the lakeShm allocator, the
+// lock-free feature map, the policy VM, the AES-GCM cipher, and the
+// full remoted-call path. These measure the *simulator's* real cost,
+// complementing the virtual-time figure harnesses.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "base/lockfree_map.h"
+#include "base/ring_buffer.h"
+#include "core/lake.h"
+#include "crypto/gcm.h"
+#include "ml/mlp.h"
+#include "policy/bpf.h"
+#include "registry/registry.h"
+#include "remote/wire.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace lake;
+
+void
+BM_WireEncodeCommand(benchmark::State &state)
+{
+    for (auto _ : state) {
+        remote::Encoder enc =
+            remote::makeCommand(remote::ApiId::CuLaunchKernel, 1);
+        enc.str("mlp_forward").u32(4).u32(256).u32(4);
+        for (int i = 0; i < 4; ++i)
+            enc.u64(0x1000 + i);
+        enc.u32(0);
+        benchmark::DoNotOptimize(enc.take());
+    }
+}
+BENCHMARK(BM_WireEncodeCommand);
+
+void
+BM_WireDecodeCommand(benchmark::State &state)
+{
+    remote::Encoder enc =
+        remote::makeCommand(remote::ApiId::CuLaunchKernel, 1);
+    enc.str("mlp_forward").u32(4).u32(256).u32(4);
+    for (int i = 0; i < 4; ++i)
+        enc.u64(0x1000 + i);
+    enc.u32(0);
+    std::vector<std::uint8_t> buf = enc.take();
+
+    for (auto _ : state) {
+        remote::Decoder dec(buf);
+        remote::CommandHead head = remote::readHead(dec);
+        benchmark::DoNotOptimize(head);
+        std::string kernel = dec.str();
+        benchmark::DoNotOptimize(kernel);
+        for (int i = 0; i < 3; ++i)
+            benchmark::DoNotOptimize(dec.u32());
+    }
+}
+BENCHMARK(BM_WireDecodeCommand);
+
+void
+BM_ShmAllocFree(benchmark::State &state)
+{
+    shm::ShmArena arena(64 << 20);
+    std::size_t size = state.range(0);
+    for (auto _ : state) {
+        shm::ShmOffset off = arena.alloc(size);
+        benchmark::DoNotOptimize(off);
+        arena.free(off);
+    }
+}
+BENCHMARK(BM_ShmAllocFree)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void
+BM_LockFreeMapAdd(benchmark::State &state)
+{
+    LockFreeMap map(64);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(map.add(42, 1));
+}
+BENCHMARK(BM_LockFreeMapAdd);
+
+void
+BM_RegistryCaptureCommit(benchmark::State &state)
+{
+    registry::Schema schema;
+    schema.add("pend_ios");
+    schema.add("lat", 8, 4);
+    registry::Registry reg("sda1", "bio", schema, 64);
+    reg.beginFvCapture(0);
+    Nanos ts = 1;
+    for (auto _ : state) {
+        reg.captureFeatureIncr("pend_ios", 1);
+        reg.captureFeature("lat", 250);
+        reg.commitFvCapture(ts++);
+    }
+}
+BENCHMARK(BM_RegistryCaptureCommit);
+
+void
+BM_BpfFig3Policy(benchmark::State &state)
+{
+    policy::BpfVm vm;
+    auto prog = policy::buildFig3Program(40.0, 8);
+    std::vector<std::uint64_t> ctx(policy::kCtxSlotCount, 0);
+    ctx[policy::kCtxBatchSize] = 16;
+    ctx[policy::kCtxGpuUtilX100] = 2500;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(vm.run(prog, ctx));
+}
+BENCHMARK(BM_BpfFig3Policy);
+
+void
+BM_AesGcmEncrypt4K(benchmark::State &state)
+{
+    std::uint8_t key[32] = {1, 2, 3};
+    std::uint8_t iv[12] = {9};
+    crypto::AesGcm gcm(key, 32);
+    std::vector<std::uint8_t> plain(4096, 0x5a), cipher(4096);
+    std::uint8_t tag[16];
+    for (auto _ : state) {
+        gcm.encrypt(iv, plain.data(), plain.size(), nullptr, 0,
+                    cipher.data(), tag);
+        benchmark::DoNotOptimize(cipher.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_AesGcmEncrypt4K);
+
+void
+BM_MlpForwardLinnos(benchmark::State &state)
+{
+    Rng rng(1);
+    ml::Mlp net(ml::MlpConfig::linnos(), rng);
+    ml::Matrix x(state.range(0), 31);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = 0.3f;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.forward(x));
+}
+BENCHMARK(BM_MlpForwardLinnos)->Arg(1)->Arg(32)->Arg(256);
+
+void
+BM_SimulatorEventChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulator simr;
+        int fired = 0;
+        for (int i = 0; i < 1000; ++i)
+            simr.schedule(static_cast<Nanos>(i), [&] { ++fired; });
+        simr.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_SimulatorEventChurn);
+
+void
+BM_FullRemotedMemAlloc(benchmark::State &state)
+{
+    core::Lake lake;
+    for (auto _ : state) {
+        gpu::DevicePtr p = 0;
+        lake.lib().cuMemAlloc(&p, 4096);
+        lake.lib().cuMemFree(p);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_FullRemotedMemAlloc);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Reproduces Table 2: average call time and latency to send a doorbell
+// message from kernel to user, per communication mechanism.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/channel.h"
+
+int
+main()
+{
+    using namespace lake;
+    using namespace lake::channel;
+
+    bench::banner("Table 2",
+                  "doorbell call time / latency per kernel-user channel");
+
+    std::printf("%-16s %14s %14s %8s\n", "Mechanism", "Call time (us)",
+                "Latency (us)", "Spins?");
+    for (Kind k : {Kind::Signal, Kind::DevRw, Kind::Netlink, Kind::Mmap}) {
+        CostModel m = defaultModel(k);
+        std::printf("%-16s %14.0f %14.0f %8s\n", kindName(k),
+                    toUs(m.doorbell_call), toUs(m.doorbell_latency),
+                    m.spins ? "yes" : "no");
+    }
+
+    bench::expectation(
+        "signal 56/56, device r/w 6/57, netlink 11/54, mmap 6/6; mmap is "
+        "fastest but burns a CPU spinning, so LAKE uses Netlink");
+    return 0;
+}

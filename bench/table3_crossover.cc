@@ -1,0 +1,227 @@
+// Reproduces Table 3: the crossover point (batch size where GPU
+// execution through LAKE becomes faster than the in-kernel CPU) for
+// each identified application, found by sweeping batch sizes against
+// the live backends.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lake.h"
+#include "crypto/engines.h"
+#include "fs/ecryptfs.h"
+#include "mem/pagewarmth.h"
+#include "ml/backends.h"
+
+using namespace lake;
+
+namespace {
+
+/** Returns the first swept batch where gpu_time < cpu_time (0 if none). */
+std::size_t
+findCrossover(const std::vector<std::size_t> &sweep,
+              const std::function<double(std::size_t)> &cpu_time,
+              const std::function<double(std::size_t)> &gpu_time)
+{
+    for (std::size_t b : sweep) {
+        if (gpu_time(b) < cpu_time(b))
+            return b;
+    }
+    return 0;
+}
+
+ml::Matrix
+randomBatch(std::size_t n, std::size_t width, Rng &rng)
+{
+    ml::Matrix x(n, width);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(rng.uniform(0.0, 0.9));
+    return x;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table 3",
+                  "crossover batch size where the GPU becomes profitable");
+
+    core::Lake lake;
+    Rng rng(11);
+    const std::vector<std::size_t> pow2 = {1,  2,  4,   8,   16,  32,
+                                           64, 128, 256, 512, 1024};
+
+    std::printf("%-24s %-16s %10s %12s\n", "Application", "Model",
+                "Crossover", "(paper)");
+
+    // --- I/O latency prediction: LinnOS NN -----------------------------
+    {
+        ml::Mlp model(ml::MlpConfig::linnos(), rng);
+        ml::CpuMlp cpu(model, lake.kernelCpu());
+        ml::LakeMlp gpu(model, lake.lib(), false, 1024);
+        auto cpu_t = [&](std::size_t b) {
+            ml::Matrix x = randomBatch(b, 31, rng);
+            Nanos t0 = lake.clock().now();
+            cpu.classify(x);
+            return toUs(lake.clock().now() - t0);
+        };
+        auto gpu_t = [&](std::size_t b) {
+            ml::Matrix x = randomBatch(b, 31, rng);
+            Nanos t0 = lake.clock().now();
+            gpu.classify(x);
+            return toUs(lake.clock().now() - t0);
+        };
+        std::printf("%-24s %-16s %10zu %12s\n", "I/O latency prediction",
+                    "NN 256x2", findCrossover(pow2, cpu_t, gpu_t), "8");
+    }
+
+    // --- Page warmth: Kleio LSTM (high-level API) ----------------------
+    {
+        ml::LstmConfig cfg = ml::LstmConfig::kleio();
+        ml::Lstm model(cfg, rng);
+        ml::CpuLstm cpu(model, lake.kernelCpu());
+        ml::KleioService kleio(lake.daemon(), model);
+        std::size_t per = cfg.seq_len * cfg.input;
+        auto mkseqs = [&](std::size_t b) {
+            std::vector<float> s(b * per);
+            for (auto &v : s)
+                v = static_cast<float>(rng.uniform(0.0, 1.0));
+            return s;
+        };
+        // The CPU alternative is TensorFlow on the CPU — there is no
+        // hand-written in-kernel LSTM — so it pays the same runtime
+        // invocation overhead plus CPU-rate compute.
+        auto cpu_t = [&](std::size_t b) {
+            auto s = mkseqs(b);
+            Nanos t0 = lake.clock().now();
+            cpu.classify(s, b);
+            return toUs(lake.clock().now() - t0) +
+                   toUs(ml::KleioService::kTfCallOverhead);
+        };
+        auto gpu_t = [&](std::size_t b) {
+            auto s = mkseqs(b);
+            Nanos t0 = lake.clock().now();
+            kleio.classify(lake.lib(), s, b);
+            return toUs(lake.clock().now() - t0);
+        };
+        std::printf("%-24s %-16s %10zu %12s\n", "Page warmth",
+                    "LSTM 2x256", findCrossover(pow2, cpu_t, gpu_t), "1");
+    }
+
+    // --- Load balancing: MLLB ------------------------------------------
+    {
+        ml::Mlp model(ml::MlpConfig::mllb(), rng);
+        ml::CpuMlp cpu(model, lake.kernelCpu());
+        ml::LakeMlp gpu(model, lake.lib(), false, 1024);
+        auto cpu_t = [&](std::size_t b) {
+            ml::Matrix x = randomBatch(b, model.config().input, rng);
+            Nanos t0 = lake.clock().now();
+            cpu.classify(x);
+            return toUs(lake.clock().now() - t0);
+        };
+        auto gpu_t = [&](std::size_t b) {
+            ml::Matrix x = randomBatch(b, model.config().input, rng);
+            Nanos t0 = lake.clock().now();
+            gpu.classify(x);
+            return toUs(lake.clock().now() - t0);
+        };
+        std::printf("%-24s %-16s %10zu %12s\n", "Load balancing",
+                    "NN (MLLB)", findCrossover(pow2, cpu_t, gpu_t),
+                    "256");
+    }
+
+    // --- Filesystem prefetching: KML -----------------------------------
+    {
+        ml::Mlp model(ml::MlpConfig::kml(), rng);
+        ml::CpuMlp cpu(model, lake.kernelCpu());
+        ml::LakeMlp gpu(model, lake.lib(), false, 1024);
+        auto cpu_t = [&](std::size_t b) {
+            ml::Matrix x = randomBatch(b, model.config().input, rng);
+            Nanos t0 = lake.clock().now();
+            cpu.classify(x);
+            return toUs(lake.clock().now() - t0);
+        };
+        auto gpu_t = [&](std::size_t b) {
+            ml::Matrix x = randomBatch(b, model.config().input, rng);
+            Nanos t0 = lake.clock().now();
+            gpu.classify(x);
+            return toUs(lake.clock().now() - t0);
+        };
+        std::printf("%-24s %-16s %10zu %12s\n", "Filesystem prefetching",
+                    "NN (KML)", findCrossover(pow2, cpu_t, gpu_t), "64");
+    }
+
+    // --- Malware detection: kNN ----------------------------------------
+    // Fig. 12's x axis is the *feature count*, so the crossover here is
+    // the dimensionality at which shipping one per-process anomaly
+    // check (against its 256-sample reference window) to the GPU wins.
+    {
+        std::size_t crossover_dim = 0;
+        for (std::size_t dim : pow2) {
+            ml::Knn model(dim, 16);
+            std::vector<float> pt(dim);
+            for (int i = 0; i < 256; ++i) {
+                for (auto &v : pt)
+                    v = static_cast<float>(rng.uniform(0.0, 1.0));
+                model.add(pt.data(), i % 2);
+            }
+            ml::CpuKnn cpu(model, lake.kernelCpu());
+            ml::LakeKnn gpu(model, lake.lib(), false, 4);
+            std::vector<float> q(dim);
+            for (auto &v : q)
+                v = static_cast<float>(rng.uniform(0.0, 1.0));
+
+            Nanos t0 = lake.clock().now();
+            cpu.classify(q.data(), 1);
+            Nanos cpu_t = lake.clock().now() - t0;
+            t0 = lake.clock().now();
+            gpu.classify(q.data(), 1);
+            Nanos gpu_t = lake.clock().now() - t0;
+            if (gpu_t < cpu_t) {
+                crossover_dim = dim;
+                break;
+            }
+        }
+        std::printf("%-24s %-16s %10zu %12s\n", "Malware detection",
+                    "k-NN (features)", crossover_dim, "128");
+    }
+
+    // --- Filesystem encryption: block size crossover vs AES-NI ---------
+    {
+        std::uint8_t key[32];
+        for (int i = 0; i < 32; ++i)
+            key[i] = static_cast<std::uint8_t>(i);
+        gpu::CpuSpec spec = gpu::CpuSpec::xeonGold6226R();
+        crypto::AesNiCipher ni(key, 32, lake.clock(), spec);
+        crypto::LakeGpuCipher gpu_eng(key, 32, lake.lib(), 4 << 20);
+        std::uint8_t iv[12] = {};
+        std::vector<std::uint8_t> buf(4 << 20), out(4 << 20);
+        std::uint8_t tag[16];
+
+        std::size_t crossover_bytes = 0;
+        for (std::size_t bytes = 4096; bytes <= (4u << 20); bytes *= 2) {
+            Nanos t0 = lake.clock().now();
+            ni.encryptExtent(iv, buf.data(), bytes, out.data(), tag);
+            Nanos ni_t = lake.clock().now() - t0;
+            t0 = lake.clock().now();
+            gpu_eng.encryptExtent(iv, buf.data(), bytes, out.data(), tag);
+            Nanos gpu_t = lake.clock().now() - t0;
+            if (gpu_t < ni_t) {
+                crossover_bytes = bytes;
+                break;
+            }
+        }
+        std::printf("%-24s %-16s %9zuK %12s\n", "Filesystem encryption",
+                    "AES-GCM vs NI", crossover_bytes / 1024, "16/128KB");
+    }
+
+    bench::expectation(
+        "crossover exists for every workload and is model-dependent: "
+        "small for heavy models (LSTM ~1, NN+2 ~2), larger for cheap "
+        "models (MLLB ~256); encryption crosses AES-NI in the tens of "
+        "KB per block");
+    return 0;
+}

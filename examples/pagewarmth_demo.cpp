@@ -1,0 +1,111 @@
+// Tiered-memory page placement demo (§7.2): page access histories are
+// classified hot/cold through the Kleio high-level API (the LSTM runs
+// in lakeD's TensorFlow-like runtime on the GPU) and the resulting
+// placement is scored against the history-based baseline and the
+// clairvoyant oracle.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/lake.h"
+#include "mem/pagewarmth.h"
+#include "ml/backends.h"
+#include "ml/lstm_train.h"
+
+using namespace lake;
+
+int
+main()
+{
+    core::Lake lake;
+    Rng rng(99);
+
+    // A population of pages with latent behaviours (steady-hot, cold,
+    // periodic, drifting) observed for 32 scheduling intervals.
+    const std::size_t kPages = 2000;
+    ml::LstmConfig cfg = ml::LstmConfig::kleio();
+    auto pages = mem::generatePageHistories(kPages, cfg.seq_len, rng);
+
+    // Train the model offline (user space), as Kleio does; a smaller
+    // hidden width keeps the demo quick.
+    cfg.hidden = 16;
+    ml::Lstm model(cfg, rng);
+    {
+        auto train_pages =
+            mem::generatePageHistories(2500, cfg.seq_len, rng);
+        std::vector<ml::LstmSample> train;
+        for (const auto &p : train_pages) {
+            ml::LstmSample s;
+            for (float c : p.counts)
+                s.seq.push_back(c / 40.0f);
+            s.label = p.next_count >= mem::kHotThreshold ? 1 : 0;
+            train.push_back(std::move(s));
+        }
+        ml::LstmTrainConfig tc;
+        tc.epochs = 10;
+        tc.batch = 32;
+        tc.lr = 0.1f;
+        double loss = ml::trainLstm(model, train, tc, rng);
+        std::printf("trained Kleio LSTM offline: %zu params, final "
+                    "loss %.3f\n", model.paramCount(), loss);
+    }
+
+    // Kernel side calls one high-level API; lakeD owns the model.
+    ml::KleioService kleio(lake.daemon(), model);
+
+    std::vector<float> batch = mem::toLstmBatch(pages, cfg.seq_len);
+    Nanos t0 = lake.clock().now();
+    std::vector<int> lstm_hot = kleio.classify(lake.lib(), batch, kPages);
+    std::printf("kleio.infer over %zu pages took %.1f ms of virtual "
+                "time (one high-level RPC)\n\n",
+                kPages, toMs(lake.clock().now() - t0));
+
+    // Score three placements against the oracle.
+    mem::TierSpec tiers;
+    std::vector<float> lstm_scores(kPages), hist_scores(kPages),
+        random_scores(kPages);
+    for (std::size_t p = 0; p < kPages; ++p) {
+        // The binary LSTM verdict ranks first; the recent-history EWMA
+        // breaks ties among predicted-hot (and predicted-cold) pages so
+        // the capacity cutoff stays meaningful.
+        double ewma = 0.0;
+        for (float c : pages[p].counts)
+            ewma = 0.6 * ewma + 0.4 * c;
+        hist_scores[p] = static_cast<float>(ewma);
+        lstm_scores[p] = static_cast<float>(lstm_hot[p]) * 1000.0f +
+                         static_cast<float>(ewma);
+        random_scores[p] = static_cast<float>(rng.uniform01());
+    }
+
+    std::printf("%-22s %16s %18s\n", "placement", "avg access (ns)",
+                "slowdown vs oracle");
+    auto report = [&](const char *name, const std::vector<float> &s) {
+        auto outcome = mem::scorePlacement(pages, s, tiers);
+        std::printf("%-22s %16.1f %17.2fx\n", name,
+                    outcome.avg_access_ns, outcome.slowdown_vs_oracle);
+    };
+    report("history EWMA", hist_scores);
+    report("Kleio LSTM", lstm_scores);
+    report("random", random_scores);
+
+    // Where the LSTM actually earns its keep: periodic pages, whose
+    // phase the reactive EWMA cannot see.
+    std::size_t periodic = 0, lstm_ok = 0, hist_ok = 0;
+    for (std::size_t p = 0; p < kPages; ++p) {
+        if (pages[p].behavior != mem::PageBehavior::Periodic)
+            continue;
+        ++periodic;
+        bool hot = pages[p].next_count >= mem::kHotThreshold;
+        lstm_ok += (lstm_hot[p] == 1) == hot;
+        hist_ok += mem::historyPredictsHot(pages[p]) == hot;
+    }
+    std::printf("\nperiodic pages (%zu): LSTM predicts next-interval "
+                "warmth at %.1f%%, history EWMA at %.1f%%\n", periodic,
+                100.0 * lstm_ok / periodic, 100.0 * hist_ok / periodic);
+
+    std::printf("\nThe trained LSTM learns the periodic pages the "
+                "reactive EWMA mispredicts — Kleio's motivating case — "
+                "while the kernel only ever issued one high-level RPC "
+                "per interval.\n");
+    return 0;
+}

@@ -1,0 +1,182 @@
+#ifndef LAKE_BASE_LOCKFREE_MAP_H
+#define LAKE_BASE_LOCKFREE_MAP_H
+
+/**
+ * @file
+ * Lock-free fixed-capacity hash map.
+ *
+ * §5.1 of the paper: "The kvpair* is a key-value map from feature keys to
+ * values supported by a lock-free hash table", and §5.3: "the register
+ * relies on lock-free data structures to enable instrumentation calls on
+ * arbitrary kernel threads without needing additional locking
+ * disciplines."
+ *
+ * Design: open addressing with linear probing. Keys are claimed once with
+ * a CAS and never removed (the map is cleared wholesale between feature
+ * vectors), which keeps probes wait-free after insertion. Values are
+ * 64-bit atomics supporting overwrite (capture_feature) and fetch-add
+ * (capture_feature_incr).
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace lake {
+
+/**
+ * Concurrent map from 64-bit key to 64-bit value.
+ *
+ * Capacity is fixed at construction; inserting more distinct keys than
+ * capacity panics (a feature-vector schema bug, not a runtime condition).
+ */
+class LockFreeMap
+{
+  public:
+    /** Reserved key meaning "slot empty"; never use as a real key. */
+    static constexpr std::uint64_t kEmptyKey = 0;
+
+    /** @param capacity maximum number of distinct keys */
+    explicit LockFreeMap(std::size_t capacity)
+        : slots_(nextPow2(capacity * 2)), mask_(slots_.size() - 1)
+    {
+        LAKE_ASSERT(capacity > 0, "map capacity must be positive");
+    }
+
+    LockFreeMap(const LockFreeMap &) = delete;
+    LockFreeMap &operator=(const LockFreeMap &) = delete;
+
+    /** Sets @p key to @p value, inserting the key if new. */
+    void
+    put(std::uint64_t key, std::uint64_t value)
+    {
+        slotFor(key).value.store(value, std::memory_order_release);
+    }
+
+    /** Atomically adds @p delta (two's complement) to @p key's value. */
+    std::uint64_t
+    add(std::uint64_t key, std::int64_t delta)
+    {
+        return slotFor(key).value.fetch_add(
+                   static_cast<std::uint64_t>(delta),
+                   std::memory_order_acq_rel) +
+               static_cast<std::uint64_t>(delta);
+    }
+
+    /**
+     * Looks up @p key.
+     * @return true and fills @p out when present; false otherwise.
+     */
+    bool
+    get(std::uint64_t key, std::uint64_t *out) const
+    {
+        LAKE_ASSERT(key != kEmptyKey, "key 0 is reserved");
+        std::size_t idx = hash(key) & mask_;
+        for (std::size_t probes = 0; probes <= mask_; ++probes) {
+            const Slot &s = slots_[idx];
+            std::uint64_t k = s.key.load(std::memory_order_acquire);
+            if (k == key) {
+                *out = s.value.load(std::memory_order_acquire);
+                return true;
+            }
+            if (k == kEmptyKey)
+                return false;
+            idx = (idx + 1) & mask_;
+        }
+        return false;
+    }
+
+    /** Number of distinct keys inserted so far. */
+    std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+    /**
+     * Removes every entry. Not safe concurrently with put/add/get; the
+     * registry calls this only while the vector is quiescent (just after
+     * commit, before the next capture opens).
+     */
+    void
+    clear()
+    {
+        for (Slot &s : slots_) {
+            s.key.store(kEmptyKey, std::memory_order_relaxed);
+            s.value.store(0, std::memory_order_relaxed);
+        }
+        size_.store(0, std::memory_order_release);
+    }
+
+    /** Invokes fn(key, value) for each live entry; same caveat as clear. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_) {
+            std::uint64_t k = s.key.load(std::memory_order_acquire);
+            if (k != kEmptyKey)
+                fn(k, s.value.load(std::memory_order_acquire));
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::uint64_t> key{kEmptyKey};
+        std::atomic<std::uint64_t> value{0};
+    };
+
+    static std::size_t
+    nextPow2(std::size_t v)
+    {
+        std::size_t p = 1;
+        while (p < v)
+            p <<= 1;
+        return p;
+    }
+
+    static std::size_t
+    hash(std::uint64_t key)
+    {
+        // splitmix64 finalizer: cheap and well distributed.
+        key ^= key >> 30;
+        key *= 0xbf58476d1ce4e5b9ull;
+        key ^= key >> 27;
+        key *= 0x94d049bb133111ebull;
+        key ^= key >> 31;
+        return static_cast<std::size_t>(key);
+    }
+
+    /** Finds or claims the slot for @p key. */
+    Slot &
+    slotFor(std::uint64_t key)
+    {
+        LAKE_ASSERT(key != kEmptyKey, "key 0 is reserved");
+        std::size_t idx = hash(key) & mask_;
+        for (std::size_t probes = 0; probes <= mask_; ++probes) {
+            Slot &s = slots_[idx];
+            std::uint64_t k = s.key.load(std::memory_order_acquire);
+            if (k == key)
+                return s;
+            if (k == kEmptyKey) {
+                std::uint64_t expected = kEmptyKey;
+                if (s.key.compare_exchange_strong(
+                        expected, key, std::memory_order_acq_rel)) {
+                    size_.fetch_add(1, std::memory_order_acq_rel);
+                    return s;
+                }
+                if (expected == key)
+                    return s; // another thread claimed it for us
+            }
+            idx = (idx + 1) & mask_;
+        }
+        panic("lock-free map over capacity (%zu slots)", slots_.size());
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_;
+    std::atomic<std::size_t> size_{0};
+};
+
+} // namespace lake
+
+#endif // LAKE_BASE_LOCKFREE_MAP_H

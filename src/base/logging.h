@@ -1,0 +1,69 @@
+#ifndef LAKE_BASE_LOGGING_H
+#define LAKE_BASE_LOGGING_H
+
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Severity ladder, mirroring src/base/logging.hh in gem5:
+ *  - inform():    normal operating message, no connotation of a problem.
+ *  - warn():      something may be wrong but execution can continue.
+ *  - fatal():     the *user's* fault (bad configuration, bad arguments);
+ *                 exits with code 1.
+ *  - panic():     LAKE's own fault (an invariant that must never break);
+ *                 aborts so a core dump / debugger can be used.
+ */
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lake {
+
+namespace detail {
+
+/** Formats printf-style arguments into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+/** printf-style format into a std::string. */
+std::string format(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Emits one log line with the given severity tag to stderr. */
+void emit(const char *tag, const std::string &msg);
+
+} // namespace detail
+
+/** Prints an informational message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Prints a warning; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Reports a user-caused unrecoverable error and exits with code 1. */
+[[noreturn]] void
+fatal(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Reports an internal invariant violation and aborts. */
+[[noreturn]] void
+panic(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Verifies an invariant that must hold regardless of user input.
+ * Unlike assert(), stays active in release builds: LAKE is a simulator
+ * and silent state corruption would invalidate every measurement.
+ */
+#define LAKE_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::lake::detail::emit(                                           \
+                "panic",                                                    \
+                ::lake::detail::format("assertion '%s' failed at %s:%d",    \
+                                       #cond, __FILE__, __LINE__));         \
+            ::lake::panic(__VA_ARGS__);                                     \
+        }                                                                   \
+    } while (0)
+
+} // namespace lake
+
+#endif // LAKE_BASE_LOGGING_H

@@ -1,0 +1,123 @@
+#ifndef LAKE_BASE_RING_BUFFER_H
+#define LAKE_BASE_RING_BUFFER_H
+
+/**
+ * @file
+ * Fixed-capacity circular buffer.
+ *
+ * The feature registry stores feature vectors "in a circular buffer sized
+ * according to the window parameter" (§5.1); when full, the oldest vector
+ * is overwritten, which is the behaviour kernels want for telemetry.
+ */
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace lake {
+
+/**
+ * A bounded ring that overwrites its oldest element when full.
+ *
+ * Not internally synchronized: the feature registry serializes access
+ * with its own discipline (capture happens under the registry lock-free
+ * map; commit/drain happen on the owning registry).
+ */
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** @param capacity maximum number of live elements; must be > 0 */
+    explicit RingBuffer(std::size_t capacity)
+        : slots_(capacity)
+    {
+        LAKE_ASSERT(capacity > 0, "ring capacity must be positive");
+    }
+
+    /** Number of live elements. */
+    std::size_t size() const { return size_; }
+    /** Maximum number of live elements. */
+    std::size_t capacity() const { return slots_.size(); }
+    /** True when no live elements exist. */
+    bool empty() const { return size_ == 0; }
+    /** True when the next push will overwrite the oldest element. */
+    bool full() const { return size_ == slots_.size(); }
+
+    /**
+     * Appends an element, overwriting the oldest when full.
+     * @return true if an old element was overwritten.
+     */
+    bool
+    push(T value)
+    {
+        bool overwrote = full();
+        slots_[(head_ + size_) % slots_.size()] = std::move(value);
+        if (overwrote)
+            head_ = (head_ + 1) % slots_.size();
+        else
+            ++size_;
+        return overwrote;
+    }
+
+    /** Removes and returns the oldest element; ring must not be empty. */
+    T
+    pop()
+    {
+        LAKE_ASSERT(!empty(), "pop from empty ring");
+        T out = std::move(slots_[head_]);
+        head_ = (head_ + 1) % slots_.size();
+        --size_;
+        return out;
+    }
+
+    /** Oldest element (index 0) through newest (index size()-1). */
+    const T &
+    at(std::size_t idx) const
+    {
+        LAKE_ASSERT(idx < size_, "ring index %zu out of range", idx);
+        return slots_[(head_ + idx) % slots_.size()];
+    }
+
+    /** Mutable access, same indexing as at(). */
+    T &
+    at(std::size_t idx)
+    {
+        LAKE_ASSERT(idx < size_, "ring index %zu out of range", idx);
+        return slots_[(head_ + idx) % slots_.size()];
+    }
+
+    /** Newest element; ring must not be empty. */
+    const T &back() const { return at(size_ - 1); }
+    /** Oldest element; ring must not be empty. */
+    const T &front() const { return at(0); }
+
+    /** Drops all elements. */
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** Copies out the live elements oldest-first. */
+    std::vector<T>
+    snapshot() const
+    {
+        std::vector<T> out;
+        out.reserve(size_);
+        for (std::size_t i = 0; i < size_; ++i)
+            out.push_back(at(i));
+        return out;
+    }
+
+  private:
+    std::vector<T> slots_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace lake
+
+#endif // LAKE_BASE_RING_BUFFER_H

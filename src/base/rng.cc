@@ -1,0 +1,67 @@
+#include "base/rng.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace lake {
+
+double
+Rng::uniform01()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    LAKE_ASSERT(lo <= hi, "inverted uniform range");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    LAKE_ASSERT(lo <= hi, "inverted uniformInt range");
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+double
+Rng::exponential(double mean)
+{
+    LAKE_ASSERT(mean > 0.0, "exponential mean must be positive");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double
+Rng::lognormalByMoments(double mean, double stddev)
+{
+    LAKE_ASSERT(mean > 0.0, "lognormal mean must be positive");
+    // Convert the desired value moments into the parameters (mu, sigma)
+    // of the underlying normal: if X ~ LogNormal(mu, sigma) then
+    //   E[X]   = exp(mu + sigma^2/2)
+    //   Var[X] = (exp(sigma^2) - 1) exp(2 mu + sigma^2)
+    double cv2 = (stddev / mean) * (stddev / mean);
+    double sigma2 = std::log1p(cv2);
+    double mu = std::log(mean) - 0.5 * sigma2;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(
+        engine_);
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform01() < p;
+}
+
+} // namespace lake

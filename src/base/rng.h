@@ -1,0 +1,62 @@
+#ifndef LAKE_BASE_RNG_H
+#define LAKE_BASE_RNG_H
+
+/**
+ * @file
+ * Deterministic random number generation and the distributions used by the
+ * trace generators (§7.1 of the paper: exponential inter-arrival, lognormal
+ * I/O size, uniform offset).
+ */
+
+#include <cstdint>
+#include <random>
+
+namespace lake {
+
+/**
+ * A seeded pseudo-random source.
+ *
+ * Thin wrapper over xoshiro-quality std engines; exists so every module
+ * takes an explicit Rng and experiments replay bit-identically.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from a fixed seed (default: LAKE's answer). */
+    explicit Rng(std::uint64_t seed = 0x1a4eull) : engine_(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Exponential with the given mean (not rate). */
+    double exponential(double mean);
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal parameterized by the mean and standard deviation of the
+     * *resulting* value (not of the underlying normal), matching how the
+     * paper reports trace I/O size moments in Table 4.
+     */
+    double lognormalByMoments(double mean, double stddev);
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p);
+
+    /** Access to the raw engine for std::shuffle and friends. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace lake
+
+#endif // LAKE_BASE_RNG_H

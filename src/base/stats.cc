@@ -1,0 +1,169 @@
+#include "base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace lake {
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    if (n_ == 1) {
+        mean_ = x;
+        min_ = x;
+        max_ = x;
+        m2_ = 0.0;
+        return;
+    }
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+PercentileTracker::percentile(double p) const
+{
+    LAKE_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range: %f", p);
+    if (samples_.empty())
+        return 0.0;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window)
+{
+    LAKE_ASSERT(window > 0, "moving average window must be positive");
+}
+
+double
+MovingAverage::add(double x)
+{
+    buf_.push_back(x);
+    sum_ += x;
+    if (buf_.size() > window_) {
+        sum_ -= buf_.front();
+        buf_.pop_front();
+    }
+    return value();
+}
+
+double
+MovingAverage::value() const
+{
+    if (buf_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(buf_.size());
+}
+
+void
+MovingAverage::reset()
+{
+    buf_.clear();
+    sum_ = 0.0;
+}
+
+void
+BusyTracker::addBusy(Nanos start, Nanos end)
+{
+    LAKE_ASSERT(end >= start, "inverted busy span");
+    if (end == start)
+        return;
+    total_busy_ += end - start;
+    // Spans usually arrive time-ordered (a device services one launch at
+    // a time), so insertion at the back is the common case.
+    if (spans_.empty() || spans_.back().start <= start) {
+        spans_.push_back({start, end});
+        return;
+    }
+    auto it = std::lower_bound(
+        spans_.begin(), spans_.end(), start,
+        [](const Span &s, Nanos t) { return s.start < t; });
+    spans_.insert(it, {start, end});
+}
+
+double
+BusyTracker::utilization(Nanos now, Nanos window) const
+{
+    LAKE_ASSERT(window > 0, "utilization window must be positive");
+    Nanos lo = now > window ? now - window : 0;
+    Nanos busy = 0;
+    for (const Span &s : spans_) {
+        if (s.end <= lo || s.start >= now)
+            continue;
+        Nanos a = std::max(s.start, lo);
+        Nanos b = std::min(s.end, now);
+        busy += b - a;
+    }
+    Nanos span = now - lo;
+    if (span == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(busy) / static_cast<double>(span);
+}
+
+void
+BusyTracker::compact(Nanos horizon)
+{
+    while (!spans_.empty() && spans_.front().end < horizon)
+        spans_.pop_front();
+}
+
+void
+BusyTracker::reset()
+{
+    spans_.clear();
+    total_busy_ = 0;
+}
+
+RateMeter::RateMeter(Nanos bucket) : bucket_(bucket)
+{
+    LAKE_ASSERT(bucket > 0, "rate meter bucket must be positive");
+}
+
+void
+RateMeter::record(Nanos t, double amount)
+{
+    std::size_t idx = static_cast<std::size_t>(t / bucket_);
+    if (idx >= sums_.size())
+        sums_.resize(idx + 1, 0.0);
+    sums_[idx] += amount;
+}
+
+std::vector<RateMeter::Point>
+RateMeter::series() const
+{
+    std::vector<Point> out;
+    out.reserve(sums_.size());
+    double seconds = toSec(bucket_);
+    for (std::size_t i = 0; i < sums_.size(); ++i)
+        out.push_back({i * bucket_, sums_[i] / seconds});
+    return out;
+}
+
+} // namespace lake

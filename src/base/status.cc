@@ -1,0 +1,33 @@
+#include "base/status.h"
+
+namespace lake {
+
+const char *
+codeName(Code c)
+{
+    switch (c) {
+      case Code::Ok:                return "Ok";
+      case Code::InvalidArgument:   return "InvalidArgument";
+      case Code::NotFound:          return "NotFound";
+      case Code::AlreadyExists:     return "AlreadyExists";
+      case Code::ResourceExhausted: return "ResourceExhausted";
+      case Code::Unavailable:       return "Unavailable";
+      case Code::Internal:          return "Internal";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "OK";
+    std::string out = codeName(code_);
+    if (!message_.empty()) {
+        out += ": ";
+        out += message_;
+    }
+    return out;
+}
+
+} // namespace lake

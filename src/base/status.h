@@ -1,0 +1,90 @@
+#ifndef LAKE_BASE_STATUS_H
+#define LAKE_BASE_STATUS_H
+
+/**
+ * @file
+ * Fallible-operation results.
+ *
+ * The remoting layer forwards accelerator errors to the caller, which
+ * "must do its own error checking" (§4.1); Status carries those codes
+ * across module boundaries without exceptions.
+ */
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lake {
+
+/** Error category for cross-module results. */
+enum class Code
+{
+    Ok = 0,
+    InvalidArgument,
+    NotFound,
+    AlreadyExists,
+    ResourceExhausted,
+    Unavailable,
+    Internal,
+};
+
+/** Human-readable name of a code. */
+const char *codeName(Code c);
+
+/** A code plus optional context message. */
+class Status
+{
+  public:
+    /** Builds an Ok status. */
+    Status() = default;
+
+    /** Builds a status with @p code and @p message. */
+    Status(Code code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    /** Convenience: the canonical Ok value. */
+    static Status ok() { return Status(); }
+
+    /** True when no error occurred. */
+    bool isOk() const { return code_ == Code::Ok; }
+    /** The error category. */
+    Code code() const { return code_; }
+    /** The context message (empty for Ok). */
+    const std::string &message() const { return message_; }
+
+    /** "OK" or "<CodeName>: <message>". */
+    std::string toString() const;
+
+  private:
+    Code code_ = Code::Ok;
+    std::string message_;
+};
+
+/** A Status plus a value that is only meaningful when the status is Ok. */
+template <typename T>
+class Result
+{
+  public:
+    /** Success carrying @p value. */
+    Result(T value) : value_(std::move(value)) {}
+    /** Failure carrying @p status (must not be Ok). */
+    Result(Status status) : status_(std::move(status)) {}
+
+    /** True when a value is present. */
+    bool isOk() const { return status_.isOk() && value_.has_value(); }
+    /** The status. */
+    const Status &status() const { return status_; }
+    /** The value; only valid when isOk(). */
+    const T &value() const { return *value_; }
+    /** Moves the value out; only valid when isOk(). */
+    T &&takeValue() { return std::move(*value_); }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace lake
+
+#endif // LAKE_BASE_STATUS_H

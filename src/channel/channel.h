@@ -1,0 +1,141 @@
+#ifndef LAKE_CHANNEL_CHANNEL_H
+#define LAKE_CHANNEL_CHANNEL_H
+
+/**
+ * @file
+ * Kernel/user communication channels.
+ *
+ * §6 of the paper evaluates Linux's kernel-to-user mechanisms — signals,
+ * device read/write, Netlink sockets, and mmap'd memory with spinning —
+ * and picks Netlink for commands (low latency without burning a core)
+ * plus lakeShm for bulk data. This module reproduces that tradeoff
+ * space: every transport really moves bytes through a queue, and each
+ * charges a calibrated virtual-time cost (Table 2 doorbell costs; the
+ * Fig. 6 message-size curve).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "base/time.h"
+
+namespace lake::channel {
+
+/** The four §6 transport mechanisms. */
+enum class Kind
+{
+    Signal,  //!< POSIX signal doorbell; payload via side buffer
+    DevRw,   //!< character-device read/write
+    Netlink, //!< Netlink socket (LAKE's choice)
+    Mmap,    //!< shared page + spinning (fast but burns a CPU)
+};
+
+/** Printable transport name. */
+const char *kindName(Kind k);
+
+/**
+ * Calibrated virtual-time costs of one transport.
+ *
+ * Doorbell numbers reproduce Table 2; the size-dependent terms
+ * reproduce Fig. 6 (flat up to one netlink page, then linear in the
+ * copied bytes).
+ */
+struct CostModel
+{
+    Nanos doorbell_call;    //!< sender-side cost of posting a doorbell
+    Nanos doorbell_latency; //!< delay until the receiver observes it
+    Nanos rt_base;          //!< round-trip time for a small message
+    std::size_t bulk_threshold; //!< bytes covered by rt_base
+    double per_byte_ns;     //!< marginal cost per byte past the threshold
+    bool spins;             //!< true when the receiver busy-waits
+};
+
+/** The default cost model for a transport. */
+CostModel defaultModel(Kind k);
+
+/** A payload in flight, stamped with its delivery time. */
+struct Message
+{
+    std::vector<std::uint8_t> payload;
+    Nanos sent_at = 0;
+    Nanos deliver_at = 0;
+};
+
+/**
+ * A duplex kernel<->user channel bound to a shared virtual clock.
+ *
+ * The remoting layer is synchronous RPC, so both directions share the
+ * clock: sending charges the sender-side cost immediately; receiving
+ * advances the clock to the message's delivery time (modelling the
+ * receiver blocking until the doorbell fires).
+ */
+class Channel
+{
+  public:
+    /** Direction selector for send/recv. */
+    enum class Dir
+    {
+        KernelToUser,
+        UserToKernel,
+    };
+
+    /**
+     * @param kind  transport mechanism
+     * @param clock shared virtual clock (must outlive the channel)
+     */
+    Channel(Kind kind, Clock &clock);
+
+    /** Channel with an explicit (e.g. perturbed) cost model. */
+    Channel(Kind kind, Clock &clock, CostModel model);
+
+    /** Transport mechanism. */
+    Kind kind() const { return kind_; }
+    /** Cost model in force. */
+    const CostModel &model() const { return model_; }
+
+    /**
+     * Sends @p payload in direction @p dir.
+     * Charges the sender-side share of the transfer cost to the clock.
+     */
+    void send(Dir dir, std::vector<std::uint8_t> payload);
+
+    /**
+     * Receives the oldest message in direction @p dir, blocking in
+     * virtual time until its delivery instant. Panics when the queue is
+     * empty — in the synchronous RPC protocol a receive without a prior
+     * send is a protocol bug.
+     */
+    std::vector<std::uint8_t> recv(Dir dir);
+
+    /** True when a message is pending in direction @p dir. */
+    bool pending(Dir dir) const;
+
+    /** One-way transfer cost of @p bytes (half the Fig. 6 round trip). */
+    Nanos transferCost(std::size_t bytes) const;
+
+    /** Full modeled round trip for a request/response pair. */
+    Nanos roundTripCost(std::size_t req_bytes, std::size_t resp_bytes) const;
+
+    /** Messages sent since creation (both directions). */
+    std::uint64_t messagesSent() const { return messages_sent_; }
+    /** Payload bytes moved since creation (both directions). */
+    std::uint64_t bytesSent() const { return bytes_sent_; }
+
+  private:
+    std::deque<Message> &queueFor(Dir dir);
+    const std::deque<Message> &queueFor(Dir dir) const;
+
+    Kind kind_;
+    Clock &clock_;
+    CostModel model_;
+    std::deque<Message> to_user_;
+    std::deque<Message> to_kernel_;
+    std::uint64_t messages_sent_ = 0;
+    std::uint64_t bytes_sent_ = 0;
+};
+
+} // namespace lake::channel
+
+#endif // LAKE_CHANNEL_CHANNEL_H

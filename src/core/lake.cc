@@ -1,0 +1,27 @@
+#include "core/lake.h"
+
+#include "base/logging.h"
+
+namespace lake::core {
+
+Lake::Lake(LakeConfig config)
+    : config_(config), arena_(config.shm_bytes), device_(config.device),
+      channel_(config.channel, clock_),
+      daemon_(channel_, arena_, device_, clock_),
+      lib_(channel_, arena_, [this] { daemon_.processPending(); }),
+      registries_(clock_), kernel_cpu_(clock_, config.cpu)
+{
+}
+
+policy::UtilProbe
+Lake::nvmlProbe()
+{
+    return [this](Nanos) {
+        remote::RemoteUtilization util;
+        gpu::CuResult r = lib_.nvmlGetUtilization(&util);
+        LAKE_ASSERT(r == gpu::CuResult::Success, "nvml probe failed");
+        return static_cast<double>(util.gpu);
+    };
+}
+
+} // namespace lake::core

@@ -1,0 +1,98 @@
+#ifndef LAKE_CORE_LAKE_H
+#define LAKE_CORE_LAKE_H
+
+/**
+ * @file
+ * The LAKE runtime: one object that boots and wires every component of
+ * Fig. 2 — the shared-memory region (lakeShm), the command channel,
+ * the user-space daemon (lakeD), the kernel-side stub library
+ * (lakeLib), the accelerator, and the feature-registry manager.
+ *
+ * This is the public entry point of the library:
+ *
+ * @code
+ *   lake::core::Lake lake;                       // boot everything
+ *   auto &lib = lake.lib();                      // kernel-space view
+ *   gpu::DevicePtr p;
+ *   lib.cuMemAlloc(&p, 4096);                    // remoted to lakeD
+ * @endcode
+ */
+
+#include <memory>
+
+#include "base/time.h"
+#include "channel/channel.h"
+#include "gpu/device.h"
+#include "gpu/spec.h"
+#include "ml/backends.h"
+#include "policy/policy.h"
+#include "registry/manager.h"
+#include "remote/daemon.h"
+#include "remote/lakelib.h"
+#include "shm/arena.h"
+
+namespace lake::core {
+
+/** Boot-time configuration. */
+struct LakeConfig
+{
+    /** Command transport (§6 picks Netlink). */
+    channel::Kind channel = channel::Kind::Netlink;
+    /** lakeShm region size (the paper boots with cma=128M). */
+    std::size_t shm_bytes = 128ull << 20;
+    /** Accelerator model. */
+    gpu::DeviceSpec device = gpu::DeviceSpec::a100();
+    /** Host CPU model (for in-kernel fallback execution). */
+    gpu::CpuSpec cpu = gpu::CpuSpec::xeonGold6226R();
+};
+
+/**
+ * A booted LAKE system sharing one virtual clock.
+ */
+class Lake
+{
+  public:
+    /** Boots with the given configuration. */
+    explicit Lake(LakeConfig config = LakeConfig{});
+
+    /** The system-wide virtual clock. */
+    Clock &clock() { return clock_; }
+    /** The lakeShm arena (shared by both sides). */
+    shm::ShmArena &arena() { return arena_; }
+    /** The accelerator. */
+    gpu::Device &device() { return device_; }
+    /** The command channel. */
+    channel::Channel &channel() { return channel_; }
+    /** lakeD, the user-space API executor. */
+    remote::LakeDaemon &daemon() { return daemon_; }
+    /** lakeLib, the kernel-space stubs. */
+    remote::LakeLib &lib() { return lib_; }
+    /** Feature registries and models (Table 1). */
+    registry::RegistryManager &registries() { return registries_; }
+    /** Kernel-context CPU compute model. */
+    ml::KernelCpu &kernelCpu() { return kernel_cpu_; }
+    /** Configuration in force. */
+    const LakeConfig &config() const { return config_; }
+
+    /**
+     * A utilization probe for contention policies: each call performs
+     * a LAKE-remoted NVML query (so it really costs channel time and
+     * really observes the simulated device).
+     */
+    policy::UtilProbe nvmlProbe();
+
+  private:
+    LakeConfig config_;
+    Clock clock_;
+    shm::ShmArena arena_;
+    gpu::Device device_;
+    channel::Channel channel_;
+    remote::LakeDaemon daemon_;
+    remote::LakeLib lib_;
+    registry::RegistryManager registries_;
+    ml::KernelCpu kernel_cpu_;
+};
+
+} // namespace lake::core
+
+#endif // LAKE_CORE_LAKE_H

@@ -1,0 +1,186 @@
+#ifndef LAKE_CRYPTO_ENGINES_H
+#define LAKE_CRYPTO_ENGINES_H
+
+/**
+ * @file
+ * Cipher execution engines: the four bars of Fig. 14.
+ *
+ * All engines produce bit-identical AES-GCM output; they differ in
+ * where the work runs and what virtual time it costs:
+ *
+ *  - CpuCipher:    scalar kernel crypto (the paper's "CPU" line)
+ *  - AesNiCipher:  AES-NI instructions (same core, ~6x throughput)
+ *  - LakeGpuCipher: extents shipped to the GPU through LAKE ("LAKE")
+ *  - HybridCipher: GPU and AES-NI operate on disjoint halves of every
+ *    extent concurrently ("GPU+AES-NI"), the +31%/+22% configuration
+ *
+ * Each engine implements the Linux crypto-API-style interface the
+ * modified eCryptfs consumes (encryptExtent / decryptExtent).
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/time.h"
+#include "crypto/gcm.h"
+#include "gpu/spec.h"
+#include "remote/lakelib.h"
+
+namespace lake::crypto {
+
+/** Interface eCryptfs programs against (a Linux crypto API cipher). */
+class CipherEngine
+{
+  public:
+    virtual ~CipherEngine() = default;
+
+    /** Encrypts one extent; writes ciphertext and tag. */
+    virtual void encryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                               const std::uint8_t *plain, std::size_t len,
+                               std::uint8_t *cipher,
+                               std::uint8_t tag[kGcmTagBytes]) = 0;
+
+    /** Decrypts one extent. @return tag verification result. */
+    virtual bool decryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                               const std::uint8_t *cipher, std::size_t len,
+                               const std::uint8_t tag[kGcmTagBytes],
+                               std::uint8_t *plain) = 0;
+
+    /** Engine name as the figures label it. */
+    virtual const char *name() const = 0;
+};
+
+/** Scalar software AES-GCM in kernel context. */
+class CpuCipher final : public CipherEngine
+{
+  public:
+    /** Fixed per-extent overhead (crypto API dispatch + scatterlist). */
+    static constexpr Nanos kPerExtent = 2_us;
+
+    CpuCipher(const std::uint8_t *key, std::size_t key_bytes, Clock &clock,
+              gpu::CpuSpec spec);
+
+    void encryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                       const std::uint8_t *plain, std::size_t len,
+                       std::uint8_t *cipher,
+                       std::uint8_t tag[kGcmTagBytes]) override;
+    bool decryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                       const std::uint8_t *cipher, std::size_t len,
+                       const std::uint8_t tag[kGcmTagBytes],
+                       std::uint8_t *plain) override;
+    const char *name() const override { return "CPU"; }
+
+  private:
+    AesGcm gcm_;
+    Clock &clock_;
+    gpu::CpuSpec spec_;
+};
+
+/** AES-NI-accelerated AES-GCM (same data path, different cost). */
+class AesNiCipher final : public CipherEngine
+{
+  public:
+    /** Fixed per-extent overhead. */
+    static constexpr Nanos kPerExtent = 1500_ns;
+
+    AesNiCipher(const std::uint8_t *key, std::size_t key_bytes,
+                Clock &clock, gpu::CpuSpec spec);
+
+    void encryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                       const std::uint8_t *plain, std::size_t len,
+                       std::uint8_t *cipher,
+                       std::uint8_t tag[kGcmTagBytes]) override;
+    bool decryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                       const std::uint8_t *cipher, std::size_t len,
+                       const std::uint8_t tag[kGcmTagBytes],
+                       std::uint8_t *plain) override;
+    const char *name() const override { return "AES-NI"; }
+
+  private:
+    AesGcm gcm_;
+    Clock &clock_;
+    gpu::CpuSpec spec_;
+};
+
+/**
+ * GPU AES-GCM through LAKE: the "aes_gcm" kernel runs on device
+ * buffers; extents stream through lakeShm.
+ */
+class LakeGpuCipher final : public CipherEngine
+{
+  public:
+    /**
+     * @param key, key_bytes cipher key (uploaded to the device once)
+     * @param lib        kernel-side stubs
+     * @param max_extent largest extent the FS will pass (device buffer
+     *                   sizing)
+     */
+    LakeGpuCipher(const std::uint8_t *key, std::size_t key_bytes,
+                  remote::LakeLib &lib, std::size_t max_extent);
+    ~LakeGpuCipher() override;
+
+    LakeGpuCipher(const LakeGpuCipher &) = delete;
+    LakeGpuCipher &operator=(const LakeGpuCipher &) = delete;
+
+    void encryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                       const std::uint8_t *plain, std::size_t len,
+                       std::uint8_t *cipher,
+                       std::uint8_t tag[kGcmTagBytes]) override;
+    bool decryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                       const std::uint8_t *cipher, std::size_t len,
+                       const std::uint8_t tag[kGcmTagBytes],
+                       std::uint8_t *plain) override;
+    const char *name() const override { return "LAKE"; }
+
+  private:
+    /** Shared transform: ships one extent through the GPU. */
+    bool run(bool encrypt, const std::uint8_t iv[kGcmIvBytes],
+             const std::uint8_t *in, std::size_t len, std::uint8_t *out,
+             std::uint8_t tag[kGcmTagBytes]);
+
+    remote::LakeLib &lib_;
+    shm::ShmArena &arena_;
+    std::size_t key_bytes_;
+    std::size_t max_extent_;
+    gpu::DevicePtr d_ctl_ = 0;  //!< key + iv + tag control block
+    gpu::DevicePtr d_buf_ = 0;  //!< extent data
+    shm::ShmOffset h_buf_ = shm::kNullOffset;
+    shm::ShmOffset h_ctl_ = shm::kNullOffset;
+};
+
+/**
+ * GPU + AES-NI: each extent is split proportionally to the two
+ * engines' throughputs and processed concurrently; elapsed time is the
+ * slower half (the GPU path also pays its LAKE transport).
+ */
+class HybridCipher final : public CipherEngine
+{
+  public:
+    HybridCipher(const std::uint8_t *key, std::size_t key_bytes,
+                 remote::LakeLib &lib, Clock &clock, gpu::CpuSpec cpu,
+                 std::size_t max_extent);
+
+    void encryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                       const std::uint8_t *plain, std::size_t len,
+                       std::uint8_t *cipher,
+                       std::uint8_t tag[kGcmTagBytes]) override;
+    bool decryptExtent(const std::uint8_t iv[kGcmIvBytes],
+                       const std::uint8_t *cipher, std::size_t len,
+                       const std::uint8_t tag[kGcmTagBytes],
+                       std::uint8_t *plain) override;
+    const char *name() const override { return "GPU+AES-NI"; }
+
+  private:
+    AesGcm gcm_;      //!< performs the real transform
+    LakeGpuCipher gpu_;
+    Clock &clock_;
+    gpu::CpuSpec cpu_;
+};
+
+/** Registers the "aes_gcm" GPU kernel; idempotent. */
+void registerCryptoKernels();
+
+} // namespace lake::crypto
+
+#endif // LAKE_CRYPTO_ENGINES_H

@@ -1,0 +1,161 @@
+#include "crypto/gcm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace lake::crypto {
+
+namespace {
+
+/** GF(2^128) multiply: x = x * y in GCM's bit-reflected field. */
+void
+gf128Mul(std::uint8_t x[16], const std::uint8_t y[16])
+{
+    std::uint8_t z[16] = {};
+    std::uint8_t v[16];
+    std::memcpy(v, y, 16);
+
+    for (int i = 0; i < 128; ++i) {
+        int byte = i / 8;
+        int bit = 7 - (i % 8);
+        if ((x[byte] >> bit) & 1) {
+            for (int j = 0; j < 16; ++j)
+                z[j] ^= v[j];
+        }
+        // v = v >> 1, with reduction by R = 0xe1 || 0^120.
+        bool lsb = v[15] & 1;
+        for (int j = 15; j > 0; --j)
+            v[j] = static_cast<std::uint8_t>((v[j] >> 1) |
+                                             ((v[j - 1] & 1) << 7));
+        v[0] >>= 1;
+        if (lsb)
+            v[0] ^= 0xe1;
+    }
+    std::memcpy(x, z, 16);
+}
+
+void
+inc32(std::uint8_t block[16])
+{
+    for (int i = 15; i >= 12; --i) {
+        if (++block[i] != 0)
+            break;
+    }
+}
+
+void
+putBe64(std::uint8_t *out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out[i] = static_cast<std::uint8_t>(v >> (8 * (7 - i)));
+}
+
+} // namespace
+
+AesGcm::AesGcm(const std::uint8_t *key, std::size_t key_bytes)
+    : aes_(key, key_bytes)
+{
+    std::uint8_t zero[16] = {};
+    aes_.encryptBlock(zero, h_);
+}
+
+void
+AesGcm::ghash(const std::uint8_t *aad, std::size_t aad_len,
+              const std::uint8_t *text, std::size_t text_len,
+              std::uint8_t out[16]) const
+{
+    std::uint8_t y[16] = {};
+    auto absorb = [&](const std::uint8_t *data, std::size_t len) {
+        for (std::size_t off = 0; off < len; off += 16) {
+            std::size_t n = std::min<std::size_t>(16, len - off);
+            for (std::size_t i = 0; i < n; ++i)
+                y[i] ^= data[off + i];
+            gf128Mul(y, h_);
+        }
+    };
+    if (aad_len)
+        absorb(aad, aad_len);
+    if (text_len)
+        absorb(text, text_len);
+
+    std::uint8_t lens[16];
+    putBe64(lens, static_cast<std::uint64_t>(aad_len) * 8);
+    putBe64(lens + 8, static_cast<std::uint64_t>(text_len) * 8);
+    for (int i = 0; i < 16; ++i)
+        y[i] ^= lens[i];
+    gf128Mul(y, h_);
+    std::memcpy(out, y, 16);
+}
+
+void
+AesGcm::ctr(std::uint8_t j[16], const std::uint8_t *in, std::size_t len,
+            std::uint8_t *out) const
+{
+    std::uint8_t keystream[16];
+    for (std::size_t off = 0; off < len; off += 16) {
+        inc32(j);
+        aes_.encryptBlock(j, keystream);
+        std::size_t n = std::min<std::size_t>(16, len - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out[off + i] = static_cast<std::uint8_t>(in[off + i] ^
+                                                     keystream[i]);
+    }
+}
+
+void
+AesGcm::encrypt(const std::uint8_t *iv, const std::uint8_t *plain,
+                std::size_t len, const std::uint8_t *aad,
+                std::size_t aad_len, std::uint8_t *cipher,
+                std::uint8_t tag[kGcmTagBytes]) const
+{
+    // J0 = IV || 0^31 || 1 for 96-bit IVs.
+    std::uint8_t j0[16] = {};
+    std::memcpy(j0, iv, kGcmIvBytes);
+    j0[15] = 1;
+
+    std::uint8_t j[16];
+    std::memcpy(j, j0, 16);
+    ctr(j, plain, len, cipher);
+
+    std::uint8_t s[16];
+    ghash(aad, aad_len, cipher, len, s);
+
+    std::uint8_t ek_j0[16];
+    aes_.encryptBlock(j0, ek_j0);
+    for (int i = 0; i < 16; ++i)
+        tag[i] = static_cast<std::uint8_t>(s[i] ^ ek_j0[i]);
+}
+
+bool
+AesGcm::decrypt(const std::uint8_t *iv, const std::uint8_t *cipher,
+                std::size_t len, const std::uint8_t *aad,
+                std::size_t aad_len, const std::uint8_t tag[kGcmTagBytes],
+                std::uint8_t *plain) const
+{
+    std::uint8_t j0[16] = {};
+    std::memcpy(j0, iv, kGcmIvBytes);
+    j0[15] = 1;
+
+    std::uint8_t s[16];
+    ghash(aad, aad_len, cipher, len, s);
+    std::uint8_t ek_j0[16];
+    aes_.encryptBlock(j0, ek_j0);
+
+    std::uint8_t diff = 0;
+    for (int i = 0; i < 16; ++i)
+        diff |= static_cast<std::uint8_t>(tag[i] ^ s[i] ^ ek_j0[i]);
+
+    std::uint8_t j[16];
+    std::memcpy(j, j0, 16);
+    ctr(j, cipher, len, plain);
+
+    if (diff != 0) {
+        std::memset(plain, 0, len);
+        return false;
+    }
+    return true;
+}
+
+} // namespace lake::crypto

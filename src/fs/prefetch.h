@@ -1,0 +1,98 @@
+#ifndef LAKE_FS_PREFETCH_H
+#define LAKE_FS_PREFETCH_H
+
+/**
+ * @file
+ * KML-style file system prefetching (§7.4).
+ *
+ * KML classifies a process's recent I/O behaviour into access-pattern
+ * classes, each mapped to an optimal readahead configuration. This
+ * module provides: a workload generator emitting access streams of
+ * known pattern, the 31-statistic feature extractor, label/dataset
+ * helpers for training the classifier, and a readahead simulator that
+ * scores a chosen configuration (cache hit rate / wasted prefetches) —
+ * the end-to-end effect behind KML's reported 2.3x RocksDB gain.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "ml/mlp.h"
+
+namespace lake::fs {
+
+/** Access-pattern classes KML distinguishes. */
+enum class AccessPattern : int
+{
+    Sequential = 0,
+    Strided = 1,
+    Random = 2,
+    MixedZipf = 3,
+};
+
+/** Printable pattern name. */
+const char *patternName(AccessPattern p);
+
+/** Number of pattern classes. */
+constexpr std::size_t kPatternClasses = 4;
+/** Feature width of the readahead classifier. */
+constexpr std::size_t kPrefetchFeatures = 31;
+/** Readahead size (in 4 KiB pages) per predicted class. */
+constexpr std::uint32_t kReadaheadPages[kPatternClasses] = {64, 32, 0, 8};
+
+/** A stream of page-granular file accesses. */
+using AccessStream = std::vector<std::uint64_t>;
+
+/**
+ * Generates @p count page accesses of the given pattern over a file of
+ * @p file_pages pages.
+ */
+AccessStream generateAccesses(AccessPattern pattern, std::size_t count,
+                              std::uint64_t file_pages, Rng &rng);
+
+/**
+ * Extracts the 31 KML statistics from a window of accesses: stride
+ * histogram, monotonicity ratios, jump magnitudes, reuse distances.
+ */
+void extractPrefetchFeatures(const AccessStream &window,
+                             float out[kPrefetchFeatures]);
+
+/** One labelled example for the classifier. */
+struct PrefetchSample
+{
+    std::vector<float> x; //!< kPrefetchFeatures wide
+    int pattern;          //!< AccessPattern as int
+};
+
+/**
+ * Builds a balanced labelled dataset of @p per_class windows per
+ * pattern, each of @p window accesses.
+ */
+std::vector<PrefetchSample> buildPrefetchDataset(std::size_t per_class,
+                                                 std::size_t window,
+                                                 Rng &rng);
+
+/** Trains the KML readahead classifier. */
+ml::Mlp trainPrefetchModel(const std::vector<PrefetchSample> &data,
+                           std::size_t epochs, float lr, Rng &rng);
+
+/** Outcome of simulating one readahead configuration over a stream. */
+struct ReadaheadOutcome
+{
+    double hit_rate = 0.0;       //!< demand accesses served from cache
+    double wasted_fraction = 0.0; //!< prefetched pages never used
+    std::uint64_t disk_reads = 0; //!< demand misses + prefetch I/Os
+};
+
+/**
+ * Replays @p stream against a page cache of @p cache_pages with a
+ * fixed readahead of @p ra_pages after each miss.
+ */
+ReadaheadOutcome simulateReadahead(const AccessStream &stream,
+                                   std::uint32_t ra_pages,
+                                   std::size_t cache_pages);
+
+} // namespace lake::fs
+
+#endif // LAKE_FS_PREFETCH_H

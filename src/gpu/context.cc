@@ -1,0 +1,143 @@
+#include "gpu/context.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace lake::gpu {
+
+GpuContext::GpuContext(Device &device, Clock &clock)
+    : device_(device), clock_(clock)
+{
+    registerBuiltinKernels();
+}
+
+CuResult
+GpuContext::memAlloc(DevicePtr *out, std::size_t bytes)
+{
+    chargeCall();
+    return device_.memAlloc(out, bytes);
+}
+
+CuResult
+GpuContext::memFree(DevicePtr ptr)
+{
+    chargeCall();
+    return device_.memFree(ptr);
+}
+
+CuResult
+GpuContext::memcpyHtoD(DevicePtr dst, const void *src, std::size_t bytes)
+{
+    chargeCall();
+    void *d = device_.resolve(dst, bytes);
+    if (!d || !src)
+        return CuResult::InvalidValue;
+    std::memcpy(d, src, bytes);
+    // Legacy default-stream semantics: synchronous copies serialize
+    // behind work previously queued on stream 0.
+    Nanos at = std::max(clock_.now(), streamReadyAt(0));
+    EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
+    stream_ready_[0] = span.end;
+    clock_.advanceTo(span.end);
+    return CuResult::Success;
+}
+
+CuResult
+GpuContext::memcpyDtoH(void *dst, DevicePtr src, std::size_t bytes)
+{
+    chargeCall();
+    // Serialize behind stream-0 work *before* reading device memory, so
+    // a preceding kernel's output is observed (the kernel body already
+    // ran eagerly, but ordering is modeled for completeness).
+    Nanos at = std::max(clock_.now(), streamReadyAt(0));
+    const void *d = device_.resolve(src, bytes);
+    if (!d || !dst)
+        return CuResult::InvalidValue;
+    std::memcpy(dst, d, bytes);
+    EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
+    stream_ready_[0] = span.end;
+    clock_.advanceTo(span.end);
+    return CuResult::Success;
+}
+
+CuResult
+GpuContext::memcpyHtoDAsync(DevicePtr dst, const void *src,
+                            std::size_t bytes, StreamId stream)
+{
+    chargeCall();
+    void *d = device_.resolve(dst, bytes);
+    if (!d || !src)
+        return CuResult::InvalidValue;
+    // Data moves eagerly; only the completion time is deferred. Callers
+    // must not mutate the source until synchronize, same contract as
+    // cudaMemcpyAsync with pinned memory.
+    std::memcpy(d, src, bytes);
+    Nanos at = std::max(clock_.now(), streamReadyAt(stream));
+    EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
+    stream_ready_[stream] = span.end;
+    return CuResult::Success;
+}
+
+CuResult
+GpuContext::memcpyDtoHAsync(void *dst, DevicePtr src, std::size_t bytes,
+                            StreamId stream)
+{
+    chargeCall();
+    const void *d = device_.resolve(src, bytes);
+    if (!d || !dst)
+        return CuResult::InvalidValue;
+    std::memcpy(dst, d, bytes);
+    Nanos at = std::max(clock_.now(), streamReadyAt(stream));
+    EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
+    stream_ready_[stream] = span.end;
+    return CuResult::Success;
+}
+
+CuResult
+GpuContext::launchKernel(const LaunchConfig &cfg, StreamId stream)
+{
+    chargeCall();
+    const KernelRegistry &reg = KernelRegistry::global();
+    if (!reg.has(cfg.kernel))
+        return CuResult::NotFound;
+
+    CuResult res = reg.run(device_, cfg);
+    if (res != CuResult::Success)
+        return res;
+
+    device_.countLaunch();
+    Nanos duration =
+        device_.spec().launch_overhead + reg.cost(device_, cfg);
+    Nanos at = std::max(clock_.now(), streamReadyAt(stream));
+    EngineSpan span = device_.reserveCompute(at, duration);
+    stream_ready_[stream] = span.end;
+    return CuResult::Success;
+}
+
+CuResult
+GpuContext::streamSynchronize(StreamId stream)
+{
+    chargeCall();
+    clock_.advanceTo(streamReadyAt(stream));
+    return CuResult::Success;
+}
+
+CuResult
+GpuContext::ctxSynchronize()
+{
+    chargeCall();
+    for (const auto &[id, ready] : stream_ready_)
+        clock_.advanceTo(ready);
+    return CuResult::Success;
+}
+
+Nanos
+GpuContext::streamReadyAt(StreamId stream) const
+{
+    auto it = stream_ready_.find(stream);
+    return it == stream_ready_.end() ? 0 : it->second;
+}
+
+} // namespace lake::gpu

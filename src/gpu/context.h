@@ -1,0 +1,103 @@
+#ifndef LAKE_GPU_CONTEXT_H
+#define LAKE_GPU_CONTEXT_H
+
+/**
+ * @file
+ * CUDA-driver-style context: the API surface lakeD calls on behalf of
+ * kernel-space clients.
+ *
+ * Mirrors the driver-API subset the paper remotes (cuMemAlloc, cuMemFree,
+ * cuMemcpyHtoD/DtoH and their async variants, cuLaunchKernel, stream
+ * synchronization). Data effects happen eagerly (device memory is real);
+ * durations are charged to the bound virtual clock, with async work
+ * completing on per-stream timelines so copies overlap compute — the
+ * distinction behind the paper's "LAKE" vs "LAKE (sync.)" series.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/time.h"
+#include "gpu/device.h"
+#include "gpu/kernels.h"
+
+namespace lake::gpu {
+
+/** Stream identifier; 0 is the default stream. */
+using StreamId = std::uint32_t;
+
+/**
+ * One client's view of a device, bound to a virtual clock.
+ */
+class GpuContext
+{
+  public:
+    /** Fixed cost charged for any driver API call. */
+    static constexpr Nanos kDriverCallCost = 500_ns;
+
+    /**
+     * @param device shared accelerator (outlives the context)
+     * @param clock  virtual clock of the calling execution context
+     */
+    GpuContext(Device &device, Clock &clock);
+
+    /** Underlying device. */
+    Device &device() { return device_; }
+    /** Clock this context charges. */
+    Clock &clock() { return clock_; }
+
+    /// @name Memory
+    /// @{
+
+    /** cuMemAlloc. */
+    CuResult memAlloc(DevicePtr *out, std::size_t bytes);
+    /** cuMemFree. */
+    CuResult memFree(DevicePtr ptr);
+
+    /** cuMemcpyHtoD (synchronous: returns with the copy complete). */
+    CuResult memcpyHtoD(DevicePtr dst, const void *src, std::size_t bytes);
+    /** cuMemcpyDtoH (synchronous). */
+    CuResult memcpyDtoH(void *dst, DevicePtr src, std::size_t bytes);
+
+    /** cuMemcpyHtoDAsync: completes on @p stream's timeline. */
+    CuResult memcpyHtoDAsync(DevicePtr dst, const void *src,
+                             std::size_t bytes, StreamId stream);
+    /** cuMemcpyDtoHAsync. */
+    CuResult memcpyDtoHAsync(void *dst, DevicePtr src, std::size_t bytes,
+                             StreamId stream);
+
+    /// @}
+    /// @name Execution
+    /// @{
+
+    /**
+     * cuLaunchKernel: runs the registered kernel body, reserves the
+     * compute engine after the stream's prior work, and returns
+     * asynchronously (synchronize to observe the modeled finish time).
+     */
+    CuResult launchKernel(const LaunchConfig &cfg, StreamId stream = 0);
+
+    /** cuStreamSynchronize: blocks (in virtual time) until the stream
+     *  drains. */
+    CuResult streamSynchronize(StreamId stream);
+
+    /** cuCtxSynchronize: drains every stream. */
+    CuResult ctxSynchronize();
+
+    /// @}
+
+    /** Completion time of the last operation queued on @p stream. */
+    Nanos streamReadyAt(StreamId stream) const;
+
+  private:
+    /** Charges the fixed driver-call cost. */
+    void chargeCall() { clock_.advance(kDriverCallCost); }
+
+    Device &device_;
+    Clock &clock_;
+    std::unordered_map<StreamId, Nanos> stream_ready_;
+};
+
+} // namespace lake::gpu
+
+#endif // LAKE_GPU_CONTEXT_H

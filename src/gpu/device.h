@@ -1,0 +1,154 @@
+#ifndef LAKE_GPU_DEVICE_H
+#define LAKE_GPU_DEVICE_H
+
+/**
+ * @file
+ * The simulated accelerator.
+ *
+ * A Device owns device memory (real bytes, so kernels compute real
+ * results) and two engine timelines — compute and copy — that serialize
+ * work FIFO the way a GPU context does. The device never touches a
+ * clock itself: callers pass "submit at time t" and receive the span
+ * the work occupies, which makes the same device usable from both the
+ * sequential remoting path and the discrete-event contention
+ * experiments.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+#include "base/time.h"
+#include "gpu/spec.h"
+
+namespace lake::gpu {
+
+/** Device memory handle, mirroring the CUDA driver API's CUdeviceptr. */
+using DevicePtr = std::uint64_t;
+
+/** Driver-API result codes (the subset LAKE remotes). */
+enum class CuResult
+{
+    Success = 0,
+    InvalidValue,
+    OutOfMemory,
+    NotFound,
+    InvalidContext,
+    LaunchFailed,
+};
+
+/** Printable result name. */
+const char *cuResultName(CuResult r);
+
+/** A reserved span on one of the device engines. */
+struct EngineSpan
+{
+    Nanos start;
+    Nanos end;
+};
+
+/**
+ * Simulated GPU: real memory, modeled time.
+ */
+class Device
+{
+  public:
+    /** @param spec performance envelope */
+    explicit Device(DeviceSpec spec);
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    /** Performance envelope. */
+    const DeviceSpec &spec() const { return spec_; }
+
+    /// @name Device memory
+    /// @{
+
+    /** Allocates @p bytes of device memory. */
+    CuResult memAlloc(DevicePtr *out, std::size_t bytes);
+
+    /** Frees an allocation made by memAlloc. */
+    CuResult memFree(DevicePtr ptr);
+
+    /**
+     * Resolves a device pointer (possibly interior) to host-visible
+     * storage with at least @p bytes available.
+     * @return nullptr when the range is not covered by an allocation.
+     */
+    void *resolve(DevicePtr ptr, std::size_t bytes);
+    /** Const overload of resolve. */
+    const void *resolve(DevicePtr ptr, std::size_t bytes) const;
+
+    /** Bytes currently allocated. */
+    std::size_t memUsed() const { return mem_used_; }
+
+    /// @}
+    /// @name Timing models
+    /// @{
+
+    /** Modeled duration of one host<->device DMA of @p bytes. */
+    Nanos transferTime(std::size_t bytes) const;
+
+    /**
+     * Modeled duration of a kernel doing @p flops floating-point work
+     * over @p bytes_touched of device memory (roofline: whichever of
+     * compute or memory is the bottleneck), excluding launch overhead.
+     */
+    Nanos computeTime(double flops, std::size_t bytes_touched) const;
+
+    /// @}
+    /// @name Engine timelines
+    /// @{
+
+    /**
+     * Reserves the compute engine for @p duration, starting no earlier
+     * than @p at; work queues FIFO behind in-flight kernels.
+     */
+    EngineSpan reserveCompute(Nanos at, Nanos duration);
+
+    /** Same as reserveCompute but for the DMA engine. */
+    EngineSpan reserveCopy(Nanos at, Nanos duration);
+
+    /** Time the compute engine next becomes free (>= @p now). */
+    Nanos computeReadyAt(Nanos now) const;
+
+    /**
+     * Percent of [now-window, now] the compute engine was busy —
+     * the signal the NVML shim reports to contention policies.
+     */
+    double utilization(Nanos now, Nanos window) const;
+
+    /** Busy-span history of the compute engine. */
+    const BusyTracker &computeBusy() const { return compute_busy_; }
+
+    /** Busy-span history of the DMA engine. */
+    const BusyTracker &copyBusy() const { return copy_busy_; }
+
+    /// @}
+
+    /** Kernel launches since creation. */
+    std::uint64_t launches() const { return launches_; }
+    /** Marks one launch (called by the context). */
+    void countLaunch() { ++launches_; }
+
+  private:
+    DeviceSpec spec_;
+
+    /** Live allocations keyed by base pointer. */
+    std::map<DevicePtr, std::vector<std::uint8_t>> allocs_;
+    DevicePtr next_ptr_ = 0x0100'0000'0000ull; // fake VA space base
+    std::size_t mem_used_ = 0;
+
+    Nanos compute_busy_until_ = 0;
+    Nanos copy_busy_until_ = 0;
+    BusyTracker compute_busy_;
+    BusyTracker copy_busy_;
+    std::uint64_t launches_ = 0;
+};
+
+} // namespace lake::gpu
+
+#endif // LAKE_GPU_DEVICE_H

@@ -1,0 +1,14 @@
+#include "gpu/nvml.h"
+
+namespace lake::gpu {
+
+NvmlUtilization
+Nvml::utilization(Nanos now) const
+{
+    NvmlUtilization out;
+    out.gpu = device_.computeBusy().utilization(now, kSampleWindow);
+    out.memory = device_.copyBusy().utilization(now, kSampleWindow);
+    return out;
+}
+
+} // namespace lake::gpu

@@ -1,0 +1,56 @@
+#ifndef LAKE_GPU_NVML_H
+#define LAKE_GPU_NVML_H
+
+/**
+ * @file
+ * NVML shim: device utilization queries for contention policies.
+ *
+ * The paper's Fig. 3 policy calls the (LAKE-remoted) NVML API
+ * nvmlDeviceGetUtilizationRates at most every 5 ms and feeds the reading
+ * into a moving average. This shim answers the same question from the
+ * device's busy-span history.
+ */
+
+#include "base/time.h"
+#include "gpu/device.h"
+
+namespace lake::gpu {
+
+/** Mirror of nvmlUtilization_t. */
+struct NvmlUtilization
+{
+    /** Percent of the sample window the compute engine was busy. */
+    double gpu = 0.0;
+    /** Percent of the sample window the copy engine was busy. */
+    double memory = 0.0;
+};
+
+/**
+ * Utilization sampler over one device.
+ */
+class Nvml
+{
+  public:
+    /** NVML's documented sampling period (we use it as the window). */
+    static constexpr Nanos kSampleWindow = 20_ms;
+
+    /** Fixed modeled cost of one NVML query (driver ioctl round trip). */
+    static constexpr Nanos kQueryCost = 20_us;
+
+    /** @param device device to sample */
+    explicit Nvml(const Device &device) : device_(device) {}
+
+    /**
+     * nvmlDeviceGetUtilizationRates: utilization over the window ending
+     * at @p now. Does not charge time; callers that model the query
+     * cost add kQueryCost themselves (the remoting layer does).
+     */
+    NvmlUtilization utilization(Nanos now) const;
+
+  private:
+    const Device &device_;
+};
+
+} // namespace lake::gpu
+
+#endif // LAKE_GPU_NVML_H

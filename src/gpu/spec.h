@@ -1,0 +1,94 @@
+#ifndef LAKE_GPU_SPEC_H
+#define LAKE_GPU_SPEC_H
+
+/**
+ * @file
+ * Performance envelopes of the simulated hardware.
+ *
+ * The paper's finding C2 — "the benefit of acceleration is subsystem-,
+ * workload- and hardware-dependent" — falls out of three numbers per
+ * device: fixed per-operation overhead, interconnect bandwidth, and
+ * sustained compute throughput. Crossover points (Table 3) are where
+ * batched GPU work amortizes the fixed costs below the CPU's linear
+ * cost. The default values are calibrated against the paper's testbed
+ * (dual Xeon Gold 6226R + NVIDIA A100 over PCIe 4.0).
+ */
+
+#include <cstddef>
+#include <string>
+
+#include "base/time.h"
+
+namespace lake::gpu {
+
+/** Accelerator performance model. */
+struct DeviceSpec
+{
+    std::string name;
+
+    /** Device memory capacity in bytes. */
+    std::size_t mem_capacity;
+
+    /** Effective host<->device bandwidth (GB/s) over the interconnect. */
+    double pcie_gbps;
+
+    /** Fixed cost per DMA transfer (driver + doorbell + setup). */
+    Nanos transfer_overhead;
+
+    /** Fixed cost per kernel launch. */
+    Nanos launch_overhead;
+
+    /**
+     * Sustained FP32 throughput (GFLOP/s) for the small-batch,
+     * latency-bound kernels kernel subsystems run. Far below peak
+     * tensor-core numbers on purpose: inference batches of tens to
+     * thousands of rows cannot fill an A100.
+     */
+    double effective_gflops;
+
+    /** Device memory bandwidth (GB/s). */
+    double mem_gbps;
+
+    /** Sustained AES-GCM throughput (GB/s) of the crypto kernels. */
+    double aes_gbps;
+
+    /** Calibrated to the paper's testbed A100 (PCIe 4.0). */
+    static DeviceSpec a100();
+
+    /**
+     * A smaller, older part (think desktop Pascal over PCIe 3.0) used
+     * by the hardware-dependence ablations: higher overheads, lower
+     * throughput, so crossover points shift right.
+     */
+    static DeviceSpec modest();
+};
+
+/** Host CPU performance model (one core running kernel-space float code). */
+struct CpuSpec
+{
+    std::string name;
+
+    /**
+     * Effective GFLOP/s of scalar kernel-space ML code. Low by design:
+     * in-kernel float code runs between kernel_fpu_begin/end, without
+     * the vectorized BLAS userspace enjoys. Calibrated so one LinnOS
+     * inference (≈17 kFLOP) costs ≈15 us, the figure §7.1 reports.
+     */
+    double effective_gflops;
+
+    /** Memory bandwidth (GB/s) seen by one core. */
+    double mem_gbps;
+
+    /** AES-GCM throughput (GB/s) of the scalar software cipher. */
+    double aes_sw_gbps;
+
+    /** AES-GCM throughput (GB/s) with AES-NI instructions. */
+    double aes_ni_gbps;
+
+    /** Calibrated to the paper's testbed Xeon Gold 6226R. */
+    static CpuSpec xeonGold6226R();
+};
+
+} // namespace lake::gpu
+
+#endif // LAKE_GPU_SPEC_H

@@ -1,0 +1,95 @@
+#ifndef LAKE_MEM_PAGEWARMTH_H
+#define LAKE_MEM_PAGEWARMTH_H
+
+/**
+ * @file
+ * Kleio-style page-warmth classification for tiered memory (§7.2).
+ *
+ * Kleio observes each page's access counts over scheduling intervals
+ * and predicts whether the page will be hot next interval, informing
+ * fast-tier placement. This module provides: a page-access generator
+ * with latent per-page behaviours (steady-hot, cold, periodic,
+ * drifting), sequence extraction for the LSTM, a history-based
+ * baseline placer (the paper's comparison point [58]), and a tiered
+ * memory cost model that scores a placement.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/time.h"
+#include "ml/lstm.h"
+
+namespace lake::mem {
+
+/** Latent behaviour of a page. */
+enum class PageBehavior : int
+{
+    SteadyHot = 0, //!< consistently accessed
+    Cold,          //!< almost never accessed
+    Periodic,      //!< hot every k-th interval (phase-shifted)
+    Drifting,      //!< warming up or cooling down over the window
+};
+
+/** One page's observed history and next-interval ground truth. */
+struct PageHistory
+{
+    std::vector<float> counts;  //!< accesses per interval (seq_len long)
+    float next_count = 0.0f;    //!< accesses in the *next* interval
+    PageBehavior behavior = PageBehavior::Cold;
+};
+
+/**
+ * Generates @p pages histories of @p seq_len intervals with a mix of
+ * behaviours.
+ */
+std::vector<PageHistory> generatePageHistories(std::size_t pages,
+                                               std::size_t seq_len,
+                                               Rng &rng);
+
+/** Count above which an interval makes a page "hot". */
+constexpr float kHotThreshold = 8.0f;
+
+/**
+ * History-based baseline (the HMA-style scheduler Kleio improves on):
+ * predicts hot iff the exponentially-weighted recent history is hot.
+ */
+bool historyPredictsHot(const PageHistory &page);
+
+/** Tiered-memory cost model. */
+struct TierSpec
+{
+    /** Fraction of pages that fit in the fast tier. */
+    double fast_capacity_fraction = 0.25;
+    Nanos fast_access = 80_ns;   //!< DRAM
+    Nanos slow_access = 400_ns;  //!< NVM / CXL-far tier
+};
+
+/** Placement quality over one interval. */
+struct PlacementOutcome
+{
+    double avg_access_ns = 0.0;
+    /** Hot pages left in the slow tier. */
+    double hot_misplaced_fraction = 0.0;
+    /** Ratio to the clairvoyant placement's average access time. */
+    double slowdown_vs_oracle = 1.0;
+};
+
+/**
+ * Scores a placement: pages ranked by @p hot_score occupy the fast
+ * tier up to capacity; the next interval's accesses pay the resulting
+ * latencies, compared against a clairvoyant oracle.
+ * @param hot_score one score per page; higher = keep fast
+ */
+PlacementOutcome scorePlacement(const std::vector<PageHistory> &pages,
+                                const std::vector<float> &hot_score,
+                                const TierSpec &tiers);
+
+/** Flattens histories into an LSTM input batch (seq-major per page). */
+std::vector<float> toLstmBatch(const std::vector<PageHistory> &pages,
+                               std::size_t seq_len);
+
+} // namespace lake::mem
+
+#endif // LAKE_MEM_PAGEWARMTH_H

@@ -1,0 +1,314 @@
+#include "ml/backends.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.h"
+#include "ml/gpu_kernels.h"
+#include "remote/wire.h"
+
+namespace lake::ml {
+
+using gpu::CuResult;
+using gpu::DevicePtr;
+
+namespace {
+
+/** Streams used to model pre-staged (overlapped) input copies. */
+constexpr std::uint32_t kStageStream = 7;
+
+void
+check(CuResult r, const char *what)
+{
+    LAKE_ASSERT(r == CuResult::Success, "%s failed: %s", what,
+                gpu::cuResultName(r));
+}
+
+} // namespace
+
+std::vector<int>
+CpuMlp::classify(const Matrix &x)
+{
+    // Wide square matmuls (the +1/+2 models' 256x256 layers) amortize
+    // loop overhead and auto-vectorize where the skinny input layer
+    // cannot; model that as up to 4x (SSE-width) higher efficiency,
+    // which reproduces Fig. 8's gently-converging CPU curves.
+    double flops_per_sample = model_.flopsPerSample();
+    double efficiency =
+        std::clamp(flops_per_sample / 17000.0, 1.0, 4.0);
+    cpu_.charge(flops_per_sample * static_cast<double>(x.rows()) /
+                efficiency);
+    return model_.classify(x);
+}
+
+LakeMlp::LakeMlp(const Mlp &model, remote::LakeLib &lib, bool sync_copy,
+                 std::size_t max_batch)
+    : lib_(lib), arena_(lib.arena()), input_w_(model.config().input),
+      output_w_(model.config().output), sync_copy_(sync_copy),
+      max_batch_(max_batch)
+{
+    registerMlKernels();
+    LAKE_ASSERT(max_batch_ > 0, "max_batch must be positive");
+
+    std::vector<std::uint8_t> blob = model.serialize();
+    shm::ShmOffset h_blob = arena_.alloc(blob.size());
+    LAKE_ASSERT(h_blob != shm::kNullOffset, "lakeShm exhausted");
+    std::memcpy(arena_.at(h_blob), blob.data(), blob.size());
+
+    check(lib_.cuMemAlloc(&d_model_, blob.size()), "cuMemAlloc(model)");
+    check(lib_.cuMemcpyHtoDShm(d_model_, h_blob, blob.size()),
+          "upload model");
+    arena_.free(h_blob);
+
+    std::size_t in_bytes = max_batch_ * input_w_ * sizeof(float);
+    std::size_t out_bytes = max_batch_ * output_w_ * sizeof(float);
+    check(lib_.cuMemAlloc(&d_in_, in_bytes), "cuMemAlloc(in)");
+    check(lib_.cuMemAlloc(&d_out_, out_bytes), "cuMemAlloc(out)");
+    h_in_ = arena_.alloc(in_bytes);
+    h_out_ = arena_.alloc(out_bytes);
+    LAKE_ASSERT(h_in_ != shm::kNullOffset && h_out_ != shm::kNullOffset,
+                "lakeShm exhausted");
+}
+
+LakeMlp::~LakeMlp()
+{
+    lib_.cuMemFree(d_model_);
+    lib_.cuMemFree(d_in_);
+    lib_.cuMemFree(d_out_);
+    arena_.free(h_in_);
+    arena_.free(h_out_);
+}
+
+std::vector<int>
+LakeMlp::classify(const Matrix &x)
+{
+    std::size_t batch = x.rows();
+    LAKE_ASSERT(batch > 0 && batch <= max_batch_,
+                "batch %zu outside 1..%zu", batch, max_batch_);
+    LAKE_ASSERT(x.cols() == input_w_, "bad input width");
+
+    std::size_t in_bytes = batch * input_w_ * sizeof(float);
+    std::size_t out_bytes = batch * output_w_ * sizeof(float);
+
+    // In real deployments feature vectors are *built* in lakeShm, so
+    // this staging memcpy does not exist; it is host bookkeeping only
+    // and charges no virtual time.
+    std::memcpy(arena_.at(h_in_), x.data(), in_bytes);
+
+    if (sync_copy_) {
+        check(lib_.cuMemcpyHtoDShm(d_in_, h_in_, in_bytes),
+              "sync HtoD");
+    } else {
+        // Staged ahead of execution on a side stream: the transfer
+        // overlaps batch formation and stays off the critical path.
+        check(lib_.cuMemcpyHtoDShmAsync(d_in_, h_in_, in_bytes,
+                                        kStageStream),
+              "async HtoD");
+    }
+
+    gpu::LaunchConfig cfg;
+    cfg.kernel = "mlp_forward";
+    cfg.grid_x = static_cast<std::uint32_t>((batch + 255) / 256);
+    cfg.block_x = 256;
+    cfg.arg(d_model_).arg(d_in_).arg(d_out_).arg(
+        static_cast<std::uint64_t>(batch), nullptr);
+    check(lib_.cuLaunchKernel(cfg, 0), "launch mlp_forward");
+
+    check(lib_.cuMemcpyDtoHShm(h_out_, d_out_, out_bytes), "DtoH");
+
+    const float *logits = static_cast<const float *>(arena_.at(h_out_));
+    std::vector<int> labels(batch);
+    for (std::size_t r = 0; r < batch; ++r) {
+        const float *row = logits + r * output_w_;
+        int best = 0;
+        for (std::uint32_t c = 1; c < output_w_; ++c)
+            if (row[c] > row[best])
+                best = static_cast<int>(c);
+        labels[r] = best;
+    }
+    return labels;
+}
+
+std::vector<int>
+CpuKnn::classify(const float *queries, std::size_t n)
+{
+    cpu_.charge(model_.flopsPerQuery() * static_cast<double>(n));
+    return model_.classifyBatch(queries, n);
+}
+
+LakeKnn::LakeKnn(const Knn &model, remote::LakeLib &lib, bool sync_copy,
+                 std::size_t max_queries, std::size_t host_sample_stride)
+    : lib_(lib), arena_(lib.arena()), dim_(model.dim()), k_(model.k()),
+      n_refs_(model.refCount()), sync_copy_(sync_copy),
+      max_queries_(max_queries),
+      host_stride_(std::max<std::size_t>(1, host_sample_stride))
+{
+    registerMlKernels();
+    LAKE_ASSERT(max_queries_ > 0, "max_queries must be positive");
+
+    std::size_t ref_bytes = model.refs().size() * sizeof(float);
+    std::size_t label_bytes = model.labels().size() * sizeof(std::int32_t);
+
+    shm::ShmOffset h_stage =
+        arena_.alloc(std::max(ref_bytes, label_bytes));
+    LAKE_ASSERT(h_stage != shm::kNullOffset, "lakeShm exhausted");
+
+    check(lib_.cuMemAlloc(&d_refs_, ref_bytes), "cuMemAlloc(refs)");
+    std::memcpy(arena_.at(h_stage), model.refs().data(), ref_bytes);
+    check(lib_.cuMemcpyHtoDShm(d_refs_, h_stage, ref_bytes),
+          "upload refs");
+
+    check(lib_.cuMemAlloc(&d_labels_, label_bytes), "cuMemAlloc(labels)");
+    std::memcpy(arena_.at(h_stage), model.labels().data(), label_bytes);
+    check(lib_.cuMemcpyHtoDShm(d_labels_, h_stage, label_bytes),
+          "upload labels");
+    arena_.free(h_stage);
+
+    std::size_t q_bytes = max_queries_ * dim_ * sizeof(float);
+    check(lib_.cuMemAlloc(&d_queries_, q_bytes), "cuMemAlloc(queries)");
+    check(lib_.cuMemAlloc(&d_out_, max_queries_ * sizeof(std::int32_t)),
+          "cuMemAlloc(out)");
+    h_io_ = arena_.alloc(q_bytes);
+    LAKE_ASSERT(h_io_ != shm::kNullOffset, "lakeShm exhausted");
+}
+
+LakeKnn::~LakeKnn()
+{
+    lib_.cuMemFree(d_refs_);
+    lib_.cuMemFree(d_labels_);
+    lib_.cuMemFree(d_queries_);
+    lib_.cuMemFree(d_out_);
+    arena_.free(h_io_);
+}
+
+std::vector<int>
+LakeKnn::classify(const float *queries, std::size_t n)
+{
+    LAKE_ASSERT(n > 0 && n <= max_queries_, "query count %zu outside 1..%zu",
+                n, max_queries_);
+    std::size_t q_bytes = n * dim_ * sizeof(float);
+    std::memcpy(arena_.at(h_io_), queries, q_bytes);
+
+    if (sync_copy_)
+        check(lib_.cuMemcpyHtoDShm(d_queries_, h_io_, q_bytes), "HtoD");
+    else
+        check(lib_.cuMemcpyHtoDShmAsync(d_queries_, h_io_, q_bytes,
+                                        kStageStream),
+              "async HtoD");
+
+    gpu::LaunchConfig cfg;
+    cfg.kernel = "knn_query";
+    cfg.grid_x = static_cast<std::uint32_t>((n + 255) / 256);
+    cfg.block_x = 256;
+    cfg.arg(d_refs_).arg(d_labels_).arg(d_queries_).arg(d_out_);
+    cfg.arg(static_cast<std::uint64_t>(n_refs_), nullptr)
+        .arg(static_cast<std::uint64_t>(n), nullptr)
+        .arg(static_cast<std::uint64_t>(dim_), nullptr)
+        .arg(static_cast<std::uint64_t>(k_), nullptr);
+    if (host_stride_ > 1)
+        cfg.arg(static_cast<std::uint64_t>(host_stride_), nullptr);
+    check(lib_.cuLaunchKernel(cfg, 0), "launch knn_query");
+
+    check(lib_.cuMemcpyDtoHShm(h_io_, d_out_, n * sizeof(std::int32_t)),
+          "DtoH");
+    const auto *out = static_cast<const std::int32_t *>(arena_.at(h_io_));
+    return std::vector<int>(out, out + n);
+}
+
+std::vector<int>
+CpuLstm::classify(const std::vector<float> &seqs, std::size_t batch)
+{
+    cpu_.charge(model_.flopsPerSample() * static_cast<double>(batch));
+    return model_.classifyBatch(seqs, batch);
+}
+
+KleioService::KleioService(remote::LakeDaemon &daemon, const Lstm &model)
+    : daemon_(daemon), config_(model.config())
+{
+    registerMlKernels();
+
+    // lakeD owns the model (the TF runtime loaded it); upload directly
+    // through the daemon's context — this never crosses the boundary.
+    gpu::GpuContext &ctx = daemon_.gpuContext();
+    std::vector<std::uint8_t> blob = model.serialize();
+    check(ctx.memAlloc(&d_model_, blob.size()), "kleio model alloc");
+    check(ctx.memcpyHtoD(d_model_, blob.data(), blob.size()),
+          "kleio model upload");
+
+    std::size_t per =
+        static_cast<std::size_t>(config_.seq_len) * config_.input;
+    DevicePtr d_model = d_model_;
+    std::uint32_t seq_input = static_cast<std::uint32_t>(per);
+
+    daemon_.registerHighLevel(
+        "kleio.infer",
+        [&daemon, d_model, seq_input](remote::Decoder &dec,
+                                      remote::Encoder &resp) {
+            shm::ShmOffset in_off = dec.u64();
+            shm::ShmOffset out_off = dec.u64();
+            std::uint64_t batch = dec.u64();
+
+            gpu::GpuContext &gctx = daemon.gpuContext();
+            std::size_t in_bytes = batch * seq_input * sizeof(float);
+
+            // Per-page graph executions (Kleio keeps one model per
+            // page): TF overhead scales with the batch.
+            gctx.clock().advance(batch * kTfPerSampleCost);
+
+            DevicePtr d_in = 0, d_out = 0;
+            check(gctx.memAlloc(&d_in, in_bytes), "kleio d_in");
+            check(gctx.memAlloc(&d_out, batch * sizeof(std::int32_t)),
+                  "kleio d_out");
+            // TensorFlow moves data synchronously (Fig. 9's caption).
+            check(gctx.memcpyHtoD(d_in, daemon.arena().at(in_off),
+                                  in_bytes),
+                  "kleio HtoD");
+
+            gpu::LaunchConfig cfg;
+            cfg.kernel = "lstm_forward";
+            cfg.grid_x = static_cast<std::uint32_t>((batch + 31) / 32);
+            cfg.block_x = 32;
+            cfg.arg(d_model).arg(d_in).arg(d_out).arg(batch, nullptr);
+            check(gctx.launchKernel(cfg, 0), "kleio launch");
+
+            check(gctx.memcpyDtoH(daemon.arena().at(out_off), d_out,
+                                  batch * sizeof(std::int32_t)),
+                  "kleio DtoH");
+            gctx.memFree(d_in);
+            gctx.memFree(d_out);
+            resp.u64(batch);
+        },
+        kTfCallOverhead);
+}
+
+std::vector<int>
+KleioService::classify(remote::LakeLib &lib, const std::vector<float> &seqs,
+                       std::size_t batch)
+{
+    std::size_t per =
+        static_cast<std::size_t>(config_.seq_len) * config_.input;
+    LAKE_ASSERT(seqs.size() == per * batch, "kleio batch size mismatch");
+
+    shm::ShmArena &arena = lib.arena();
+    std::size_t in_bytes = seqs.size() * sizeof(float);
+    shm::ShmOffset in_off = arena.alloc(in_bytes);
+    shm::ShmOffset out_off = arena.alloc(batch * sizeof(std::int32_t));
+    LAKE_ASSERT(in_off != shm::kNullOffset &&
+                    out_off != shm::kNullOffset,
+                "lakeShm exhausted");
+    std::memcpy(arena.at(in_off), seqs.data(), in_bytes);
+
+    remote::Encoder args;
+    args.u64(in_off).u64(out_off).u64(batch);
+    auto result = lib.highLevelCall("kleio.infer", args.take());
+    LAKE_ASSERT(result.isOk(), "kleio.infer failed: %s",
+                result.status().toString().c_str());
+
+    const auto *out = static_cast<const std::int32_t *>(arena.at(out_off));
+    std::vector<int> labels(out, out + batch);
+    arena.free(in_off);
+    arena.free(out_off);
+    return labels;
+}
+
+} // namespace lake::ml

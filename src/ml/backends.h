@@ -1,0 +1,231 @@
+#ifndef LAKE_ML_BACKENDS_H
+#define LAKE_ML_BACKENDS_H
+
+/**
+ * @file
+ * Execution backends for the in-kernel models.
+ *
+ * Each model gets two wrappers mirroring the paper's pairs of bars:
+ *
+ *  - Cpu*: the model runs in kernel context between kernel_fpu_begin /
+ *    kernel_fpu_end; virtual time is charged from the CpuSpec.
+ *  - Lake*: the model runs on the GPU through the full LAKE path
+ *    (lakeShm staging, lakeLib commands, lakeD execution). Each wrapper
+ *    supports the two data-movement regimes of the figures: "LAKE"
+ *    (inputs staged asynchronously ahead of execution, copies off the
+ *    critical path) and "LAKE (sync.)" (copies paid inline).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "base/time.h"
+#include "gpu/spec.h"
+#include "ml/knn.h"
+#include "ml/lstm.h"
+#include "ml/mlp.h"
+#include "remote/daemon.h"
+#include "remote/lakelib.h"
+#include "shm/arena.h"
+
+namespace lake::ml {
+
+/**
+ * Kernel-context CPU compute: charges modeled time for float work.
+ */
+class KernelCpu
+{
+  public:
+    /** kernel_fpu_begin/end bracket cost per charged region. */
+    static constexpr Nanos kFpuBracket = 300_ns;
+
+    /**
+     * @param clock clock to charge
+     * @param spec  CPU performance envelope
+     */
+    KernelCpu(Clock &clock, gpu::CpuSpec spec)
+        : clock_(clock), spec_(std::move(spec))
+    {}
+
+    /** Charges @p flops of scalar float work plus the FPU bracket. */
+    void
+    charge(double flops)
+    {
+        clock_.advance(kFpuBracket +
+                       static_cast<Nanos>(flops / spec_.effective_gflops));
+    }
+
+    /** The clock being charged. */
+    Clock &clock() { return clock_; }
+    /** The CPU model. */
+    const gpu::CpuSpec &spec() const { return spec_; }
+
+  private:
+    Clock &clock_;
+    gpu::CpuSpec spec_;
+};
+
+/** CPU-resident MLP classifier (LinnOS / MLLB / KML on-CPU bars). */
+class CpuMlp
+{
+  public:
+    /** @param model shared model; must outlive the wrapper */
+    CpuMlp(const Mlp &model, KernelCpu &cpu) : model_(model), cpu_(cpu) {}
+
+    /** Classifies a batch, charging CPU time. */
+    std::vector<int> classify(const Matrix &x);
+
+  private:
+    const Mlp &model_;
+    KernelCpu &cpu_;
+};
+
+/**
+ * GPU MLP classifier through LAKE.
+ *
+ * Construction uploads the serialized model to device memory via
+ * lakeShm (one-time cost); classify() stages the batch and launches
+ * "mlp_forward".
+ */
+class LakeMlp
+{
+  public:
+    /**
+     * @param model     model to upload (copied into device memory)
+     * @param lib       kernel-side stub library
+     * @param sync_copy true = "LAKE (sync.)": input copy paid inline
+     * @param max_batch largest batch classify() will ever see
+     */
+    LakeMlp(const Mlp &model, remote::LakeLib &lib, bool sync_copy,
+            std::size_t max_batch);
+    ~LakeMlp();
+
+    LakeMlp(const LakeMlp &) = delete;
+    LakeMlp &operator=(const LakeMlp &) = delete;
+
+    /** Classifies a batch on the GPU. */
+    std::vector<int> classify(const Matrix &x);
+
+  private:
+    remote::LakeLib &lib_;
+    shm::ShmArena &arena_;
+    std::uint32_t input_w_;
+    std::uint32_t output_w_;
+    bool sync_copy_;
+    std::size_t max_batch_;
+    gpu::DevicePtr d_model_ = 0;
+    gpu::DevicePtr d_in_ = 0;
+    gpu::DevicePtr d_out_ = 0;
+    shm::ShmOffset h_in_ = shm::kNullOffset;
+    shm::ShmOffset h_out_ = shm::kNullOffset;
+};
+
+/** CPU k-NN classifier. */
+class CpuKnn
+{
+  public:
+    CpuKnn(const Knn &model, KernelCpu &cpu) : model_(model), cpu_(cpu) {}
+
+    /** Classifies @p n queries, charging CPU time. */
+    std::vector<int> classify(const float *queries, std::size_t n);
+
+  private:
+    const Knn &model_;
+    KernelCpu &cpu_;
+};
+
+/** GPU k-NN through LAKE; references uploaded at construction. */
+class LakeKnn
+{
+  public:
+    /**
+     * @param host_sample_stride evaluate every Nth reference on the
+     *        simulation host (modeled device time still covers the
+     *        full scan); 1 = exact results
+     */
+    LakeKnn(const Knn &model, remote::LakeLib &lib, bool sync_copy,
+            std::size_t max_queries, std::size_t host_sample_stride = 1);
+    ~LakeKnn();
+
+    LakeKnn(const LakeKnn &) = delete;
+    LakeKnn &operator=(const LakeKnn &) = delete;
+
+    /** Classifies @p n queries on the GPU. */
+    std::vector<int> classify(const float *queries, std::size_t n);
+
+  private:
+    remote::LakeLib &lib_;
+    shm::ShmArena &arena_;
+    std::size_t dim_;
+    std::size_t k_;
+    std::size_t n_refs_;
+    bool sync_copy_;
+    std::size_t max_queries_;
+    std::size_t host_stride_;
+    gpu::DevicePtr d_refs_ = 0;
+    gpu::DevicePtr d_labels_ = 0;
+    gpu::DevicePtr d_queries_ = 0;
+    gpu::DevicePtr d_out_ = 0;
+    shm::ShmOffset h_io_ = shm::kNullOffset;
+};
+
+/** CPU LSTM classifier (page-warmth on-CPU reference). */
+class CpuLstm
+{
+  public:
+    CpuLstm(const Lstm &model, KernelCpu &cpu) : model_(model), cpu_(cpu) {}
+
+    /** Classifies @p batch samples (concatenated), charging CPU time. */
+    std::vector<int> classify(const std::vector<float> &seqs,
+                              std::size_t batch);
+
+  private:
+    const Lstm &model_;
+    KernelCpu &cpu_;
+};
+
+/**
+ * The Kleio page-warmth path: a *high-level* API (§4.4).
+ *
+ * Kernel space does not drive CUDA for the LSTM; it calls one remoted
+ * "kleio.infer" API. lakeD's handler owns the TensorFlow-like runtime:
+ * it stages the batch onto the GPU, runs "lstm_forward", and charges
+ * the framework overhead Fig. 9 exhibits.
+ */
+class KleioService
+{
+  public:
+    /** Modeled fixed TensorFlow invocation overhead per call. */
+    static constexpr Nanos kTfCallOverhead = 95_ms;
+
+    /**
+     * Modeled per-page TF cost: Kleio keeps a *per-page* model, so a
+     * batch of N pages is N graph executions — the source of Fig. 9's
+     * near-linear growth.
+     */
+    static constexpr Nanos kTfPerSampleCost = 170_us;
+
+    /**
+     * Installs the "kleio.infer" handler into @p daemon and uploads the
+     * model to device memory.
+     * @return the service object the kernel side uses
+     */
+    KleioService(remote::LakeDaemon &daemon, const Lstm &model);
+
+    /**
+     * Kernel-side entry: classifies @p batch page histories. Data moves
+     * through lakeShm; the call itself is one high-level RPC.
+     */
+    std::vector<int> classify(remote::LakeLib &lib,
+                              const std::vector<float> &seqs,
+                              std::size_t batch);
+
+  private:
+    remote::LakeDaemon &daemon_;
+    LstmConfig config_;
+    gpu::DevicePtr d_model_ = 0;
+};
+
+} // namespace lake::ml
+
+#endif // LAKE_ML_BACKENDS_H

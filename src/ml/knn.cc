@@ -1,0 +1,79 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lake::ml {
+
+Knn::Knn(std::size_t dim, std::size_t k) : dim_(dim), k_(k)
+{
+    LAKE_ASSERT(dim > 0 && k > 0, "knn needs positive dim and k");
+}
+
+void
+Knn::add(const float *point, int label)
+{
+    refs_.insert(refs_.end(), point, point + dim_);
+    labels_.push_back(label);
+}
+
+int
+Knn::classify(const float *query) const
+{
+    LAKE_ASSERT(!labels_.empty(), "knn classify with no references");
+    std::size_t k = std::min(k_, labels_.size());
+
+    // Max-heap of the k best (distance, label) pairs seen so far.
+    std::vector<std::pair<float, std::int32_t>> best;
+    best.reserve(k + 1);
+
+    for (std::size_t r = 0; r < labels_.size(); ++r) {
+        const float *ref = refs_.data() + r * dim_;
+        float d2 = 0.0f;
+        for (std::size_t i = 0; i < dim_; ++i) {
+            float diff = query[i] - ref[i];
+            d2 += diff * diff;
+        }
+        if (best.size() < k) {
+            best.emplace_back(d2, labels_[r]);
+            std::push_heap(best.begin(), best.end());
+        } else if (d2 < best.front().first) {
+            std::pop_heap(best.begin(), best.end());
+            best.back() = {d2, labels_[r]};
+            std::push_heap(best.begin(), best.end());
+        }
+    }
+
+    std::map<std::int32_t, std::size_t> votes;
+    for (const auto &[d2, label] : best)
+        ++votes[label];
+    int winner = best.front().second;
+    std::size_t winner_votes = 0;
+    for (const auto &[label, count] : votes) {
+        if (count > winner_votes) {
+            winner = label;
+            winner_votes = count;
+        }
+    }
+    return winner;
+}
+
+std::vector<int>
+Knn::classifyBatch(const float *queries, std::size_t n) const
+{
+    std::vector<int> out;
+    out.reserve(n);
+    for (std::size_t q = 0; q < n; ++q)
+        out.push_back(classify(queries + q * dim_));
+    return out;
+}
+
+double
+Knn::flopsPerQuery() const
+{
+    // 3 ops per dimension per reference (sub, mul, add).
+    return 3.0 * static_cast<double>(dim_) *
+           static_cast<double>(labels_.size());
+}
+
+} // namespace lake::ml

@@ -1,0 +1,70 @@
+#ifndef LAKE_ML_KNN_H
+#define LAKE_ML_KNN_H
+
+/**
+ * @file
+ * k-nearest-neighbours classifier.
+ *
+ * The malware detector (§7.5) classifies processes by majority vote of
+ * the 16 nearest reference points among 16,384, over feature vectors of
+ * syscall frequencies and PMU counters. Brute-force distance scan — the
+ * embarrassing parallelism is precisely what gives the GPU its ~1.5k×
+ * advantage in Fig. 12.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace lake::ml {
+
+/**
+ * Brute-force Euclidean k-NN over a fixed reference set.
+ */
+class Knn
+{
+  public:
+    /**
+     * @param dim feature dimensionality
+     * @param k   neighbours voting per query
+     */
+    Knn(std::size_t dim, std::size_t k);
+
+    /** Adds one labelled reference point (@p point is dim floats). */
+    void add(const float *point, int label);
+
+    /** Feature dimensionality. */
+    std::size_t dim() const { return dim_; }
+    /** Vote size. */
+    std::size_t k() const { return k_; }
+    /** Number of reference points. */
+    std::size_t refCount() const { return labels_.size(); }
+
+    /** Majority label of the k nearest references to @p query. */
+    int classify(const float *query) const;
+
+    /**
+     * Classifies @p n queries (concatenated dim-float vectors).
+     */
+    std::vector<int> classifyBatch(const float *queries,
+                                   std::size_t n) const;
+
+    /** FLOPs of one query (distances + selection bookkeeping). */
+    double flopsPerQuery() const;
+
+    /** Flat reference matrix (refCount x dim), for GPU upload. */
+    const std::vector<float> &refs() const { return refs_; }
+    /** Reference labels. */
+    const std::vector<std::int32_t> &labels() const { return labels_; }
+
+  private:
+    std::size_t dim_;
+    std::size_t k_;
+    std::vector<float> refs_;
+    std::vector<std::int32_t> labels_;
+};
+
+} // namespace lake::ml
+
+#endif // LAKE_ML_KNN_H

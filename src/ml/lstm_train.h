@@ -1,0 +1,55 @@
+#ifndef LAKE_ML_LSTM_TRAIN_H
+#define LAKE_ML_LSTM_TRAIN_H
+
+/**
+ * @file
+ * Backpropagation-through-time training for the stacked LSTM.
+ *
+ * Kleio trains its per-page LSTMs offline in user space; the kernel
+ * only consumes the frozen model through LAKE's high-level API. This
+ * module is that offline trainer: full BPTT across the sequence and
+ * layer stack, softmax cross-entropy on the dense head, minibatch SGD
+ * with gradient clipping. It lives outside the Lstm class because the
+ * kernel-facing inference object never needs it.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "base/rng.h"
+#include "ml/lstm.h"
+
+namespace lake::ml {
+
+/** One labelled sequence. */
+struct LstmSample
+{
+    std::vector<float> seq; //!< seq_len x input values
+    int label = 0;
+};
+
+/** Training knobs. */
+struct LstmTrainConfig
+{
+    std::size_t epochs = 10;
+    std::size_t batch = 16;
+    float lr = 0.05f;
+    /** Per-minibatch global gradient-norm clip (0 = off). */
+    float clip = 5.0f;
+    /** Multiply lr by this after every epoch. */
+    float lr_decay = 0.85f;
+};
+
+/**
+ * Trains @p net in place with minibatch SGD + BPTT.
+ * @return mean loss of the final epoch
+ */
+double trainLstm(Lstm &net, const std::vector<LstmSample> &data,
+                 const LstmTrainConfig &config, Rng &rng);
+
+/** Fraction of samples classified correctly. */
+double lstmAccuracy(const Lstm &net, const std::vector<LstmSample> &data);
+
+} // namespace lake::ml
+
+#endif // LAKE_ML_LSTM_TRAIN_H

@@ -1,0 +1,37 @@
+#include "ml/matrix.h"
+
+namespace lake::ml {
+
+Matrix
+Matrix::randn(std::size_t rows, std::size_t cols, Rng &rng, double scale)
+{
+    Matrix m(rows, cols);
+    for (std::size_t i = 0; i < m.size(); ++i)
+        m.data_[i] = static_cast<float>(rng.normal(0.0, scale));
+    return m;
+}
+
+Matrix
+Matrix::affine(const Matrix &x, const Matrix &w, const std::vector<float> &b)
+{
+    LAKE_ASSERT(x.cols() == w.cols(),
+                "affine shape mismatch: x %zux%zu, w %zux%zu", x.rows(),
+                x.cols(), w.rows(), w.cols());
+    LAKE_ASSERT(b.size() == w.rows(), "bias length mismatch");
+
+    Matrix y(x.rows(), w.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const float *xin = x.row(r);
+        float *yout = y.row(r);
+        for (std::size_t o = 0; o < w.rows(); ++o) {
+            const float *wrow = w.row(o);
+            float acc = b[o];
+            for (std::size_t i = 0; i < x.cols(); ++i)
+                acc += wrow[i] * xin[i];
+            yout[o] = acc;
+        }
+    }
+    return y;
+}
+
+} // namespace lake::ml

@@ -1,0 +1,87 @@
+#ifndef LAKE_ML_MATRIX_H
+#define LAKE_ML_MATRIX_H
+
+/**
+ * @file
+ * Dense row-major float matrix — the only tensor type the in-kernel
+ * models need. Deliberately scalar code: it stands in for the
+ * unvectorized float routines a kernel module actually runs between
+ * kernel_fpu_begin/end (the CpuSpec calibration assumes exactly this).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace lake::ml {
+
+/** Row-major 2-D float matrix. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0f)
+    {}
+
+    /** Number of rows. */
+    std::size_t rows() const { return rows_; }
+    /** Number of columns. */
+    std::size_t cols() const { return cols_; }
+    /** Total elements. */
+    std::size_t size() const { return data_.size(); }
+
+    /** Element access. */
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        LAKE_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Const element access. */
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        LAKE_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+        return data_[r * cols_ + c];
+    }
+
+    /** Raw storage (row-major). */
+    float *data() { return data_.data(); }
+    /** Const raw storage. */
+    const float *data() const { return data_.data(); }
+
+    /** Pointer to the start of row @p r. */
+    float *row(std::size_t r) { return data_.data() + r * cols_; }
+    /** Const pointer to the start of row @p r. */
+    const float *row(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /**
+     * Gaussian-initialized matrix (He-style scale for ReLU nets when
+     * @p scale is sqrt(2/fan_in)).
+     */
+    static Matrix randn(std::size_t rows, std::size_t cols, Rng &rng,
+                        double scale);
+
+    /** y = x * W^T + b for every row of @p x; W is (out x in). */
+    static Matrix affine(const Matrix &x, const Matrix &w,
+                         const std::vector<float> &b);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+} // namespace lake::ml
+
+#endif // LAKE_ML_MATRIX_H

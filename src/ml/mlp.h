@@ -1,0 +1,110 @@
+#ifndef LAKE_ML_MLP_H
+#define LAKE_ML_MLP_H
+
+/**
+ * @file
+ * Multi-layer perceptron with SGD training.
+ *
+ * This is the model family of three of the paper's workloads: LinnOS's
+ * I/O latency predictor ("two layers with 256 and 2 neurons" plus the
+ * +1/+2 augmented variants of §7.1), MLLB's load balancer (§7.3), and
+ * KML's readahead classifier (§7.4). Hidden layers are ReLU; the output
+ * layer is linear, classified by argmax / trained with softmax
+ * cross-entropy.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "ml/matrix.h"
+
+namespace lake::ml {
+
+/** Layer widths of an MLP. */
+struct MlpConfig
+{
+    std::uint32_t input = 0;
+    /** Hidden widths; empty = logistic regression. */
+    std::vector<std::uint32_t> hidden;
+    std::uint32_t output = 2;
+
+    /**
+     * LinnOS's model: 31 inputs (4 pending-I/O counts + latencies of
+     * recent I/Os, digit-encoded), one 256 hidden layer, 2 outputs.
+     * @param extra_layers the paper's +1/+2 augmentation: extra hidden
+     *        layers with the same width as the first
+     */
+    static MlpConfig linnos(std::size_t extra_layers = 0);
+
+    /** MLLB's load-balancer: 22 task/CPU features, compact hidden layer. */
+    static MlpConfig mllb();
+
+    /** KML's readahead classifier: 31 stats -> 4 pattern classes. */
+    static MlpConfig kml();
+};
+
+/**
+ * The network: weights, forward pass, and SGD training.
+ */
+class Mlp
+{
+  public:
+    /** Randomly initialized network (He initialization). */
+    Mlp(MlpConfig config, Rng &rng);
+
+    /** Shape. */
+    const MlpConfig &config() const { return config_; }
+
+    /** Forward pass: (n x input) -> logits (n x output). */
+    Matrix forward(const Matrix &x) const;
+
+    /** Argmax class per row. */
+    std::vector<int> classify(const Matrix &x) const;
+
+    /**
+     * One SGD minibatch step with softmax cross-entropy loss.
+     * @return mean loss over the batch before the update
+     */
+    double trainStep(const Matrix &x, const std::vector<int> &labels,
+                     float lr);
+
+    /** Fraction of rows classified correctly. */
+    double accuracy(const Matrix &x, const std::vector<int> &labels) const;
+
+    /** FLOPs of one sample's forward pass (the cost models' input). */
+    double flopsPerSample() const;
+
+    /** Total parameter count. */
+    std::size_t paramCount() const;
+
+    /** Serializes config + weights (the ModelStore blob format). */
+    std::vector<std::uint8_t> serialize() const;
+
+    /** Reconstructs a network from serialize() output. */
+    static Result<Mlp> deserialize(const std::vector<std::uint8_t> &blob);
+
+    /** Per-layer weight matrices, each (out x in). */
+    const std::vector<Matrix> &weights() const { return weights_; }
+    /** Per-layer bias vectors. */
+    const std::vector<std::vector<float>> &biases() const { return biases_; }
+
+  private:
+    /** Uninitialized network (deserialize fills the parameters). */
+    explicit Mlp(MlpConfig config);
+
+    /** Widths including input and output. */
+    std::vector<std::uint32_t> dims() const;
+
+    MlpConfig config_;
+    std::vector<Matrix> weights_;
+    std::vector<std::vector<float>> biases_;
+};
+
+/** Row-wise softmax (exposed for loss computations in tests). */
+Matrix softmax(const Matrix &logits);
+
+} // namespace lake::ml
+
+#endif // LAKE_ML_MLP_H

@@ -1,0 +1,54 @@
+#include "policy/mlgate.h"
+
+namespace lake::policy {
+
+MlGate::MlGate(Config config) : cfg_(config) {}
+
+bool
+MlGate::shouldInfer(Nanos now)
+{
+    if (!gated_)
+        return true;
+    if (now - last_probe_ >= cfg_.probe_interval) {
+        last_probe_ = now;
+        probe_outstanding_ = true;
+        return true;
+    }
+    return false;
+}
+
+void
+MlGate::observe(std::size_t positives, std::size_t total, Nanos now)
+{
+    if (total == 0)
+        return;
+
+    if (gated_) {
+        if (!probe_outstanding_)
+            return; // stray observation; probes are one-shot
+        probe_outstanding_ = false;
+        if (positives >= cfg_.reopen_positives) {
+            gated_ = false;
+            ++reopenings_;
+            window_total_ = 0;
+            window_positives_ = 0;
+        }
+        return;
+    }
+
+    window_total_ += total;
+    window_positives_ += positives;
+    if (window_total_ >= cfg_.window) {
+        double rate = static_cast<double>(window_positives_) /
+                      static_cast<double>(window_total_);
+        if (rate < cfg_.min_positive_rate) {
+            gated_ = true;
+            ++closures_;
+            last_probe_ = now;
+        }
+        window_total_ = 0;
+        window_positives_ = 0;
+    }
+}
+
+} // namespace lake::policy

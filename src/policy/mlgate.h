@@ -1,0 +1,97 @@
+#ifndef LAKE_POLICY_MLGATE_H
+#define LAKE_POLICY_MLGATE_H
+
+/**
+ * @file
+ * ML-use modulation: the paper's §7.1 future work, implemented.
+ *
+ * "Given that even the original CPU-based model actually harms
+ * performance when applications do not stress the device, some
+ * mechanism to modulate the use of ML even on the CPU is a likely
+ * necessity. We believe the same framework LAKE provides ... can be
+ * used to implement policies that avoid using ML when it does not
+ * help."
+ *
+ * MlGate watches the model's recent positive rate (e.g. the fraction
+ * of I/Os predicted slow). When a full window of decisions produces
+ * almost no positives, inference is not earning its latency: the gate
+ * closes and the subsystem skips ML entirely. While closed, the gate
+ * periodically lets probe batches through to detect regime changes
+ * (a device starting to struggle) and reopens on fresh positives.
+ */
+
+#include <cstddef>
+
+#include "base/time.h"
+
+namespace lake::policy {
+
+/**
+ * Hysteresis gate over a model's usefulness signal.
+ */
+class MlGate
+{
+  public:
+    /** Tunables. */
+    struct Config
+    {
+        /** Positive rate below which ML is considered not to help. */
+        double min_positive_rate = 0.005;
+        /** Decisions in the closing window. */
+        std::size_t window = 512;
+        /** While closed, let a probe through this often. */
+        Nanos probe_interval = 100_ms;
+        /** Positives needed in a probe to reopen. */
+        std::size_t reopen_positives = 1;
+    };
+
+    MlGate() : MlGate(Config{}) {}
+    explicit MlGate(Config config);
+
+    /**
+     * Should this batch run inference?
+     * @return true when open, or when a probe is due while closed
+     */
+    bool shouldInfer(Nanos now);
+
+    /** Reports a scored batch's outcome (positives out of total). */
+    void observe(std::size_t positives, std::size_t total, Nanos now);
+
+    /** True when ML is currently switched off. */
+    bool gated() const { return gated_; }
+
+    /**
+     * Non-consuming peek: is a probe due? Lets callers route work
+     * toward the inference path only when shouldInfer would let it
+     * through (e.g. bypass batch formation entirely while gated).
+     */
+    bool
+    probeDue(Nanos now) const
+    {
+        return gated_ && (probe_outstanding_ ||
+                          now - last_probe_ >= cfg_.probe_interval);
+    }
+
+    /** Times the gate has closed. */
+    std::size_t closures() const { return closures_; }
+    /** Times the gate has reopened after a probe. */
+    std::size_t reopenings() const { return reopenings_; }
+
+  private:
+    Config cfg_;
+    bool gated_ = false;
+    std::size_t closures_ = 0;
+    std::size_t reopenings_ = 0;
+
+    /** Open-state window accounting. */
+    std::size_t window_total_ = 0;
+    std::size_t window_positives_ = 0;
+
+    /** Closed-state probe accounting. */
+    Nanos last_probe_ = 0;
+    bool probe_outstanding_ = false;
+};
+
+} // namespace lake::policy
+
+#endif // LAKE_POLICY_MLGATE_H

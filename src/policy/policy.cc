@@ -1,0 +1,49 @@
+#include "policy/policy.h"
+
+#include <utility>
+
+#include "base/logging.h"
+
+namespace lake::policy {
+
+const char *
+engineName(Engine e)
+{
+    return e == Engine::Cpu ? "CPU" : "GPU";
+}
+
+BatchThresholdPolicy::BatchThresholdPolicy(std::size_t batch_threshold)
+    : batch_threshold_(batch_threshold)
+{
+}
+
+Engine
+BatchThresholdPolicy::decide(const PolicyInput &in)
+{
+    return in.batch_size >= batch_threshold_ ? Engine::Gpu : Engine::Cpu;
+}
+
+ContentionAwarePolicy::ContentionAwarePolicy(UtilProbe probe, Config config)
+    : probe_(std::move(probe)), cfg_(config), avg_(config.avg_window)
+{
+    LAKE_ASSERT(probe_ != nullptr,
+                "contention policy needs a utilization probe");
+}
+
+Engine
+ContentionAwarePolicy::decide(const PolicyInput &in)
+{
+    // Rate-limit the (remoted, hence costly) NVML query.
+    if (!probed_once_ || in.now - last_probe_ >= cfg_.probe_interval) {
+        double util = probe_(in.now);
+        avg_.add(util);
+        last_probe_ = in.now;
+        probed_once_ = true;
+    }
+
+    bool uncontended = avg_.value() < cfg_.exec_threshold;
+    bool profitable = in.batch_size >= cfg_.batch_threshold;
+    return (uncontended && profitable) ? Engine::Gpu : Engine::Cpu;
+}
+
+} // namespace lake::policy

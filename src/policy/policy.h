@@ -1,0 +1,149 @@
+#ifndef LAKE_POLICY_POLICY_H
+#define LAKE_POLICY_POLICY_H
+
+/**
+ * @file
+ * Execution policies: CPU-vs-accelerator decisioning.
+ *
+ * §4.2/§4.3: "LAKE allows on-the-fly switch between execution on CPU and
+ * accelerator, at the function call granularity... through custom
+ * execution policies" which also manage contention. A policy sees the
+ * pending batch size and (rate-limited) GPU utilization and picks an
+ * engine; the framework invokes it automatically before dispatching
+ * inference (registry::score_features) or any LAKE-accelerated call.
+ */
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "base/stats.h"
+#include "base/time.h"
+
+namespace lake::policy {
+
+/** Where to run the next call. */
+enum class Engine
+{
+    Cpu,
+    Gpu,
+};
+
+/** Printable engine name. */
+const char *engineName(Engine e);
+
+/** Everything a policy may consult for one decision. */
+struct PolicyInput
+{
+    /** Number of inputs in the batch about to be processed. */
+    std::size_t batch_size = 0;
+    /** Current virtual time. */
+    Nanos now = 0;
+    /** Mean inter-arrival time of recent work, microseconds (0 if n/a). */
+    double inter_arrival_us = 0.0;
+};
+
+/**
+ * Rate-limited GPU utilization probe, supplied by the framework.
+ * Implementations typically call the LAKE-remoted NVML API and therefore
+ * cost real (virtual) time — which is exactly why policies rate-limit.
+ */
+using UtilProbe = std::function<double(Nanos now)>;
+
+/** Base class for execution policies. */
+class ExecPolicy
+{
+  public:
+    virtual ~ExecPolicy() = default;
+
+    /** Picks the engine for one call. */
+    virtual Engine decide(const PolicyInput &in) = 0;
+
+    /** Diagnostic name. */
+    virtual const char *name() const = 0;
+};
+
+/** Unconditionally CPU (the no-accelerator baseline). */
+class AlwaysCpuPolicy final : public ExecPolicy
+{
+  public:
+    Engine decide(const PolicyInput &) override { return Engine::Cpu; }
+    const char *name() const override { return "always-cpu"; }
+};
+
+/** Unconditionally GPU (ignores profitability and contention). */
+class AlwaysGpuPolicy final : public ExecPolicy
+{
+  public:
+    Engine decide(const PolicyInput &) override { return Engine::Gpu; }
+    const char *name() const override { return "always-gpu"; }
+};
+
+/**
+ * Pure profitability policy: GPU once the batch reaches the crossover
+ * point for the workload (Table 3), CPU below it.
+ */
+class BatchThresholdPolicy final : public ExecPolicy
+{
+  public:
+    /** @param batch_threshold minimum batch size for the GPU to win */
+    explicit BatchThresholdPolicy(std::size_t batch_threshold);
+
+    Engine decide(const PolicyInput &in) override;
+    const char *name() const override { return "batch-threshold"; }
+
+    /** The installed crossover point. */
+    std::size_t threshold() const { return batch_threshold_; }
+
+  private:
+    std::size_t batch_threshold_;
+};
+
+/**
+ * The Fig. 3 policy: contention management + profitability.
+ *
+ * Queries GPU utilization at most once per rate-limit period, smooths
+ * readings with a moving average, and uses the GPU only when both the
+ * smoothed utilization is below the contention threshold and the batch
+ * is big enough to be profitable.
+ */
+class ContentionAwarePolicy final : public ExecPolicy
+{
+  public:
+    /** Tunables of the Fig. 3 pseudocode. */
+    struct Config
+    {
+        /** Minimum time between NVML queries ("...5 ms elapsed..."). */
+        Nanos probe_interval = 5_ms;
+        /** Moving-average window (number of readings). */
+        std::size_t avg_window = 4;
+        /** Smoothed utilization (%) above which the GPU is contended. */
+        double exec_threshold = 40.0;
+        /** Profitability crossover batch size. */
+        std::size_t batch_threshold = 8;
+    };
+
+    /**
+     * @param probe  utilization source (remoted NVML)
+     * @param config thresholds
+     */
+    ContentionAwarePolicy(UtilProbe probe, Config config);
+
+    Engine decide(const PolicyInput &in) override;
+    const char *name() const override { return "contention-aware"; }
+
+    /** Most recent smoothed utilization, for telemetry. */
+    double smoothedUtilization() const { return avg_.value(); }
+
+  private:
+    UtilProbe probe_;
+    Config cfg_;
+    MovingAverage avg_;
+    Nanos last_probe_ = 0;
+    bool probed_once_ = false;
+};
+
+} // namespace lake::policy
+
+#endif // LAKE_POLICY_POLICY_H

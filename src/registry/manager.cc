@@ -1,0 +1,164 @@
+#include "registry/manager.h"
+
+#include "base/logging.h"
+
+namespace lake::registry {
+
+Status
+RegistryManager::createRegistry(const std::string &name,
+                                const std::string &sys, Schema schema,
+                                std::size_t window)
+{
+    auto key = std::make_pair(name, sys);
+    if (registries_.count(key)) {
+        return Status(Code::AlreadyExists,
+                      "registry " + sys + "/" + name + " exists");
+    }
+    registries_.emplace(key, std::make_unique<Registry>(
+                                 name, sys, std::move(schema), window));
+    return Status::ok();
+}
+
+Status
+RegistryManager::destroyRegistry(const std::string &name,
+                                 const std::string &sys)
+{
+    auto it = registries_.find(std::make_pair(name, sys));
+    if (it == registries_.end()) {
+        return Status(Code::NotFound,
+                      "no registry " + sys + "/" + name);
+    }
+    registries_.erase(it);
+    return Status::ok();
+}
+
+Registry *
+RegistryManager::find(const std::string &name, const std::string &sys)
+{
+    auto it = registries_.find(std::make_pair(name, sys));
+    return it == registries_.end() ? nullptr : it->second.get();
+}
+
+namespace {
+
+Registry &
+require(RegistryManager &m, const std::string &name, const std::string &sys)
+{
+    Registry *r = m.find(name, sys);
+    if (r == nullptr)
+        fatal("no registry %s/%s", sys.c_str(), name.c_str());
+    return *r;
+}
+
+} // namespace
+
+Status
+create_registry(RegistryManager &m, const std::string &name,
+                const std::string &sys, Schema schema, std::size_t window)
+{
+    return m.createRegistry(name, sys, std::move(schema), window);
+}
+
+Status
+destroy_registry(RegistryManager &m, const std::string &name,
+                 const std::string &sys)
+{
+    return m.destroyRegistry(name, sys);
+}
+
+Status
+create_model(RegistryManager &m, const std::string &, const std::string &,
+             const std::string &path)
+{
+    return m.models().createModel(path);
+}
+
+Status
+update_model(RegistryManager &m, const std::string &, const std::string &,
+             const std::string &path, std::vector<std::uint8_t> blob)
+{
+    return m.models().updateModel(path, std::move(blob));
+}
+
+Status
+load_model(RegistryManager &m, const std::string &, const std::string &,
+           const std::string &path)
+{
+    return m.models().loadModel(path);
+}
+
+Status
+delete_model(RegistryManager &m, const std::string &, const std::string &,
+             const std::string &path)
+{
+    return m.models().deleteModel(path);
+}
+
+void
+register_classifier(RegistryManager &m, const std::string &name,
+                    const std::string &sys, Classifier fn, Arch arch)
+{
+    require(m, name, sys).registerClassifier(arch, std::move(fn));
+}
+
+void
+register_policy(RegistryManager &m, const std::string &name,
+                const std::string &sys,
+                std::unique_ptr<policy::ExecPolicy> p)
+{
+    require(m, name, sys).registerPolicy(std::move(p));
+}
+
+std::vector<float>
+score_features(RegistryManager &m, const std::string &name,
+               const std::string &sys,
+               const std::vector<FeatureVector> &fvs, Nanos now)
+{
+    return require(m, name, sys).scoreFeatures(fvs, now);
+}
+
+std::vector<FeatureVector>
+get_features(RegistryManager &m, const std::string &name,
+             const std::string &sys, std::optional<Nanos> ts)
+{
+    return require(m, name, sys).getFeatures(ts);
+}
+
+void
+begin_fv_capture(RegistryManager &m, const std::string &name,
+                 const std::string &sys, Nanos ts)
+{
+    require(m, name, sys).beginFvCapture(ts);
+}
+
+void
+capture_feature(RegistryManager &m, const std::string &name,
+                const std::string &sys, const std::string &key,
+                std::uint64_t val)
+{
+    require(m, name, sys).captureFeature(key, val);
+}
+
+void
+capture_feature_incr(RegistryManager &m, const std::string &name,
+                     const std::string &sys, const std::string &key,
+                     std::int64_t incrval)
+{
+    require(m, name, sys).captureFeatureIncr(key, incrval);
+}
+
+void
+commit_fv_capture(RegistryManager &m, const std::string &name,
+                  const std::string &sys, Nanos ts)
+{
+    require(m, name, sys).commitFvCapture(ts);
+}
+
+void
+truncate_features(RegistryManager &m, const std::string &name,
+                  const std::string &sys, std::optional<Nanos> ts)
+{
+    require(m, name, sys).truncateFeatures(ts);
+}
+
+} // namespace lake::registry

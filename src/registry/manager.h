@@ -1,0 +1,111 @@
+#ifndef LAKE_REGISTRY_MANAGER_H
+#define LAKE_REGISTRY_MANAGER_H
+
+/**
+ * @file
+ * The registry manager: Table 1's top-level entry points.
+ *
+ * Registries are keyed by (name, sys) — the case study gives each block
+ * device its own registry ("the name parameter is the device's name,
+ * e.g. sda1") under the "bio_latency_prediction" subsystem. The manager
+ * also exposes the exact snake_case functions of Table 1 as a facade,
+ * so instrumentation code reads like the paper's listings.
+ */
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "base/status.h"
+#include "registry/model_store.h"
+#include "registry/registry.h"
+
+namespace lake::registry {
+
+/**
+ * Owner of all feature registries and the model store.
+ */
+class RegistryManager
+{
+  public:
+    /** @param clock clock charged for durable model operations */
+    explicit RegistryManager(Clock &clock) : models_(clock) {}
+
+    /** create_registry(name, sys, schema, window). */
+    Status createRegistry(const std::string &name, const std::string &sys,
+                          Schema schema, std::size_t window);
+
+    /** destroy_registry(name, sys). */
+    Status destroyRegistry(const std::string &name, const std::string &sys);
+
+    /** Looks up a registry; nullptr when absent. */
+    Registry *find(const std::string &name, const std::string &sys);
+
+    /** Model lifecycle operations. */
+    ModelStore &models() { return models_; }
+
+    /** Number of live registries. */
+    std::size_t registryCount() const { return registries_.size(); }
+
+  private:
+    std::map<std::pair<std::string, std::string>, std::unique_ptr<Registry>>
+        registries_;
+    ModelStore models_;
+};
+
+/// @name Table 1 facade
+/// The paper's exact API, as free functions over a manager. Listings
+/// 4 and 5 of the paper transliterate one-to-one onto these.
+/// @{
+
+Status create_registry(RegistryManager &m, const std::string &name,
+                       const std::string &sys, Schema schema,
+                       std::size_t window);
+Status destroy_registry(RegistryManager &m, const std::string &name,
+                        const std::string &sys);
+
+Status create_model(RegistryManager &m, const std::string &name,
+                    const std::string &sys, const std::string &path);
+Status update_model(RegistryManager &m, const std::string &name,
+                    const std::string &sys, const std::string &path,
+                    std::vector<std::uint8_t> blob);
+Status load_model(RegistryManager &m, const std::string &name,
+                  const std::string &sys, const std::string &path);
+Status delete_model(RegistryManager &m, const std::string &name,
+                    const std::string &sys, const std::string &path);
+
+void register_classifier(RegistryManager &m, const std::string &name,
+                         const std::string &sys, Classifier fn, Arch arch);
+void register_policy(RegistryManager &m, const std::string &name,
+                     const std::string &sys,
+                     std::unique_ptr<policy::ExecPolicy> p);
+
+std::vector<float> score_features(RegistryManager &m,
+                                  const std::string &name,
+                                  const std::string &sys,
+                                  const std::vector<FeatureVector> &fvs,
+                                  Nanos now);
+std::vector<FeatureVector> get_features(RegistryManager &m,
+                                        const std::string &name,
+                                        const std::string &sys,
+                                        std::optional<Nanos> ts);
+
+void begin_fv_capture(RegistryManager &m, const std::string &name,
+                      const std::string &sys, Nanos ts);
+void capture_feature(RegistryManager &m, const std::string &name,
+                     const std::string &sys, const std::string &key,
+                     std::uint64_t val);
+void capture_feature_incr(RegistryManager &m, const std::string &name,
+                          const std::string &sys, const std::string &key,
+                          std::int64_t incrval);
+void commit_fv_capture(RegistryManager &m, const std::string &name,
+                       const std::string &sys, Nanos ts);
+void truncate_features(RegistryManager &m, const std::string &name,
+                       const std::string &sys, std::optional<Nanos> ts);
+
+/// @}
+
+} // namespace lake::registry
+
+#endif // LAKE_REGISTRY_MANAGER_H

@@ -1,0 +1,77 @@
+#include "registry/model_store.h"
+
+namespace lake::registry {
+
+namespace {
+
+Nanos
+blobCost(std::size_t bytes)
+{
+    return ModelStore::kFsOpCost +
+           static_cast<Nanos>(static_cast<double>(bytes) /
+                              ModelStore::kFsGbps);
+}
+
+} // namespace
+
+Status
+ModelStore::createModel(const std::string &path)
+{
+    if (models_.count(path))
+        return Status(Code::AlreadyExists, "model exists: " + path);
+    clock_.advance(kFsOpCost);
+    models_.emplace(path, Entry{});
+    return Status::ok();
+}
+
+Status
+ModelStore::updateModel(const std::string &path,
+                        std::vector<std::uint8_t> blob)
+{
+    auto it = models_.find(path);
+    if (it == models_.end())
+        return Status(Code::NotFound, "no model at " + path);
+    clock_.advance(blobCost(blob.size()));
+    it->second.durable = std::move(blob);
+    return Status::ok();
+}
+
+Status
+ModelStore::loadModel(const std::string &path)
+{
+    auto it = models_.find(path);
+    if (it == models_.end())
+        return Status(Code::NotFound, "no model at " + path);
+    clock_.advance(blobCost(it->second.durable.size()));
+    it->second.memory = it->second.durable;
+    it->second.loaded = true;
+    return Status::ok();
+}
+
+Status
+ModelStore::deleteModel(const std::string &path)
+{
+    auto it = models_.find(path);
+    if (it == models_.end())
+        return Status(Code::NotFound, "no model at " + path);
+    clock_.advance(kFsOpCost);
+    models_.erase(it);
+    return Status::ok();
+}
+
+const std::vector<std::uint8_t> *
+ModelStore::inMemory(const std::string &path) const
+{
+    auto it = models_.find(path);
+    if (it == models_.end() || !it->second.loaded)
+        return nullptr;
+    return &it->second.memory;
+}
+
+bool
+ModelStore::exists(const std::string &path) const
+{
+    return models_.count(path) != 0;
+}
+
+} // namespace lake::registry

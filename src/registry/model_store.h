@@ -1,0 +1,82 @@
+#ifndef LAKE_REGISTRY_MODEL_STORE_H
+#define LAKE_REGISTRY_MODEL_STORE_H
+
+/**
+ * @file
+ * ML model lifecycle (Table 1: create/update/load/delete_model).
+ *
+ * §5.1: "ML models are committed to the file system and loaded into
+ * memory at boot time. Loading and update are infrequent, so file
+ * system overheads are acceptable, but at inference time, having the
+ * model in memory is critical." The store therefore keeps two copies
+ * per model — a durable blob (the "file system") and an in-memory
+ * image — and charges file-system-scale virtual time only on the
+ * durable operations.
+ */
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/time.h"
+
+namespace lake::registry {
+
+/**
+ * Named model blobs with durable/in-memory duality.
+ */
+class ModelStore
+{
+  public:
+    /** Modeled cost of one durable (file-system) model operation. */
+    static constexpr Nanos kFsOpCost = 2_ms;
+    /** Modeled durable throughput for model bytes (GB/s). */
+    static constexpr double kFsGbps = 1.0;
+
+    /** @param clock clock charged for durable operations */
+    explicit ModelStore(Clock &clock) : clock_(clock) {}
+
+    /** create_model: registers an empty model at @p path. */
+    Status createModel(const std::string &path);
+
+    /**
+     * update_model: commits @p blob as the durable copy at @p path.
+     * The in-memory image is left untouched until the next loadModel —
+     * inference keeps serving the old weights, the paper's intended
+     * update discipline.
+     */
+    Status updateModel(const std::string &path,
+                       std::vector<std::uint8_t> blob);
+
+    /** load_model: loads the durable copy into memory. */
+    Status loadModel(const std::string &path);
+
+    /** delete_model: removes both durable and in-memory copies. */
+    Status deleteModel(const std::string &path);
+
+    /**
+     * The in-memory image (inference-time access, no cost charged).
+     * @return nullptr when not loaded.
+     */
+    const std::vector<std::uint8_t> *inMemory(const std::string &path) const;
+
+    /** True when a durable copy exists at @p path. */
+    bool exists(const std::string &path) const;
+
+  private:
+    struct Entry
+    {
+        std::vector<std::uint8_t> durable;
+        std::vector<std::uint8_t> memory;
+        bool loaded = false;
+    };
+
+    Clock &clock_;
+    std::unordered_map<std::string, Entry> models_;
+};
+
+} // namespace lake::registry
+
+#endif // LAKE_REGISTRY_MODEL_STORE_H

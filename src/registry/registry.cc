@@ -1,0 +1,191 @@
+#include "registry/registry.h"
+
+#include <utility>
+
+#include "base/logging.h"
+
+namespace lake::registry {
+
+std::uint64_t
+FeatureVector::get(std::uint64_t key) const
+{
+    auto it = values.find(key);
+    if (it == values.end() || it->second.empty())
+        return 0;
+    return it->second[0];
+}
+
+std::uint64_t
+FeatureVector::get(const std::string &name) const
+{
+    return get(featureKey(name));
+}
+
+Registry::Registry(std::string name, std::string sys, Schema schema,
+                   std::size_t window)
+    : name_(std::move(name)), sys_(std::move(sys)),
+      schema_(std::move(schema)),
+      open_values_(std::max<std::size_t>(schema_.featureCount(), 1) * 2),
+      ring_(window)
+{
+    LAKE_ASSERT(schema_.featureCount() > 0,
+                "registry %s/%s: empty schema", sys_.c_str(),
+                name_.c_str());
+}
+
+void
+Registry::beginFvCapture(Nanos ts)
+{
+    // The open map is intentionally *not* cleared: features like the
+    // paper's pend_ios are incrementally maintained counters whose
+    // value must persist across vectors; point-in-time features are
+    // simply overwritten by the next captureFeature call.
+    open_begin_ = ts;
+    capture_open_ = true;
+}
+
+void
+Registry::captureFeature(std::uint64_t key, std::uint64_t value)
+{
+    LAKE_ASSERT(schema_.find(key) != nullptr,
+                "capture of undeclared feature key in %s/%s",
+                sys_.c_str(), name_.c_str());
+    open_values_.put(key, value);
+}
+
+void
+Registry::captureFeature(const std::string &name, std::uint64_t value)
+{
+    captureFeature(featureKey(name), value);
+}
+
+void
+Registry::captureFeatureIncr(std::uint64_t key, std::int64_t delta)
+{
+    LAKE_ASSERT(schema_.find(key) != nullptr,
+                "capture of undeclared feature key in %s/%s",
+                sys_.c_str(), name_.c_str());
+    open_values_.add(key, delta);
+}
+
+void
+Registry::captureFeatureIncr(const std::string &name, std::int64_t delta)
+{
+    captureFeatureIncr(featureKey(name), delta);
+}
+
+void
+Registry::commitFvCapture(Nanos ts)
+{
+    LAKE_ASSERT(capture_open_, "%s/%s: commit without open capture",
+                sys_.c_str(), name_.c_str());
+
+    FeatureVector fv;
+    fv.ts_begin = open_begin_;
+    fv.ts_end = ts;
+
+    open_values_.forEach([&](std::uint64_t key, std::uint64_t value) {
+        const FeatureSpec *spec = schema_.find(key);
+        LAKE_ASSERT(spec != nullptr, "undeclared key slipped into map");
+        std::vector<std::uint64_t> entries(spec->entries, 0);
+        entries[0] = value;
+        if (spec->entries > 1 && has_last_) {
+            // Inherit history: previous entry i becomes entry i+1.
+            auto prev = last_committed_.values.find(key);
+            if (prev != last_committed_.values.end()) {
+                for (std::uint32_t i = 1; i < spec->entries; ++i) {
+                    if (i - 1 < prev->second.size())
+                        entries[i] = prev->second[i - 1];
+                }
+            }
+        }
+        fv.values.emplace(key, std::move(entries));
+    });
+
+    last_committed_ = fv;
+    has_last_ = true;
+    ring_.push(std::move(fv));
+
+    // Re-open immediately so incremental captures never race a closed
+    // window; the paper's case study likewise begins the next capture
+    // right after commit.
+    open_begin_ = ts;
+}
+
+std::vector<FeatureVector>
+Registry::getFeatures(std::optional<Nanos> ts) const
+{
+    std::vector<FeatureVector> out;
+    if (!ts.has_value())
+        return ring_.snapshot();
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const FeatureVector &fv = ring_.at(i);
+        if (fv.ts_begin <= *ts && *ts <= fv.ts_end) {
+            out.push_back(fv);
+            break;
+        }
+    }
+    return out;
+}
+
+void
+Registry::truncateFeatures(std::optional<Nanos> ts)
+{
+    std::size_t keep_newest = schema_.hasHistory() ? 1 : 0;
+    while (ring_.size() > keep_newest) {
+        const FeatureVector &oldest = ring_.front();
+        if (ts.has_value() && oldest.ts_end >= *ts)
+            break;
+        ring_.pop();
+    }
+}
+
+void
+Registry::registerClassifier(Arch arch, Classifier fn)
+{
+    switch (arch) {
+      case Arch::Cpu: cpu_classifier_ = std::move(fn); break;
+      case Arch::Gpu: gpu_classifier_ = std::move(fn); break;
+      case Arch::Xpu: xpu_classifier_ = std::move(fn); break;
+    }
+}
+
+void
+Registry::registerPolicy(std::unique_ptr<policy::ExecPolicy> p)
+{
+    policy_ = std::move(p);
+}
+
+std::vector<float>
+Registry::scoreFeatures(const std::vector<FeatureVector> &fvs, Nanos now)
+{
+    if (fvs.empty())
+        return {};
+    LAKE_ASSERT(cpu_classifier_ != nullptr,
+                "%s/%s: scoreFeatures without a CPU classifier",
+                sys_.c_str(), name_.c_str());
+
+    policy::Engine engine = policy::Engine::Cpu;
+    if (policy_) {
+        policy::PolicyInput in;
+        in.batch_size = fvs.size();
+        in.now = now;
+        engine = policy_->decide(in);
+    } else if (gpu_classifier_) {
+        engine = policy::Engine::Gpu;
+    }
+
+    if (engine == policy::Engine::Gpu && !gpu_classifier_)
+        engine = policy::Engine::Cpu; // no GPU variant installed
+
+    last_engine_ = engine;
+    Classifier &fn = engine == policy::Engine::Gpu ? gpu_classifier_
+                                                   : cpu_classifier_;
+    std::vector<float> scores = fn(fvs);
+    LAKE_ASSERT(scores.size() == fvs.size(),
+                "%s/%s: classifier returned %zu scores for %zu vectors",
+                sys_.c_str(), name_.c_str(), scores.size(), fvs.size());
+    return scores;
+}
+
+} // namespace lake::registry

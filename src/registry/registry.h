@@ -1,0 +1,185 @@
+#ifndef LAKE_REGISTRY_REGISTRY_H
+#define LAKE_REGISTRY_REGISTRY_H
+
+/**
+ * @file
+ * One feature registry: a named combination of a model, a feature-vector
+ * schema, a capture window, and the classifier/policy hooks (§5).
+ *
+ * Concurrency model, per §5.3: while a capture is open, any thread may
+ * call captureFeature / captureFeatureIncr — the open vector is a
+ * lock-free map. begin/commit/get/truncate/score are registry-owner
+ * operations (the subsystem that created the registry), serialized by
+ * the caller the way the I/O path serializes them in the paper's case
+ * study.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/lockfree_map.h"
+#include "base/ring_buffer.h"
+#include "base/time.h"
+#include "policy/policy.h"
+#include "registry/schema.h"
+
+namespace lake::registry {
+
+/**
+ * A committed (frozen) feature vector:
+ * <numfeatures, kvpair*, ts_begin, ts_end> in the paper's notation.
+ */
+struct FeatureVector
+{
+    Nanos ts_begin = 0;
+    Nanos ts_end = 0;
+    /** key -> entries; [0] most recent, [1..] history (§5.2). */
+    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> values;
+
+    /** Scalar read of a feature's most recent entry (0 if absent). */
+    std::uint64_t get(std::uint64_t key) const;
+    /** Scalar read by feature name. */
+    std::uint64_t get(const std::string &name) const;
+};
+
+/** Which implementation a classifier targets (Table 1's arch column). */
+enum class Arch
+{
+    Cpu,
+    Gpu,
+    Xpu, //!< any other accelerator
+};
+
+/**
+ * Batch inference callback: scores one batch of feature vectors.
+ * Registered per Arch; the active execution policy picks which runs.
+ */
+using Classifier =
+    std::function<std::vector<float>(const std::vector<FeatureVector> &)>;
+
+/**
+ * A feature registry.
+ */
+class Registry
+{
+  public:
+    /**
+     * @param name   registry name (e.g. the block device, "sda1")
+     * @param sys    owning subsystem (e.g. "bio_latency_prediction")
+     * @param schema feature-vector format
+     * @param window ring capacity in feature vectors
+     */
+    Registry(std::string name, std::string sys, Schema schema,
+             std::size_t window);
+
+    /** Registry name. */
+    const std::string &name() const { return name_; }
+    /** Owning subsystem. */
+    const std::string &sys() const { return sys_; }
+    /** Schema in force. */
+    const Schema &schema() const { return schema_; }
+
+    /// @name Capture (Table 1: begin/capture/capture_incr/commit)
+    /// @{
+
+    /** Opens a new feature vector with begin timestamp @p ts. */
+    void beginFvCapture(Nanos ts);
+
+    /**
+     * Sets feature @p key on the open vector. Callable from any thread
+     * while a capture is open. Unknown keys panic (schema bug).
+     */
+    void captureFeature(std::uint64_t key, std::uint64_t value);
+    /** Name-keyed convenience overload. */
+    void captureFeature(const std::string &name, std::uint64_t value);
+
+    /** Atomically increments feature @p key by @p delta. */
+    void captureFeatureIncr(std::uint64_t key, std::int64_t delta);
+    /** Name-keyed convenience overload. */
+    void captureFeatureIncr(const std::string &name, std::int64_t delta);
+
+    /**
+     * Freezes the open vector with end timestamp @p ts and appends it
+     * to the ring (overwriting the oldest when full). History features
+     * inherit entries 1..N-1 from the previous committed vector.
+     * Implicitly opens the next capture at @p ts so incremental
+     * counters (pending I/Os) persist across vectors.
+     */
+    void commitFvCapture(Nanos ts);
+
+    /// @}
+    /// @name Batch retrieval (Table 1: get/truncate)
+    /// @{
+
+    /**
+     * With a timestamp: the first vector whose [ts_begin, ts_end]
+     * contains @p ts. Without (nullopt): the whole ring, oldest first.
+     */
+    std::vector<FeatureVector>
+    getFeatures(std::optional<Nanos> ts = std::nullopt) const;
+
+    /**
+     * Removes vectors older than @p ts (all vectors when nullopt).
+     * When the schema declares history features, the most recent
+     * vector is always preserved so future vectors can populate their
+     * historical entries (§5.4).
+     */
+    void truncateFeatures(std::optional<Nanos> ts = std::nullopt);
+
+    /** Committed vectors currently in the ring. */
+    std::size_t pendingCount() const { return ring_.size(); }
+
+    /// @}
+    /// @name Inference dispatch (Table 1: register/score)
+    /// @{
+
+    /** Installs the classifier for @p arch. */
+    void registerClassifier(Arch arch, Classifier fn);
+
+    /** Installs the execution policy (owned by the registry). */
+    void registerPolicy(std::unique_ptr<policy::ExecPolicy> p);
+
+    /**
+     * Runs inference on @p fvs: consults the policy (batch size = the
+     * batch), dispatches to the chosen arch's classifier (falling back
+     * to the CPU one when the GPU variant is absent), and returns one
+     * score per vector.
+     * @param now virtual time, given to the policy
+     */
+    std::vector<float> scoreFeatures(const std::vector<FeatureVector> &fvs,
+                                     Nanos now);
+
+    /** Engine the last scoreFeatures dispatch used. */
+    policy::Engine lastEngine() const { return last_engine_; }
+
+    /// @}
+
+  private:
+    std::string name_;
+    std::string sys_;
+    Schema schema_;
+
+    /** The open (capturing) vector. */
+    LockFreeMap open_values_;
+    Nanos open_begin_ = 0;
+    bool capture_open_ = false;
+
+    RingBuffer<FeatureVector> ring_;
+    /** Copy of the newest committed vector, for history inheritance. */
+    FeatureVector last_committed_;
+    bool has_last_ = false;
+
+    Classifier cpu_classifier_;
+    Classifier gpu_classifier_;
+    Classifier xpu_classifier_;
+    std::unique_ptr<policy::ExecPolicy> policy_;
+    policy::Engine last_engine_ = policy::Engine::Cpu;
+};
+
+} // namespace lake::registry
+
+#endif // LAKE_REGISTRY_REGISTRY_H

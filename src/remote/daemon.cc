@@ -1,0 +1,227 @@
+#include "remote/daemon.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace lake::remote {
+
+using gpu::CuResult;
+using gpu::DevicePtr;
+
+LakeDaemon::LakeDaemon(channel::Channel &chan, shm::ShmArena &arena,
+                       gpu::Device &dev, Clock &clock)
+    : chan_(chan), arena_(arena), clock_(clock), ctx_(dev, clock),
+      nvml_(dev)
+{
+}
+
+void
+LakeDaemon::registerHighLevel(const std::string &name, Handler handler,
+                              Nanos cost)
+{
+    high_level_[name] = HighLevel{std::move(handler), cost};
+}
+
+void
+LakeDaemon::processPending()
+{
+    using Dir = channel::Channel::Dir;
+    while (chan_.pending(Dir::KernelToUser)) {
+        std::vector<std::uint8_t> buf = chan_.recv(Dir::KernelToUser);
+        handleOne(buf);
+    }
+}
+
+namespace {
+
+/**
+ * One-way commands: no response travels back; failures surface at the
+ * next synchronizing call, CUDA's asynchronous-error contract.
+ */
+bool
+isOneWay(ApiId id)
+{
+    switch (id) {
+      case ApiId::CuMemcpyHtoDShmAsync:
+      case ApiId::CuMemcpyDtoHShmAsync:
+      case ApiId::CuLaunchKernel:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+LakeDaemon::handleOne(const std::vector<std::uint8_t> &buf)
+{
+    Decoder dec(buf);
+    CommandHead head = readHead(dec);
+    ++handled_;
+
+    if (isOneWay(head.id)) {
+        Encoder scratch;
+        handleCuda(head.id, dec, scratch);
+        return;
+    }
+
+    Encoder resp;
+    resp.u32(head.seq);
+
+    if (head.id == ApiId::HighLevelCall) {
+        std::string name = dec.str();
+        auto it = high_level_.find(name);
+        if (it == high_level_.end()) {
+            warn("lakeD: no handler for high-level API '%s'",
+                 name.c_str());
+            resp.u32(static_cast<std::uint32_t>(CuResult::NotFound));
+        } else {
+            resp.u32(static_cast<std::uint32_t>(CuResult::Success));
+            clock_.advance(it->second.cost);
+            it->second.handler(dec, resp);
+        }
+    } else {
+        handleCuda(head.id, dec, resp);
+    }
+
+    chan_.send(channel::Channel::Dir::UserToKernel, resp.take());
+}
+
+void
+LakeDaemon::recordDeferred(CuResult r)
+{
+    if (r != CuResult::Success) {
+        warn("lakeD: async command failed: %s", gpu::cuResultName(r));
+        if (deferred_error_ == CuResult::Success)
+            deferred_error_ = r;
+    }
+}
+
+CuResult
+LakeDaemon::drainDeferred(CuResult r)
+{
+    if (deferred_error_ != CuResult::Success) {
+        CuResult e = deferred_error_;
+        deferred_error_ = CuResult::Success;
+        return e;
+    }
+    return r;
+}
+
+void
+LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
+{
+    auto status = [&resp](CuResult r) {
+        resp.u32(static_cast<std::uint32_t>(r));
+    };
+
+    switch (id) {
+      case ApiId::CuMemAlloc: {
+        std::uint64_t bytes = dec.u64();
+        DevicePtr ptr = 0;
+        CuResult r = ctx_.memAlloc(&ptr, bytes);
+        status(r);
+        resp.u64(ptr);
+        break;
+      }
+      case ApiId::CuMemFree: {
+        DevicePtr ptr = dec.u64();
+        status(ctx_.memFree(ptr));
+        break;
+      }
+      case ApiId::CuMemcpyHtoD: {
+        // Marshalled path: payload travelled inside the command.
+        DevicePtr dst = dec.u64();
+        std::size_t n = 0;
+        const std::uint8_t *src = dec.bytes(&n);
+        if (!dec.ok()) {
+            status(CuResult::InvalidValue);
+            break;
+        }
+        status(ctx_.memcpyHtoD(dst, src, n));
+        break;
+      }
+      case ApiId::CuMemcpyDtoH: {
+        DevicePtr src = dec.u64();
+        std::uint64_t n = dec.u64();
+        std::vector<std::uint8_t> tmp(n);
+        CuResult r = ctx_.memcpyDtoH(tmp.data(), src, n);
+        status(r);
+        if (r == CuResult::Success)
+            resp.bytes(tmp.data(), tmp.size());
+        else
+            resp.bytes(nullptr, 0);
+        break;
+      }
+      case ApiId::CuMemcpyHtoDShm:
+      case ApiId::CuMemcpyHtoDShmAsync: {
+        // Zero-copy path: the command carries only the shm offset.
+        DevicePtr dst = dec.u64();
+        shm::ShmOffset off = dec.u64();
+        std::uint64_t n = dec.u64();
+        std::uint32_t stream = dec.u32();
+        const void *src = arena_.at(off);
+        if (id == ApiId::CuMemcpyHtoDShm) {
+            status(drainDeferred(ctx_.memcpyHtoD(dst, src, n)));
+        } else {
+            recordDeferred(ctx_.memcpyHtoDAsync(dst, src, n, stream));
+        }
+        break;
+      }
+      case ApiId::CuMemcpyDtoHShm:
+      case ApiId::CuMemcpyDtoHShmAsync: {
+        DevicePtr src = dec.u64();
+        shm::ShmOffset off = dec.u64();
+        std::uint64_t n = dec.u64();
+        std::uint32_t stream = dec.u32();
+        void *dst = arena_.at(off);
+        if (id == ApiId::CuMemcpyDtoHShm) {
+            status(drainDeferred(ctx_.memcpyDtoH(dst, src, n)));
+        } else {
+            recordDeferred(ctx_.memcpyDtoHAsync(dst, src, n, stream));
+        }
+        break;
+      }
+      case ApiId::CuLaunchKernel: {
+        gpu::LaunchConfig cfg;
+        cfg.kernel = dec.str();
+        cfg.grid_x = dec.u32();
+        cfg.block_x = dec.u32();
+        std::uint32_t nargs = dec.u32();
+        for (std::uint32_t i = 0; i < nargs; ++i)
+            cfg.args.push_back(dec.u64());
+        std::uint32_t stream = dec.u32();
+        if (!dec.ok()) {
+            recordDeferred(CuResult::InvalidValue);
+            break;
+        }
+        recordDeferred(ctx_.launchKernel(cfg, stream));
+        break;
+      }
+      case ApiId::CuStreamSynchronize: {
+        std::uint32_t stream = dec.u32();
+        status(drainDeferred(ctx_.streamSynchronize(stream)));
+        break;
+      }
+      case ApiId::CuCtxSynchronize: {
+        status(drainDeferred(ctx_.ctxSynchronize()));
+        break;
+      }
+      case ApiId::NvmlGetUtilization: {
+        clock_.advance(gpu::Nvml::kQueryCost);
+        gpu::NvmlUtilization u = nvml_.utilization(clock_.now());
+        status(CuResult::Success);
+        resp.f32(static_cast<float>(u.gpu));
+        resp.f32(static_cast<float>(u.memory));
+        break;
+      }
+      default:
+        warn("lakeD: unknown API id %u", static_cast<unsigned>(id));
+        status(CuResult::InvalidValue);
+        break;
+    }
+}
+
+} // namespace lake::remote

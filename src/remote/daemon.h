@@ -1,0 +1,114 @@
+#ifndef LAKE_REMOTE_DAEMON_H
+#define LAKE_REMOTE_DAEMON_H
+
+/**
+ * @file
+ * lakeD: the user-space daemon that realizes remoted APIs.
+ *
+ * "lakeD is a user space daemon that listens for commands coming from
+ * lakeLib, deserializes them and executes the requested APIs" (§4). It
+ * holds the only GpuContext — kernel space never touches the vendor
+ * stack directly. High-level APIs (§4.4, e.g. TensorFlow-backed model
+ * inference) are added by registering named handlers, mirroring how the
+ * real lakeD grows a new entry point per manually-added API.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "base/time.h"
+#include "channel/channel.h"
+#include "gpu/context.h"
+#include "gpu/nvml.h"
+#include "remote/wire.h"
+#include "shm/arena.h"
+
+namespace lake::remote {
+
+/**
+ * Command dispatch loop.
+ */
+class LakeDaemon
+{
+  public:
+    /**
+     * A high-level API implementation. Reads its arguments from the
+     * decoder and appends its results to the encoder (the daemon has
+     * already written the seq echo and an Ok status).
+     */
+    using Handler = std::function<void(Decoder &, Encoder &)>;
+
+    /**
+     * @param chan  command channel shared with lakeLib
+     * @param arena lakeShm region shared with kernel space
+     * @param dev   the accelerator
+     * @param clock virtual clock (shared with the kernel context in the
+     *              synchronous RPC regime)
+     */
+    LakeDaemon(channel::Channel &chan, shm::ShmArena &arena,
+               gpu::Device &dev, Clock &clock);
+
+    /** Drains and executes every pending command. */
+    void processPending();
+
+    /**
+     * Registers (or replaces) the implementation of a high-level API.
+     * @param name API name the kernel side passes to highLevelCall
+     * @param cost fixed modeled execution cost charged per invocation
+     *             on top of whatever GPU work the handler performs
+     */
+    void registerHighLevel(const std::string &name, Handler handler,
+                           Nanos cost = 0);
+
+    /** The daemon's GPU context (handlers may use it directly). */
+    gpu::GpuContext &gpuContext() { return ctx_; }
+
+    /** Shared memory region. */
+    shm::ShmArena &arena() { return arena_; }
+
+    /** Commands executed since start. */
+    std::uint64_t commandsHandled() const { return handled_; }
+
+  private:
+    /** Executes one command buffer and sends the response. */
+    void handleOne(const std::vector<std::uint8_t> &buf);
+
+    /** Dispatches the CUDA driver API subset. */
+    void handleCuda(ApiId id, Decoder &dec, Encoder &resp);
+
+    /** Stores the first failure of a one-way command. */
+    void recordDeferred(gpu::CuResult r);
+
+    /**
+     * Merges the pending deferred error (if any) into a synchronizing
+     * call's result and clears it.
+     */
+    gpu::CuResult drainDeferred(gpu::CuResult r);
+
+    channel::Channel &chan_;
+    shm::ShmArena &arena_;
+    Clock &clock_;
+    gpu::GpuContext ctx_;
+    gpu::Nvml nvml_;
+
+    struct HighLevel
+    {
+        Handler handler;
+        Nanos cost;
+    };
+    std::unordered_map<std::string, HighLevel> high_level_;
+
+    /**
+     * First failure of a one-way (async) command since the last
+     * synchronizing call, per CUDA's deferred-error contract.
+     */
+    gpu::CuResult deferred_error_ = gpu::CuResult::Success;
+
+    std::uint64_t handled_ = 0;
+};
+
+} // namespace lake::remote
+
+#endif // LAKE_REMOTE_DAEMON_H

@@ -1,0 +1,223 @@
+#include "remote/lakelib.h"
+
+#include <cstring>
+#include <utility>
+
+#include "base/logging.h"
+#include "remote/wire.h"
+
+namespace lake::remote {
+
+using gpu::CuResult;
+using gpu::DevicePtr;
+
+LakeLib::LakeLib(channel::Channel &chan, shm::ShmArena &arena,
+                 Doorbell doorbell)
+    : chan_(chan), arena_(arena), doorbell_(std::move(doorbell))
+{
+    LAKE_ASSERT(doorbell_ != nullptr, "lakeLib requires a doorbell");
+}
+
+std::vector<std::uint8_t>
+LakeLib::rpc(std::vector<std::uint8_t> cmd)
+{
+    using Dir = channel::Channel::Dir;
+    ++calls_;
+    std::uint32_t seq = next_seq_ - 1; // sequence used by the caller
+
+    chan_.send(Dir::KernelToUser, std::move(cmd));
+    doorbell_();
+    std::vector<std::uint8_t> resp = chan_.recv(Dir::UserToKernel);
+
+    LAKE_ASSERT(resp.size() >= 4, "short response from lakeD");
+    std::uint32_t echo = 0;
+    std::memcpy(&echo, resp.data(), sizeof(echo));
+    LAKE_ASSERT(echo == seq, "response seq %u != expected %u", echo, seq);
+    return resp;
+}
+
+gpu::CuResult
+LakeLib::statusRpc(std::vector<std::uint8_t> cmd)
+{
+    std::vector<std::uint8_t> resp = rpc(std::move(cmd));
+    Decoder dec(resp);
+    dec.u32(); // seq echo
+    return static_cast<CuResult>(dec.u32());
+}
+
+void
+LakeLib::post(std::vector<std::uint8_t> cmd)
+{
+    // One-way command: failures surface at the next synchronizing call
+    // (CUDA's asynchronous-error contract), so no response is awaited —
+    // the caller only pays the send-side cost.
+    ++calls_;
+    chan_.send(channel::Channel::Dir::KernelToUser, std::move(cmd));
+    doorbell_();
+}
+
+CuResult
+LakeLib::cuMemAlloc(DevicePtr *out, std::size_t bytes)
+{
+    if (out == nullptr)
+        return CuResult::InvalidValue;
+    Encoder cmd = makeCommand(ApiId::CuMemAlloc, next_seq_++);
+    cmd.u64(bytes);
+    std::vector<std::uint8_t> resp = rpc(cmd.take());
+    Decoder dec(resp);
+    dec.u32(); // seq
+    auto r = static_cast<CuResult>(dec.u32());
+    *out = dec.u64();
+    return r;
+}
+
+CuResult
+LakeLib::cuMemFree(DevicePtr ptr)
+{
+    Encoder cmd = makeCommand(ApiId::CuMemFree, next_seq_++);
+    cmd.u64(ptr);
+    return statusRpc(cmd.take());
+}
+
+CuResult
+LakeLib::cuMemcpyHtoD(DevicePtr dst, const void *src, std::size_t bytes)
+{
+    if (src == nullptr)
+        return CuResult::InvalidValue;
+    // Marshalled: the payload is copied into the command and again out
+    // of it in lakeD — the double buffering §3 calls out.
+    bytes_marshalled_ += bytes;
+    Encoder cmd = makeCommand(ApiId::CuMemcpyHtoD, next_seq_++);
+    cmd.u64(dst).bytes(src, bytes);
+    return statusRpc(cmd.take());
+}
+
+CuResult
+LakeLib::cuMemcpyDtoH(void *dst, DevicePtr src, std::size_t bytes)
+{
+    if (dst == nullptr)
+        return CuResult::InvalidValue;
+    bytes_marshalled_ += bytes;
+    Encoder cmd = makeCommand(ApiId::CuMemcpyDtoH, next_seq_++);
+    cmd.u64(src).u64(bytes);
+    std::vector<std::uint8_t> resp = rpc(cmd.take());
+    Decoder dec(resp);
+    dec.u32(); // seq
+    auto r = static_cast<CuResult>(dec.u32());
+    std::size_t n = 0;
+    const std::uint8_t *data = dec.bytes(&n);
+    if (r == CuResult::Success) {
+        if (n != bytes || data == nullptr)
+            return CuResult::InvalidValue;
+        std::memcpy(dst, data, n);
+    }
+    return r;
+}
+
+CuResult
+LakeLib::cuMemcpyHtoDShm(DevicePtr dst, shm::ShmOffset src,
+                         std::size_t bytes)
+{
+    Encoder cmd = makeCommand(ApiId::CuMemcpyHtoDShm, next_seq_++);
+    cmd.u64(dst).u64(src).u64(bytes).u32(0);
+    return statusRpc(cmd.take());
+}
+
+CuResult
+LakeLib::cuMemcpyDtoHShm(shm::ShmOffset dst, DevicePtr src,
+                         std::size_t bytes)
+{
+    Encoder cmd = makeCommand(ApiId::CuMemcpyDtoHShm, next_seq_++);
+    cmd.u64(src).u64(dst).u64(bytes).u32(0);
+    return statusRpc(cmd.take());
+}
+
+CuResult
+LakeLib::cuMemcpyHtoDShmAsync(DevicePtr dst, shm::ShmOffset src,
+                              std::size_t bytes, std::uint32_t stream)
+{
+    Encoder cmd = makeCommand(ApiId::CuMemcpyHtoDShmAsync, next_seq_++);
+    cmd.u64(dst).u64(src).u64(bytes).u32(stream);
+    post(cmd.take());
+    return CuResult::Success;
+}
+
+CuResult
+LakeLib::cuMemcpyDtoHShmAsync(shm::ShmOffset dst, DevicePtr src,
+                              std::size_t bytes, std::uint32_t stream)
+{
+    Encoder cmd = makeCommand(ApiId::CuMemcpyDtoHShmAsync, next_seq_++);
+    cmd.u64(src).u64(dst).u64(bytes).u32(stream);
+    post(cmd.take());
+    return CuResult::Success;
+}
+
+CuResult
+LakeLib::cuLaunchKernel(const gpu::LaunchConfig &cfg, std::uint32_t stream)
+{
+    Encoder cmd = makeCommand(ApiId::CuLaunchKernel, next_seq_++);
+    cmd.str(cfg.kernel);
+    cmd.u32(cfg.grid_x).u32(cfg.block_x);
+    cmd.u32(static_cast<std::uint32_t>(cfg.args.size()));
+    for (std::uint64_t a : cfg.args)
+        cmd.u64(a);
+    cmd.u32(stream);
+    post(cmd.take());
+    return CuResult::Success;
+}
+
+CuResult
+LakeLib::cuStreamSynchronize(std::uint32_t stream)
+{
+    Encoder cmd = makeCommand(ApiId::CuStreamSynchronize, next_seq_++);
+    cmd.u32(stream);
+    return statusRpc(cmd.take());
+}
+
+CuResult
+LakeLib::cuCtxSynchronize()
+{
+    Encoder cmd = makeCommand(ApiId::CuCtxSynchronize, next_seq_++);
+    return statusRpc(cmd.take());
+}
+
+CuResult
+LakeLib::nvmlGetUtilization(RemoteUtilization *out)
+{
+    if (out == nullptr)
+        return CuResult::InvalidValue;
+    Encoder cmd = makeCommand(ApiId::NvmlGetUtilization, next_seq_++);
+    std::vector<std::uint8_t> resp = rpc(cmd.take());
+    Decoder dec(resp);
+    dec.u32(); // seq
+    auto r = static_cast<CuResult>(dec.u32());
+    out->gpu = dec.f32();
+    out->memory = dec.f32();
+    return r;
+}
+
+Result<std::vector<std::uint8_t>>
+LakeLib::highLevelCall(const std::string &name,
+                       const std::vector<std::uint8_t> &args)
+{
+    Encoder cmd = makeCommand(ApiId::HighLevelCall, next_seq_++);
+    cmd.str(name);
+    // Args ride verbatim after the name; the handler owns their format.
+    std::vector<std::uint8_t> buf = cmd.take();
+    buf.insert(buf.end(), args.begin(), args.end());
+
+    std::vector<std::uint8_t> resp = rpc(std::move(buf));
+    Decoder dec(resp);
+    dec.u32(); // seq
+    auto r = static_cast<CuResult>(dec.u32());
+    if (r != CuResult::Success) {
+        return Result<std::vector<std::uint8_t>>(
+            Status(Code::NotFound, std::string("high-level API '") + name +
+                                       "' failed: " + cuResultName(r)));
+    }
+    // Hand back the remainder of the response after seq + status.
+    std::vector<std::uint8_t> payload(resp.begin() + 8, resp.end());
+    return Result<std::vector<std::uint8_t>>(std::move(payload));
+}
+
+} // namespace lake::remote

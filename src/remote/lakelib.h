@@ -1,0 +1,156 @@
+#ifndef LAKE_REMOTE_LAKELIB_H
+#define LAKE_REMOTE_LAKELIB_H
+
+/**
+ * @file
+ * lakeLib: the kernel-side API provider.
+ *
+ * "lakeLib is a kernel module that exposes APIs such as the vendor's
+ * user space library of an accelerator as symbols to kernel space"
+ * (§4). Each method here is one exported symbol: it serializes an API
+ * identifier plus parameters into a command, ships it over the channel,
+ * rings the doorbell that wakes lakeD, and blocks (in virtual time) on
+ * the response.
+ *
+ * Bulk data has two paths, matching §4.1's operation classes:
+ *  - *marshalled*: the buffer rides inside the command and is copied at
+ *    each boundary — the "extra data copies" LAKE exists to avoid;
+ *  - *shm* (copiable memory allocations): the buffer lives in lakeShm
+ *    and only its offset crosses, the zero-copy fast path.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "base/time.h"
+#include "channel/channel.h"
+#include "gpu/device.h"
+#include "gpu/kernels.h"
+#include "shm/arena.h"
+
+namespace lake::remote {
+
+/** GPU utilization pair returned by the remoted NVML query. */
+struct RemoteUtilization
+{
+    float gpu = 0.0f;
+    float memory = 0.0f;
+};
+
+/**
+ * Kernel-space stub library.
+ */
+class LakeLib
+{
+  public:
+    /**
+     * Wakes the daemon to drain the command queue. In the real system
+     * this is the Netlink doorbell; here the LAKE core wires it to
+     * LakeDaemon::processPending so the synchronous RPC completes
+     * within the caller's turn.
+     */
+    using Doorbell = std::function<void()>;
+
+    /**
+     * @param chan     command channel shared with lakeD
+     * @param arena    lakeShm region
+     * @param doorbell daemon wakeup
+     */
+    LakeLib(channel::Channel &chan, shm::ShmArena &arena,
+            Doorbell doorbell);
+
+    /// @name CUDA driver API exported to kernel space
+    /// @{
+
+    /** cuMemAlloc. */
+    gpu::CuResult cuMemAlloc(gpu::DevicePtr *out, std::size_t bytes);
+    /** cuMemFree. */
+    gpu::CuResult cuMemFree(gpu::DevicePtr ptr);
+
+    /** cuMemcpyHtoD from an ordinary kernel buffer (marshalled). */
+    gpu::CuResult cuMemcpyHtoD(gpu::DevicePtr dst, const void *src,
+                               std::size_t bytes);
+    /** cuMemcpyDtoH into an ordinary kernel buffer (marshalled). */
+    gpu::CuResult cuMemcpyDtoH(void *dst, gpu::DevicePtr src,
+                               std::size_t bytes);
+
+    /** cuMemcpyHtoD from a lakeShm buffer (zero-copy). */
+    gpu::CuResult cuMemcpyHtoDShm(gpu::DevicePtr dst, shm::ShmOffset src,
+                                  std::size_t bytes);
+    /** cuMemcpyDtoH into a lakeShm buffer (zero-copy). */
+    gpu::CuResult cuMemcpyDtoHShm(shm::ShmOffset dst, gpu::DevicePtr src,
+                                  std::size_t bytes);
+    /**
+     * Async HtoD from lakeShm on @p stream. One-way command: always
+     * returns Success; failures surface at the next synchronizing call.
+     */
+    gpu::CuResult cuMemcpyHtoDShmAsync(gpu::DevicePtr dst,
+                                       shm::ShmOffset src,
+                                       std::size_t bytes,
+                                       std::uint32_t stream);
+    /** Async DtoH into lakeShm on @p stream (one-way, like HtoD). */
+    gpu::CuResult cuMemcpyDtoHShmAsync(shm::ShmOffset dst,
+                                       gpu::DevicePtr src,
+                                       std::size_t bytes,
+                                       std::uint32_t stream);
+
+    /**
+     * cuLaunchKernel. One-way: always returns Success; launch failures
+     * (unknown kernel, bad pointers) are reported by the next
+     * synchronizing call, matching CUDA's asynchronous-error contract.
+     */
+    gpu::CuResult cuLaunchKernel(const gpu::LaunchConfig &cfg,
+                                 std::uint32_t stream = 0);
+    /** cuStreamSynchronize. */
+    gpu::CuResult cuStreamSynchronize(std::uint32_t stream);
+    /** cuCtxSynchronize. */
+    gpu::CuResult cuCtxSynchronize();
+
+    /// @}
+
+    /** Remoted nvmlDeviceGetUtilizationRates. */
+    gpu::CuResult nvmlGetUtilization(RemoteUtilization *out);
+
+    /**
+     * Invokes a high-level API (§4.4) by name with opaque arguments.
+     * @return the handler's response payload on success.
+     */
+    Result<std::vector<std::uint8_t>>
+    highLevelCall(const std::string &name,
+                  const std::vector<std::uint8_t> &args);
+
+    /** The lakeShm arena (kernel code allocates staging buffers here). */
+    shm::ShmArena &arena() { return arena_; }
+
+    /** Remoted calls issued since construction. */
+    std::uint64_t calls() const { return calls_; }
+    /** Bytes marshalled through command payloads (not shm). */
+    std::uint64_t bytesMarshalled() const { return bytes_marshalled_; }
+
+  private:
+    /**
+     * Sends one command, wakes the daemon, and returns the response
+     * body positioned after the verified sequence echo.
+     */
+    std::vector<std::uint8_t> rpc(std::vector<std::uint8_t> cmd);
+
+    /** Runs an RPC whose response is just a status code. */
+    gpu::CuResult statusRpc(std::vector<std::uint8_t> cmd);
+
+    /** Sends a one-way command (no response expected). */
+    void post(std::vector<std::uint8_t> cmd);
+
+    channel::Channel &chan_;
+    shm::ShmArena &arena_;
+    Doorbell doorbell_;
+    std::uint32_t next_seq_ = 1;
+    std::uint64_t calls_ = 0;
+    std::uint64_t bytes_marshalled_ = 0;
+};
+
+} // namespace lake::remote
+
+#endif // LAKE_REMOTE_LAKELIB_H

@@ -1,0 +1,148 @@
+#include "remote/wire.h"
+
+namespace lake::remote {
+
+const char *
+apiName(ApiId id)
+{
+    switch (id) {
+      case ApiId::CuMemAlloc:           return "cuMemAlloc";
+      case ApiId::CuMemFree:            return "cuMemFree";
+      case ApiId::CuMemcpyHtoD:         return "cuMemcpyHtoD";
+      case ApiId::CuMemcpyDtoH:         return "cuMemcpyDtoH";
+      case ApiId::CuMemcpyHtoDShm:      return "cuMemcpyHtoD[shm]";
+      case ApiId::CuMemcpyDtoHShm:      return "cuMemcpyDtoH[shm]";
+      case ApiId::CuMemcpyHtoDShmAsync: return "cuMemcpyHtoDAsync[shm]";
+      case ApiId::CuMemcpyDtoHShmAsync: return "cuMemcpyDtoHAsync[shm]";
+      case ApiId::CuLaunchKernel:       return "cuLaunchKernel";
+      case ApiId::CuStreamSynchronize:  return "cuStreamSynchronize";
+      case ApiId::CuCtxSynchronize:     return "cuCtxSynchronize";
+      case ApiId::NvmlGetUtilization:   return "nvmlGetUtilization";
+      case ApiId::HighLevelCall:        return "highLevelCall";
+    }
+    return "unknown";
+}
+
+Encoder &
+Encoder::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+}
+
+Encoder &
+Encoder::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+}
+
+Encoder &
+Encoder::f32(float v)
+{
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return u32(bits);
+}
+
+Encoder &
+Encoder::bytes(const void *data, std::size_t n)
+{
+    u64(n);
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + n);
+    return *this;
+}
+
+Encoder &
+Encoder::str(const std::string &s)
+{
+    return bytes(s.data(), s.size());
+}
+
+bool
+Decoder::need(std::size_t n)
+{
+    if (!ok_ || pos_ + n > size_) {
+        ok_ = false;
+        return false;
+    }
+    return true;
+}
+
+std::uint32_t
+Decoder::u32()
+{
+    if (!need(4))
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+Decoder::u64()
+{
+    if (!need(8))
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+float
+Decoder::f32()
+{
+    std::uint32_t bits = u32();
+    float v = 0.0f;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+const std::uint8_t *
+Decoder::bytes(std::size_t *n)
+{
+    std::uint64_t len = u64();
+    if (!need(static_cast<std::size_t>(len))) {
+        *n = 0;
+        return nullptr;
+    }
+    const std::uint8_t *p = data_ + pos_;
+    pos_ += static_cast<std::size_t>(len);
+    *n = static_cast<std::size_t>(len);
+    return p;
+}
+
+std::string
+Decoder::str()
+{
+    std::size_t n = 0;
+    const std::uint8_t *p = bytes(&n);
+    return p ? std::string(reinterpret_cast<const char *>(p), n)
+             : std::string();
+}
+
+Encoder
+makeCommand(ApiId id, std::uint32_t seq)
+{
+    Encoder enc;
+    enc.u32(static_cast<std::uint32_t>(id)).u32(seq);
+    return enc;
+}
+
+CommandHead
+readHead(Decoder &dec)
+{
+    CommandHead head;
+    head.id = static_cast<ApiId>(dec.u32());
+    head.seq = dec.u32();
+    return head;
+}
+
+} // namespace lake::remote

@@ -1,0 +1,125 @@
+#ifndef LAKE_REMOTE_WIRE_H
+#define LAKE_REMOTE_WIRE_H
+
+/**
+ * @file
+ * Wire format for LAKE commands.
+ *
+ * Every remoted call is "an API identifier and all of the API parameters
+ * serialized into a command" (§4). The format is little-endian,
+ * length-prefixed for variable fields, and versioned by the ApiId enum —
+ * exactly enough structure for the stub/daemon pair, nothing more.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace lake::remote {
+
+/** Identifiers of the APIs lakeLib exposes to kernel space. */
+enum class ApiId : std::uint32_t
+{
+    // CUDA driver API (§6: "CUDA driver API version 11.0").
+    CuMemAlloc = 1,
+    CuMemFree,
+    CuMemcpyHtoD,      //!< payload marshalled through the channel
+    CuMemcpyDtoH,
+    CuMemcpyHtoDShm,   //!< zero-copy: payload already in lakeShm
+    CuMemcpyDtoHShm,
+    CuMemcpyHtoDShmAsync,
+    CuMemcpyDtoHShmAsync,
+    CuLaunchKernel,
+    CuStreamSynchronize,
+    CuCtxSynchronize,
+
+    // NVML (used by contention policies, §4.3).
+    NvmlGetUtilization,
+
+    // High-level APIs (§4.4) dispatch by registered name.
+    HighLevelCall,
+};
+
+/** Printable API name. */
+const char *apiName(ApiId id);
+
+/** Serializes one command or response. */
+class Encoder
+{
+  public:
+    /** Appends a 32-bit little-endian value. */
+    Encoder &u32(std::uint32_t v);
+    /** Appends a 64-bit little-endian value. */
+    Encoder &u64(std::uint64_t v);
+    /** Appends a 32-bit float. */
+    Encoder &f32(float v);
+    /** Appends a length-prefixed byte block. */
+    Encoder &bytes(const void *data, std::size_t n);
+    /** Appends a length-prefixed UTF-8 string. */
+    Encoder &str(const std::string &s);
+
+    /** Takes the finished buffer. */
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+    /** Bytes encoded so far. */
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Deserializes one command or response; sticky failure on underrun. */
+class Decoder
+{
+  public:
+    /** @param buf serialized bytes (must outlive the decoder) */
+    explicit Decoder(const std::vector<std::uint8_t> &buf)
+        : data_(buf.data()), size_(buf.size())
+    {}
+
+    /** Reads a 32-bit value; 0 on underrun. */
+    std::uint32_t u32();
+    /** Reads a 64-bit value; 0 on underrun. */
+    std::uint64_t u64();
+    /** Reads a float; 0 on underrun. */
+    float f32();
+    /**
+     * Reads a length-prefixed byte block without copying.
+     * @return pointer into the buffer, and the length via @p n.
+     */
+    const std::uint8_t *bytes(std::size_t *n);
+    /** Reads a length-prefixed string. */
+    std::string str();
+
+    /** False once any read ran past the end. */
+    bool ok() const { return ok_; }
+    /** True when all bytes were consumed. */
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    bool need(std::size_t n);
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+/**
+ * Builds a command buffer starting with the ApiId and a sequence number.
+ */
+Encoder makeCommand(ApiId id, std::uint32_t seq);
+
+/** Parsed command prologue. */
+struct CommandHead
+{
+    ApiId id;
+    std::uint32_t seq;
+};
+
+/** Reads the prologue written by makeCommand. */
+CommandHead readHead(Decoder &dec);
+
+} // namespace lake::remote
+
+#endif // LAKE_REMOTE_WIRE_H

@@ -1,0 +1,90 @@
+#ifndef LAKE_SCHED_MLLB_H
+#define LAKE_SCHED_MLLB_H
+
+/**
+ * @file
+ * MLLB-style ML load balancing (§7.3).
+ *
+ * MLLB replaces the CFS can_migrate_task heuristic with a small
+ * network over per-candidate features: source/destination load, queue
+ * lengths, the task's own load contribution, cache hotness, NUMA
+ * distance, and preferred-CPU hints. This module provides a miniature
+ * multi-core run-queue model that produces migration candidates, the
+ * 22-feature encoding, ground-truth labelling (would the migration
+ * reduce imbalance net of cache/NUMA penalties?), and training.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "ml/mlp.h"
+
+namespace lake::sched {
+
+/** Feature width of the MLLB model. */
+constexpr std::size_t kMllbFeatures = 22;
+
+/** A runnable task in the mini scheduler. */
+struct Task
+{
+    std::uint32_t load = 1024;   //!< CFS-style load weight
+    std::uint32_t last_cpu = 0;  //!< where it last ran (cache hotness)
+    std::uint64_t ran_recently = 0; //!< ns since it last ran on last_cpu
+};
+
+/**
+ * A snapshot of N cores with run queues, able to emit labelled
+ * migration candidates.
+ */
+class MiniScheduler
+{
+  public:
+    /**
+     * @param cores     core count (two NUMA nodes, split evenly)
+     * @param avg_tasks mean runnable tasks per core
+     */
+    MiniScheduler(std::size_t cores, double avg_tasks, Rng &rng);
+
+    /** Re-randomizes queues (a fresh imbalance episode). */
+    void randomize(Rng &rng);
+
+    /** One candidate migration with its feature encoding and label. */
+    struct Candidate
+    {
+        std::vector<float> x; //!< kMllbFeatures wide
+        int migrate = 0;      //!< ground truth: 1 = beneficial
+    };
+
+    /**
+     * Samples a candidate: the busiest core as source, a random task
+     * from it, and the least-loaded core as destination — the shape of
+     * CFS's pull balancing.
+     */
+    Candidate sampleCandidate(Rng &rng) const;
+
+    /** Total load on a core. */
+    std::uint64_t coreLoad(std::size_t core) const;
+    /** Core count. */
+    std::size_t cores() const { return queues_.size(); }
+
+  private:
+    /** NUMA distance between two cores (1.0 same node, else penalty). */
+    double numaDistance(std::size_t a, std::size_t b) const;
+
+    std::vector<std::vector<Task>> queues_;
+    double avg_tasks_ = 4.0;
+};
+
+/** Builds a labelled dataset of @p count candidates. */
+std::vector<MiniScheduler::Candidate>
+buildMllbDataset(std::size_t count, std::size_t cores, double avg_tasks,
+                 Rng &rng);
+
+/** Trains the MLLB migrate/don't-migrate classifier. */
+ml::Mlp trainMllbModel(const std::vector<MiniScheduler::Candidate> &data,
+                       std::size_t epochs, float lr, Rng &rng);
+
+} // namespace lake::sched
+
+#endif // LAKE_SCHED_MLLB_H

@@ -1,0 +1,119 @@
+#include "shm/arena.h"
+
+#include <limits>
+
+#include "base/logging.h"
+
+namespace lake::shm {
+
+ShmArena::ShmArena(std::size_t capacity) : region_(roundUp(capacity))
+{
+    LAKE_ASSERT(capacity > 0, "arena capacity must be positive");
+    free_by_offset_.emplace(0, region_.size());
+}
+
+std::size_t
+ShmArena::roundUp(std::size_t n)
+{
+    return (n + kAlign - 1) / kAlign * kAlign;
+}
+
+ShmOffset
+ShmArena::alloc(std::size_t bytes)
+{
+    if (bytes == 0)
+        bytes = 1;
+    std::size_t need = roundUp(bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Best fit: the smallest free block that satisfies the request.
+    auto best = free_by_offset_.end();
+    std::size_t best_size = std::numeric_limits<std::size_t>::max();
+    for (auto it = free_by_offset_.begin(); it != free_by_offset_.end();
+         ++it) {
+        if (it->second >= need && it->second < best_size) {
+            best = it;
+            best_size = it->second;
+            if (best_size == need)
+                break; // exact fit cannot be beaten
+        }
+    }
+    if (best == free_by_offset_.end())
+        return kNullOffset;
+
+    ShmOffset offset = best->first;
+    std::size_t block = best->second;
+    free_by_offset_.erase(best);
+    if (block > need)
+        free_by_offset_.emplace(offset + need, block - need);
+
+    live_.emplace(offset, need);
+    used_ += need;
+    return offset;
+}
+
+void
+ShmArena::free(ShmOffset offset)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = live_.find(offset);
+    LAKE_ASSERT(it != live_.end(), "free of unknown shm offset %llu",
+                static_cast<unsigned long long>(offset));
+    std::size_t size = it->second;
+    live_.erase(it);
+    used_ -= size;
+
+    auto [ins, ok] = free_by_offset_.emplace(offset, size);
+    LAKE_ASSERT(ok, "double free at shm offset %llu",
+                static_cast<unsigned long long>(offset));
+
+    // Coalesce with the following block.
+    auto next = std::next(ins);
+    if (next != free_by_offset_.end() &&
+        ins->first + ins->second == next->first) {
+        ins->second += next->second;
+        free_by_offset_.erase(next);
+    }
+    // Coalesce with the preceding block.
+    if (ins != free_by_offset_.begin()) {
+        auto prev = std::prev(ins);
+        if (prev->first + prev->second == ins->first) {
+            prev->second += ins->second;
+            free_by_offset_.erase(ins);
+        }
+    }
+}
+
+std::size_t
+ShmArena::sizeOf(ShmOffset offset) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = live_.find(offset);
+    return it == live_.end() ? 0 : it->second;
+}
+
+std::size_t
+ShmArena::used() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+}
+
+std::size_t
+ShmArena::liveAllocs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
+}
+
+std::size_t
+ShmArena::largestFree() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t best = 0;
+    for (const auto &[off, size] : free_by_offset_)
+        best = std::max(best, size);
+    return best;
+}
+
+} // namespace lake::shm

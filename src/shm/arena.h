@@ -1,0 +1,105 @@
+#ifndef LAKE_SHM_ARENA_H
+#define LAKE_SHM_ARENA_H
+
+/**
+ * @file
+ * lakeShm: the shared-memory arena between kernel applications and lakeD.
+ *
+ * The real system reserves a contiguous DMA region with
+ * dma_alloc_coherent at module load and mmaps the same physical pages
+ * into the lakeD process; "a best-fit based memory allocator algorithm
+ * is used" (§6). Here one heap allocation plays the part of the CMA
+ * region; the kernel context and the user context both hold the same
+ * ShmArena, so a buffer allocated on one side is readable on the other
+ * without copies — the zero-copy property the paper relies on.
+ *
+ * Cross-boundary references travel as byte offsets (ShmOffset), because
+ * in the real system kernel virtual addresses and lakeD's mmap addresses
+ * differ even though they name the same bytes.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace lake::shm {
+
+/** Position of a buffer within the arena, valid in both address spaces. */
+using ShmOffset = std::uint64_t;
+
+/** Sentinel for "no buffer". */
+constexpr ShmOffset kNullOffset = ~0ull;
+
+/**
+ * Contiguous region + best-fit allocator.
+ *
+ * Thread-safe: capture paths in kernel context and completion paths in
+ * lakeD may allocate concurrently.
+ */
+class ShmArena
+{
+  public:
+    /** Allocation alignment; matches a cache line. */
+    static constexpr std::size_t kAlign = 64;
+
+    /** @param capacity size of the shared region in bytes */
+    explicit ShmArena(std::size_t capacity);
+
+    ShmArena(const ShmArena &) = delete;
+    ShmArena &operator=(const ShmArena &) = delete;
+
+    /**
+     * Allocates @p bytes using best-fit.
+     * @return offset of the new buffer, or kNullOffset when no free
+     *         block is large enough.
+     */
+    ShmOffset alloc(std::size_t bytes);
+
+    /** Releases a buffer previously returned by alloc. */
+    void free(ShmOffset offset);
+
+    /** Pointer to a buffer (identical bytes from either context). */
+    void *
+    at(ShmOffset offset)
+    {
+        return region_.data() + offset;
+    }
+
+    /** Const pointer to a buffer. */
+    const void *
+    at(ShmOffset offset) const
+    {
+        return region_.data() + offset;
+    }
+
+    /** Size originally requested for a live buffer; 0 if unknown. */
+    std::size_t sizeOf(ShmOffset offset) const;
+
+    /** Total region capacity. */
+    std::size_t capacity() const { return region_.size(); }
+    /** Bytes currently handed out (after alignment rounding). */
+    std::size_t used() const;
+    /** Number of live allocations. */
+    std::size_t liveAllocs() const;
+    /** Size of the largest free block (fragmentation probe). */
+    std::size_t largestFree() const;
+
+  private:
+    /** Rounds a size up to the allocation alignment. */
+    static std::size_t roundUp(std::size_t n);
+
+    mutable std::mutex mu_;
+    std::vector<std::uint8_t> region_;
+    /** Free blocks by offset, for neighbour coalescing. */
+    std::map<ShmOffset, std::size_t> free_by_offset_;
+    /** Live allocation sizes (rounded) by offset. */
+    std::unordered_map<ShmOffset, std::size_t> live_;
+    std::size_t used_ = 0;
+};
+
+} // namespace lake::shm
+
+#endif // LAKE_SHM_ARENA_H

@@ -1,0 +1,40 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lake::sim {
+
+Resource::Resource(Simulator &simulator, std::string name)
+    : sim_(simulator), name_(std::move(name))
+{
+}
+
+Nanos
+Resource::submit(Nanos service, Done done)
+{
+    Nanos start = std::max(sim_.now(), busy_until_);
+    Nanos end = start + service;
+    busy_until_ = end;
+    busy_.addBusy(start, end);
+    if (done) {
+        sim_.schedule(end, [done = std::move(done), start, end] {
+            done(start, end);
+        });
+    }
+    return end;
+}
+
+Nanos
+Resource::readyAt() const
+{
+    return std::max(sim_.now(), busy_until_);
+}
+
+double
+Resource::utilization(Nanos window) const
+{
+    return busy_.utilization(sim_.now(), window);
+}
+
+} // namespace lake::sim

@@ -1,0 +1,69 @@
+#ifndef LAKE_SIM_RESOURCE_H
+#define LAKE_SIM_RESOURCE_H
+
+/**
+ * @file
+ * A shared, serially-serviced resource inside the event simulator.
+ *
+ * Models a GPU compute engine (or any device queue): submissions are
+ * serviced FIFO, one at a time; contention manifests as queueing delay —
+ * exactly the effect Fig. 1 measures when kernel inference work lands on
+ * a GPU already saturated by a user hashing job.
+ */
+
+#include <functional>
+#include <string>
+
+#include "base/stats.h"
+#include "base/time.h"
+#include "sim/simulator.h"
+
+namespace lake::sim {
+
+/**
+ * FIFO resource with busy-time accounting.
+ *
+ * Work submitted while the resource is busy queues behind in-flight
+ * work; each completed span is recorded in a BusyTracker so utilization
+ * can be queried NVML-style.
+ */
+class Resource
+{
+  public:
+    /** Called at completion with the span the work actually occupied. */
+    using Done = std::function<void(Nanos start, Nanos end)>;
+
+    /**
+     * @param simulator owning event loop (must outlive the resource)
+     * @param name      for diagnostics
+     */
+    Resource(Simulator &simulator, std::string name);
+
+    /**
+     * Enqueues @p service worth of work; @p done fires when it
+     * completes. Returns the predicted completion time.
+     */
+    Nanos submit(Nanos service, Done done = nullptr);
+
+    /** Earliest time new work could start (now if idle). */
+    Nanos readyAt() const;
+
+    /** Busy-span history for utilization queries. */
+    const BusyTracker &busy() const { return busy_; }
+
+    /** Percent busy over the trailing @p window ending now. */
+    double utilization(Nanos window) const;
+
+    /** Diagnostic name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    Simulator &sim_;
+    std::string name_;
+    Nanos busy_until_ = 0;
+    BusyTracker busy_;
+};
+
+} // namespace lake::sim
+
+#endif // LAKE_SIM_RESOURCE_H

@@ -1,0 +1,43 @@
+#include "sim/simulator.h"
+
+#include "base/logging.h"
+
+namespace lake::sim {
+
+void
+Simulator::schedule(Nanos when, Callback fn)
+{
+    LAKE_ASSERT(when >= now_, "scheduling into the past (%llu < %llu)",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(now_));
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+void
+Simulator::run()
+{
+    while (!queue_.empty()) {
+        // The callback may schedule new events, so pop before firing.
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++fired_;
+        ev.fn();
+    }
+}
+
+void
+Simulator::runUntil(Nanos deadline)
+{
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        ++fired_;
+        ev.fn();
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+}
+
+} // namespace lake::sim

@@ -1,0 +1,94 @@
+#ifndef LAKE_SIM_SIMULATOR_H
+#define LAKE_SIM_SIMULATOR_H
+
+/**
+ * @file
+ * Discrete-event simulator.
+ *
+ * The timeline experiments (Fig. 1, Fig. 13, Fig. 15) involve genuinely
+ * concurrent actors — a user-space hashing process and kernel-space
+ * predictors sharing one GPU. Rather than depending on host-thread
+ * scheduling (non-deterministic, machine-dependent), those experiments
+ * run on this event queue: actors schedule callbacks at virtual times
+ * and contend for sim::Resource objects.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/time.h"
+
+namespace lake::sim {
+
+/**
+ * A deterministic event loop over virtual time.
+ *
+ * Events at equal times fire in scheduling order (FIFO tie-break), so a
+ * run is a pure function of its inputs.
+ */
+class Simulator
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Simulator() = default;
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current virtual time (time of the most recently fired event). */
+    Nanos now() const { return now_; }
+
+    /** Schedules @p fn at absolute time @p when (>= now). */
+    void schedule(Nanos when, Callback fn);
+
+    /** Schedules @p fn @p delay after now. */
+    void scheduleIn(Nanos delay, Callback fn)
+    {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /** Runs until the queue drains. */
+    void run();
+
+    /**
+     * Runs events with time <= @p deadline, then advances now to the
+     * deadline even if the queue still holds later events.
+     */
+    void runUntil(Nanos deadline);
+
+    /** Number of events fired since construction. */
+    std::uint64_t eventsFired() const { return fired_; }
+
+    /** True when no events remain. */
+    bool idle() const { return queue_.empty(); }
+
+  private:
+    struct Event
+    {
+        Nanos when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Nanos now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace lake::sim
+
+#endif // LAKE_SIM_SIMULATOR_H

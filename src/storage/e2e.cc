@@ -1,0 +1,381 @@
+#include "storage/e2e.h"
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "base/logging.h"
+#include "ml/backends.h"
+#include "policy/mlgate.h"
+#include "registry/manager.h"
+#include "sim/simulator.h"
+#include "storage/linnos.h"
+
+namespace lake::storage {
+
+const char *
+e2eModeName(E2eMode m)
+{
+    switch (m) {
+      case E2eMode::Baseline: return "Baseline";
+      case E2eMode::CpuNn:    return "NN cpu";
+      case E2eMode::LakeNn:   return "NN LAKE";
+      case E2eMode::LakeAdaptive: return "NN LAKE+gate";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr std::size_t kDevices = 3;
+constexpr const char *kSys = "bio_latency_prediction";
+
+/** Names of the four explicit latency-history features. */
+const std::array<std::string, kLinnosHistory> kLatFeature = {
+    "io_lat0", "io_lat1", "io_lat2", "io_lat3"};
+
+/** One read waiting in a device's inference batch. */
+struct QueuedRead
+{
+    Io io;
+    Nanos arrival;
+    Nanos commit_ts;
+};
+
+/** Mutable per-device state of the experiment. */
+struct DeviceState
+{
+    std::unique_ptr<NvmeDevice> dev;
+    std::array<std::uint32_t, kLinnosHistory> history{};
+    std::vector<QueuedRead> queued;
+    bool flush_scheduled = false;
+    Nanos next_commit_ts = 1;
+    registry::Registry *reg = nullptr;
+};
+
+/** Builds the 31-feature matrix from registry feature vectors. */
+ml::Matrix
+featurize(const std::vector<registry::FeatureVector> &fvs)
+{
+    ml::Matrix x(fvs.size(), kLinnosFeatures);
+    for (std::size_t r = 0; r < fvs.size(); ++r) {
+        std::array<std::uint32_t, kLinnosHistory> hist{};
+        for (std::size_t h = 0; h < kLinnosHistory; ++h)
+            hist[h] =
+                static_cast<std::uint32_t>(fvs[r].get(kLatFeature[h]));
+        encodeLinnosFeatures(
+            static_cast<std::uint32_t>(fvs[r].get("pend_ios")), hist,
+            x.row(r));
+    }
+    return x;
+}
+
+} // namespace
+
+E2eResult
+runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
+{
+    LAKE_ASSERT(per_device.size() == kDevices,
+                "expected %zu trace specs, got %zu", kDevices,
+                per_device.size());
+    LAKE_ASSERT(config.mode == E2eMode::Baseline ||
+                    config.model != nullptr,
+                "prediction modes need a model");
+
+    sim::Simulator simr;
+    core::Lake lake;
+    E2eResult result;
+    PercentileTracker read_lats;
+    RunningStat read_stat;
+
+    std::uint64_t rr = 0; // round-robin reroute cursor
+    RunningStat batch_sizes;
+
+    // Optional GPU backend (LakeNn only).
+    std::unique_ptr<ml::LakeMlp> lake_mlp;
+    std::unique_ptr<ml::CpuMlp> cpu_mlp;
+    if (config.mode != E2eMode::Baseline) {
+        cpu_mlp = std::make_unique<ml::CpuMlp>(*config.model,
+                                               lake.kernelCpu());
+    }
+    bool lake_mode = config.mode == E2eMode::LakeNn ||
+                     config.mode == E2eMode::LakeAdaptive;
+    if (lake_mode) {
+        lake_mlp = std::make_unique<ml::LakeMlp>(
+            *config.model, lake.lib(), /*sync_copy=*/false,
+            config.batch_max);
+    }
+    policy::MlGate gate(config.gate);
+    bool use_gate = config.mode == E2eMode::LakeAdaptive;
+
+    std::array<DeviceState, kDevices> devs;
+    for (std::size_t d = 0; d < kDevices; ++d) {
+        devs[d].dev = std::make_unique<NvmeDevice>(
+            simr, config.device, config.seed * 1000003ull + d,
+            detail::format("nvme%zu", d));
+
+        if (lake_mode) {
+            registry::Schema schema;
+            schema.add("pend_ios");
+            for (const std::string &f : kLatFeature)
+                schema.add(f);
+            Status st = lake.registries().createRegistry(
+                devs[d].dev->name(), kSys, schema,
+                config.batch_max * 4);
+            LAKE_ASSERT(st.isOk(), "registry: %s",
+                        st.toString().c_str());
+            devs[d].reg =
+                lake.registries().find(devs[d].dev->name(), kSys);
+            devs[d].reg->registerPolicy(
+                std::make_unique<policy::BatchThresholdPolicy>(
+                    config.gpu_batch_threshold));
+            devs[d].reg->registerClassifier(
+                registry::Arch::Cpu,
+                [&cpu_mlp](const std::vector<registry::FeatureVector>
+                               &fvs) {
+                    ml::Matrix x = featurize(fvs);
+                    std::vector<int> c = cpu_mlp->classify(x);
+                    return std::vector<float>(c.begin(), c.end());
+                });
+            devs[d].reg->registerClassifier(
+                registry::Arch::Gpu,
+                [&lake_mlp](const std::vector<registry::FeatureVector>
+                                &fvs) {
+                    ml::Matrix x = featurize(fvs);
+                    std::vector<int> c = lake_mlp->classify(x);
+                    return std::vector<float>(c.begin(), c.end());
+                });
+            devs[d].reg->beginFvCapture(0);
+        }
+    }
+
+    // ---- completion bookkeeping -------------------------------------
+    auto onReadComplete = [&](std::size_t d, Nanos arrival, Nanos lat) {
+        Nanos total = simr.now() - arrival;
+        read_lats.add(toUs(total));
+        read_stat.add(toUs(total));
+        (void)lat;
+        DeviceState &ds = devs[d];
+        std::uint32_t lat_us = static_cast<std::uint32_t>(
+            toUs(simr.now() - arrival));
+        for (std::size_t i = kLinnosHistory - 1; i > 0; --i)
+            ds.history[i] = ds.history[i - 1];
+        ds.history[0] = lat_us;
+        if (ds.reg) {
+            for (std::size_t h = 0; h < kLinnosHistory; ++h)
+                ds.reg->captureFeature(kLatFeature[h], ds.history[h]);
+            ds.reg->captureFeature(
+                "pend_ios",
+                static_cast<std::uint64_t>(ds.dev->pending()));
+        }
+    };
+
+    // ---- submission helpers -----------------------------------------
+    auto submitRead = [&](std::size_t target, const Io &io,
+                          Nanos arrival) {
+        ++result.reads;
+        devs[target].dev->submit(io, [&, target, arrival](Nanos lat) {
+            onReadComplete(target, arrival, lat);
+        });
+    };
+
+    auto submitWrite = [&](std::size_t d, const Io &io) {
+        ++result.writes;
+        DeviceState &ds = devs[d];
+        ds.dev->submit(io, [&, d](Nanos) {
+            DeviceState &s = devs[d];
+            if (s.reg) {
+                s.reg->captureFeature(
+                    "pend_ios",
+                    static_cast<std::uint64_t>(s.dev->pending()));
+            }
+        });
+        if (ds.reg) {
+            ds.reg->captureFeature(
+                "pend_ios",
+                static_cast<std::uint64_t>(ds.dev->pending()));
+        }
+    };
+
+    // ---- LakeNn batch flush ------------------------------------------
+    std::function<void(std::size_t)> flush = [&](std::size_t d) {
+        DeviceState &ds = devs[d];
+        ds.flush_scheduled = false;
+        if (ds.queued.empty())
+            return;
+
+        // Listing 4: pull the ring, score it, act, truncate.
+        std::vector<registry::FeatureVector> fvs =
+            ds.reg->getFeatures();
+        std::unordered_map<Nanos, std::size_t> by_ts;
+        for (std::size_t i = 0; i < ds.queued.size(); ++i)
+            by_ts.emplace(ds.queued[i].commit_ts, i);
+        std::vector<registry::FeatureVector> batch;
+        std::vector<std::size_t> order;
+        for (auto &fv : fvs) {
+            auto it = by_ts.find(fv.ts_end);
+            if (it != by_ts.end()) {
+                batch.push_back(std::move(fv));
+                order.push_back(it->second);
+            }
+        }
+
+        // The §7.1 modulation gate: when recent batches produced no
+        // slow predictions, skip inference entirely — the I/Os go
+        // straight to their home device with zero added latency.
+        if (use_gate && !gate.shouldInfer(simr.now())) {
+            ++result.gated_batches;
+            std::vector<QueuedRead> queued = std::move(ds.queued);
+            ds.queued.clear();
+            ds.reg->truncateFeatures();
+            for (const QueuedRead &qr : queued)
+                submitRead(d, qr.io, qr.arrival);
+            return;
+        }
+
+        // Inference runs in the issuing context: its cost delays only
+        // this batch's reads (LinnOS performs inference inline in the
+        // submitter, not on a shared thread).
+        Clock &clk = lake.clock();
+        clk.advanceTo(simr.now());
+        Nanos t0 = clk.now();
+        std::vector<float> scores =
+            ds.reg->scoreFeatures(batch, clk.now());
+        Nanos infer = clk.now() - t0;
+        if (use_gate) {
+            std::size_t positives = 0;
+            for (float v : scores)
+                positives += v >= 0.5f ? 1 : 0;
+            gate.observe(positives, scores.size(), simr.now());
+        }
+
+        ++result.inference_batches;
+        batch_sizes.add(static_cast<double>(batch.size()));
+        if (ds.reg->lastEngine() == policy::Engine::Gpu)
+            ++result.gpu_batches;
+
+        std::vector<QueuedRead> queued = std::move(ds.queued);
+        ds.queued.clear();
+        ds.reg->truncateFeatures();
+
+        // GPU inference finishes the whole batch at once; the CPU
+        // fallback classifies sequentially, so read i resumes after
+        // (i+1)/n of the batch's inference time.
+        bool on_gpu = ds.reg->lastEngine() == policy::Engine::Gpu;
+        std::size_t n = order.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            Nanos done = on_gpu
+                             ? infer
+                             : infer * static_cast<Nanos>(i + 1) /
+                                   static_cast<Nanos>(n);
+            const QueuedRead &qr = queued[order[i]];
+            bool slow = scores[i] >= 0.5f;
+            std::size_t target = d;
+            if (slow) {
+                ++result.rerouted;
+                target = (d + 1 + (rr++ % (kDevices - 1))) % kDevices;
+            }
+            Io io = qr.io;
+            Nanos arrival = qr.arrival;
+            simr.scheduleIn(done, [&, target, io, arrival] {
+                submitRead(target, io, arrival);
+            });
+        }
+    };
+
+    // ---- arrivals -----------------------------------------------------
+    Rng trace_rng(config.seed);
+    for (std::size_t d = 0; d < kDevices; ++d) {
+        std::vector<TraceEvent> trace =
+            generateTrace(per_device[d], config.duration, trace_rng);
+        for (const TraceEvent &ev : trace) {
+            simr.schedule(ev.at, [&, d, ev] {
+                if (!ev.io.is_read) {
+                    submitWrite(d, ev.io);
+                    return;
+                }
+                DeviceState &ds = devs[d];
+
+                switch (config.mode) {
+                  case E2eMode::Baseline:
+                    submitRead(d, ev.io, simr.now());
+                    break;
+
+                  case E2eMode::CpuNn: {
+                    // LinnOS: synchronous per-I/O inference on the
+                    // issue path, in the submitting context.
+                    Clock &clk = lake.clock();
+                    clk.advanceTo(simr.now());
+                    Nanos t0 = clk.now();
+                    ml::Matrix x(1, kLinnosFeatures);
+                    encodeLinnosFeatures(
+                        static_cast<std::uint32_t>(ds.dev->pending()),
+                        ds.history, x.row(0));
+                    std::vector<int> cls = cpu_mlp->classify(x);
+                    Nanos infer = clk.now() - t0;
+
+                    bool slow = cls[0] == 1;
+                    std::size_t target = d;
+                    if (slow) {
+                        ++result.rerouted;
+                        target = (d + 1 + (rr++ % (kDevices - 1))) %
+                                 kDevices;
+                    }
+                    Nanos arrival = simr.now();
+                    Io io = ev.io;
+                    simr.scheduleIn(infer, [&, target, io, arrival] {
+                        submitRead(target, io, arrival);
+                    });
+                    break;
+                  }
+
+                  case E2eMode::LakeNn:
+                  case E2eMode::LakeAdaptive: {
+                    // While the modulation gate is closed, reads skip
+                    // the whole inference path — no batch-formation
+                    // wait, no feature vector — unless a probe is due.
+                    if (use_gate && gate.gated() &&
+                        !gate.probeDue(simr.now())) {
+                        ++result.gated_batches;
+                        submitRead(d, ev.io, simr.now());
+                        break;
+                    }
+                    // Listing 4: the arriving I/O becomes a feature
+                    // vector; flush on batch size or quantum.
+                    ds.reg->captureFeature(
+                        "pend_ios",
+                        static_cast<std::uint64_t>(ds.dev->pending()));
+                    Nanos ts = std::max(simr.now(), ds.next_commit_ts);
+                    ds.next_commit_ts = ts + 1;
+                    ds.reg->commitFvCapture(ts);
+                    ds.queued.push_back(
+                        QueuedRead{ev.io, simr.now(), ts});
+
+                    if (ds.queued.size() >= config.batch_max) {
+                        flush(d);
+                    } else if (!ds.flush_scheduled) {
+                        ds.flush_scheduled = true;
+                        simr.scheduleIn(config.quantum,
+                                        [&, d] { flush(d); });
+                    }
+                    break;
+                  }
+                }
+            });
+        }
+    }
+
+    simr.run();
+    // The quantum timers always fire inside the run, so every queued
+    // batch has been flushed by the time the event queue drains.
+
+    result.gate_closures = gate.closures();
+    result.avg_read_lat_us = read_stat.mean();
+    result.p95_read_lat_us = read_lats.percentile(95.0);
+    result.p99_read_lat_us = read_lats.percentile(99.0);
+    result.avg_batch = batch_sizes.mean();
+    return result;
+}
+
+} // namespace lake::storage

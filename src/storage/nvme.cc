@@ -1,0 +1,138 @@
+#include "storage/nvme.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace lake::storage {
+
+NvmeSpec
+NvmeSpec::samsung980Pro()
+{
+    NvmeSpec s;
+    s.name = "Samsung 980 Pro 1TB (PCIe 4.0)";
+    return s; // defaults are this device
+}
+
+NvmeSpec
+NvmeSpec::enterprise2019()
+{
+    NvmeSpec s;
+    s.name = "Enterprise SSD (LinnOS-era)";
+    s.read_base = 220_us;
+    s.write_base = 35_us;
+    s.read_gbps = 2.0;
+    s.write_gbps = 1.2;
+    s.cache_hit = 25_us;
+    s.cache_hit_rate = 0.15;
+    s.cache_max_bytes = 32 * 1024;
+    s.qd_knee = 4;
+    s.qd_penalty = 8_us;
+    s.tail_prob = 0.03;
+    s.tail_mean = 2000_us;
+    // Older devices: smaller over-provisioning, longer/likelier GC,
+    // worse read/write isolation.
+    s.gc_trigger_bytes = 16 << 20;
+    s.gc_duration_mean = 30_ms;
+    s.gc_read_penalty = 2000_us;
+    s.write_interference = 1.0;
+    s.interference_cap = 5000_us;
+    return s;
+}
+
+NvmeDevice::NvmeDevice(sim::Simulator &simulator, NvmeSpec spec,
+                       std::uint64_t seed, std::string name)
+    : sim_(simulator), spec_(std::move(spec)), rng_(seed),
+      name_(std::move(name))
+{
+}
+
+Nanos
+NvmeDevice::sampleLatency(const Io &io)
+{
+    if (!io.is_read) {
+        // Each written byte contributes to the chance of kicking off a
+        // GC storm; storms extend if re-triggered while active.
+        double p = static_cast<double>(io.bytes) /
+                   static_cast<double>(spec_.gc_trigger_bytes);
+        if (rng_.chance(p)) {
+            Nanos dur = static_cast<Nanos>(rng_.exponential(
+                static_cast<double>(spec_.gc_duration_mean)));
+            gc_until_ = std::max(gc_until_, sim_.now()) + dur;
+        }
+    }
+
+    Nanos lat;
+    double gbps;
+    if (io.is_read) {
+        bool storming = inGcStorm();
+        bool cacheable = io.bytes <= spec_.cache_max_bytes;
+        if (!storming && cacheable && rng_.chance(spec_.cache_hit_rate)) {
+            // DRAM hit: size-independent and queue-independent, the
+            // effect that flattens modern devices at low load.
+            return spec_.cache_hit +
+                   static_cast<Nanos>(rng_.exponential(2000.0));
+        }
+        lat = spec_.read_base;
+        gbps = spec_.read_gbps;
+
+        // GC storm: flash reads stall behind internal housekeeping.
+        if (storming)
+            lat += spec_.gc_read_penalty;
+
+        // Write interference: wait behind a share of the outstanding
+        // write stream.
+        if (write_bytes_inflight_ > 0) {
+            double wait = spec_.write_interference *
+                          static_cast<double>(write_bytes_inflight_) /
+                          spec_.write_gbps;
+            lat += std::min(static_cast<Nanos>(wait),
+                            spec_.interference_cap);
+        }
+    } else {
+        lat = spec_.write_base;
+        gbps = spec_.write_gbps;
+    }
+
+    lat += static_cast<Nanos>(static_cast<double>(io.bytes) / gbps);
+
+    if (pending_ > spec_.qd_knee)
+        lat += spec_.qd_penalty * (pending_ - spec_.qd_knee);
+
+    if (rng_.chance(spec_.tail_prob)) {
+        lat += static_cast<Nanos>(
+            rng_.exponential(static_cast<double>(spec_.tail_mean)));
+    }
+
+    // +-10% service jitter.
+    double jitter = rng_.uniform(0.9, 1.1);
+    return static_cast<Nanos>(static_cast<double>(lat) * jitter);
+}
+
+void
+NvmeDevice::submit(const Io &io, Done done)
+{
+    ++pending_;
+    if (!io.is_read)
+        write_bytes_inflight_ += io.bytes;
+    Nanos lat = sampleLatency(io);
+    bool is_read = io.is_read;
+    std::uint32_t bytes = io.bytes;
+    sim_.scheduleIn(lat, [this, lat, is_read, bytes,
+                          done = std::move(done)] {
+        LAKE_ASSERT(pending_ > 0, "completion without pending I/O");
+        --pending_;
+        if (!is_read) {
+            LAKE_ASSERT(write_bytes_inflight_ >= bytes,
+                        "write accounting underflow");
+            write_bytes_inflight_ -= bytes;
+        }
+        ++completed_;
+        lat_stat_.add(toUs(lat));
+        if (done)
+            done(lat);
+    });
+}
+
+} // namespace lake::storage

@@ -1,0 +1,130 @@
+#include "storage/trace.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace lake::storage {
+
+TraceSpec
+TraceSpec::azure()
+{
+    TraceSpec t;
+    t.name = "Azure";
+    t.avg_iops = 26000.0;
+    t.read_ratio = 0.72;
+    t.read_kb_mean = 30.0;
+    t.read_kb_std = 28.0;
+    t.write_kb_mean = 19.0;
+    t.write_kb_std = 16.0;
+    t.max_arrival = 324_us;
+    return t;
+}
+
+TraceSpec
+TraceSpec::bingI()
+{
+    TraceSpec t;
+    t.name = "Bing-I";
+    t.avg_iops = 4800.0;
+    t.read_ratio = 0.78;
+    t.read_kb_mean = 73.0;
+    t.read_kb_std = 65.0;
+    t.write_kb_mean = 59.0;
+    t.write_kb_std = 50.0;
+    t.max_arrival = 1800_us;
+    return t;
+}
+
+TraceSpec
+TraceSpec::cosmos()
+{
+    TraceSpec t;
+    t.name = "Cosmos";
+    t.avg_iops = 2500.0;
+    t.read_ratio = 0.68;
+    t.read_kb_mean = 657.0;
+    t.read_kb_std = 500.0;
+    t.write_kb_mean = 609.0;
+    t.write_kb_std = 480.0;
+    t.max_arrival = 1600_us;
+    return t;
+}
+
+TraceSpec
+TraceSpec::rerated(double factor) const
+{
+    LAKE_ASSERT(factor > 0.0, "re-rate factor must be positive");
+    TraceSpec t = *this;
+    t.avg_iops *= factor;
+    t.name += detail::format(" x%.1f", factor);
+    // Re-rating compresses inter-arrival times; the cap scales with it.
+    t.max_arrival = static_cast<Nanos>(
+        static_cast<double>(t.max_arrival) / factor);
+    return t;
+}
+
+std::vector<TraceEvent>
+generateTrace(const TraceSpec &spec, Nanos duration, Rng &rng)
+{
+    LAKE_ASSERT(spec.avg_iops > 0.0, "trace needs positive IOPS");
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<std::size_t>(
+        spec.avg_iops * toSec(duration) * 1.1));
+
+    double mean_gap_ns = 1e9 / spec.avg_iops;
+    Nanos t = 0;
+    while (true) {
+        double gap = std::min(rng.exponential(mean_gap_ns),
+                              static_cast<double>(spec.max_arrival));
+        t += static_cast<Nanos>(gap);
+        if (t >= duration)
+            break;
+
+        TraceEvent ev;
+        ev.at = t;
+        ev.io.is_read = rng.chance(spec.read_ratio);
+        double kb = ev.io.is_read
+                        ? rng.lognormalByMoments(spec.read_kb_mean,
+                                                 spec.read_kb_std)
+                        : rng.lognormalByMoments(spec.write_kb_mean,
+                                                 spec.write_kb_std);
+        // Round up to whole 4 KiB blocks, capped at 4 MiB per request.
+        double bytes = std::clamp(kb * 1024.0, 4096.0, 4096.0 * 1024.0);
+        ev.io.bytes = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(bytes) + 4095) / 4096 * 4096);
+        ev.io.offset =
+            rng.uniformInt(0, spec.span_bytes / 4096 - 1) * 4096;
+        out.push_back(ev);
+    }
+    return out;
+}
+
+TraceStats
+measureTrace(const std::vector<TraceEvent> &trace)
+{
+    TraceStats s;
+    s.count = trace.size();
+    if (trace.empty())
+        return s;
+
+    RunningStat reads, writes;
+    Nanos prev = 0;
+    s.min_arrival = ~0ull;
+    for (const TraceEvent &ev : trace) {
+        if (ev.io.is_read)
+            reads.add(ev.io.bytes / 1024.0);
+        else
+            writes.add(ev.io.bytes / 1024.0);
+        Nanos gap = ev.at - prev;
+        prev = ev.at;
+        s.min_arrival = std::min(s.min_arrival, gap);
+        s.max_arrival = std::max(s.max_arrival, gap);
+    }
+    s.read_kb_mean = reads.mean();
+    s.write_kb_mean = writes.mean();
+    s.iops = static_cast<double>(trace.size()) / toSec(trace.back().at);
+    return s;
+}
+
+} // namespace lake::storage

@@ -1,0 +1,328 @@
+// Unit tests for the base toolkit: rng distributions, statistics,
+// ring buffer, lock-free map, status/result, and virtual time.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "base/lockfree_map.h"
+#include "base/ring_buffer.h"
+#include "base/rng.h"
+#include "base/stats.h"
+#include "base/status.h"
+#include "base/time.h"
+
+namespace lake {
+namespace {
+
+TEST(TimeTest, LiteralsScale)
+{
+    EXPECT_EQ(1_us, 1000u);
+    EXPECT_EQ(1_ms, 1000u * 1000u);
+    EXPECT_EQ(1_s, 1000u * 1000u * 1000u);
+    EXPECT_DOUBLE_EQ(toUs(1500), 1.5);
+    EXPECT_DOUBLE_EQ(toMs(2'500'000), 2.5);
+}
+
+TEST(TimeTest, ClockMonotone)
+{
+    Clock c;
+    EXPECT_EQ(c.now(), 0u);
+    c.advance(5_us);
+    EXPECT_EQ(c.now(), 5000u);
+    c.advanceTo(3_us); // stale deadline: no-op
+    EXPECT_EQ(c.now(), 5000u);
+    c.advanceTo(9_us);
+    EXPECT_EQ(c.now(), 9000u);
+    c.reset();
+    EXPECT_EQ(c.now(), 0u);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+}
+
+TEST(RngTest, ExponentialMean)
+{
+    Rng rng(1);
+    RunningStat s;
+    for (int i = 0; i < 50000; ++i)
+        s.add(rng.exponential(250.0));
+    EXPECT_NEAR(s.mean(), 250.0, 5.0);
+}
+
+TEST(RngTest, LognormalMoments)
+{
+    Rng rng(2);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.lognormalByMoments(30.0, 28.0));
+    EXPECT_NEAR(s.mean(), 30.0, 1.0);
+    EXPECT_NEAR(s.stddev(), 28.0, 2.5);
+}
+
+TEST(RngTest, UniformIntBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.uniformInt(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+    }
+}
+
+TEST(RngTest, ChanceEdges)
+{
+    Rng rng(4);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RunningStatTest, Moments)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.1380899, 1e-6); // sample stddev
+}
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(PercentileTest, ExactRanks)
+{
+    PercentileTracker p;
+    for (int i = 1; i <= 100; ++i)
+        p.add(i);
+    EXPECT_NEAR(p.percentile(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(p.percentile(100.0), 100.0, 1e-9);
+    EXPECT_NEAR(p.percentile(50.0), 50.5, 1e-9);
+    EXPECT_NEAR(p.percentile(95.0), 95.05, 1e-9);
+}
+
+TEST(PercentileTest, AddAfterQuery)
+{
+    PercentileTracker p;
+    p.add(10.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 10.0);
+    p.add(20.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100.0), 20.0);
+}
+
+TEST(MovingAverageTest, Window)
+{
+    MovingAverage m(3);
+    EXPECT_DOUBLE_EQ(m.value(), 0.0);
+    m.add(3.0);
+    m.add(6.0);
+    EXPECT_FALSE(m.warm());
+    EXPECT_DOUBLE_EQ(m.value(), 4.5);
+    m.add(9.0);
+    EXPECT_TRUE(m.warm());
+    EXPECT_DOUBLE_EQ(m.value(), 6.0);
+    m.add(12.0); // 3.0 falls out
+    EXPECT_DOUBLE_EQ(m.value(), 9.0);
+}
+
+TEST(BusyTrackerTest, WindowedUtilization)
+{
+    BusyTracker b;
+    b.addBusy(0, 50);
+    b.addBusy(100, 150);
+    // Window [0, 200]: 100 busy of 200.
+    EXPECT_NEAR(b.utilization(200, 200), 50.0, 1e-9);
+    // Window [150, 200]: idle.
+    EXPECT_NEAR(b.utilization(200, 50), 0.0, 1e-9);
+    // Partial overlap: window [25, 125] covers 25 + 25 busy.
+    EXPECT_NEAR(b.utilization(125, 100), 50.0, 1e-9);
+    EXPECT_EQ(b.totalBusy(), 100u);
+}
+
+TEST(BusyTrackerTest, OutOfOrderSpans)
+{
+    BusyTracker b;
+    b.addBusy(100, 200);
+    b.addBusy(0, 50);
+    EXPECT_NEAR(b.utilization(200, 200), 75.0, 1e-9);
+}
+
+TEST(BusyTrackerTest, CompactDropsOldSpans)
+{
+    BusyTracker b;
+    b.addBusy(0, 10);
+    b.addBusy(100, 110);
+    b.compact(50);
+    EXPECT_NEAR(b.utilization(110, 10), 100.0, 1e-9);
+    EXPECT_EQ(b.totalBusy(), 20u); // total is cumulative
+}
+
+TEST(RateMeterTest, BucketsToRates)
+{
+    RateMeter m(1_s);
+    m.record(100_ms, 10.0);
+    m.record(900_ms, 20.0);
+    m.record(1500_ms, 5.0);
+    auto series = m.series();
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_DOUBLE_EQ(series[0].rate, 30.0);
+    EXPECT_DOUBLE_EQ(series[1].rate, 5.0);
+}
+
+TEST(RingBufferTest, FifoAndOverwrite)
+{
+    RingBuffer<int> r(3);
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.push(1));
+    EXPECT_FALSE(r.push(2));
+    EXPECT_FALSE(r.push(3));
+    EXPECT_TRUE(r.full());
+    EXPECT_TRUE(r.push(4)); // overwrites 1
+    EXPECT_EQ(r.front(), 2);
+    EXPECT_EQ(r.back(), 4);
+    EXPECT_EQ(r.pop(), 2);
+    EXPECT_EQ(r.pop(), 3);
+    EXPECT_EQ(r.pop(), 4);
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(RingBufferTest, Snapshot)
+{
+    RingBuffer<int> r(4);
+    for (int i = 0; i < 6; ++i)
+        r.push(i);
+    auto snap = r.snapshot();
+    ASSERT_EQ(snap.size(), 4u);
+    EXPECT_EQ(snap.front(), 2);
+    EXPECT_EQ(snap.back(), 5);
+}
+
+class RingBufferCapacityTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(RingBufferCapacityTest, KeepsLastCapacityElements)
+{
+    std::size_t cap = GetParam();
+    RingBuffer<std::size_t> r(cap);
+    const std::size_t total = 1000;
+    for (std::size_t i = 0; i < total; ++i)
+        r.push(i);
+    ASSERT_EQ(r.size(), std::min(cap, total));
+    for (std::size_t i = 0; i < r.size(); ++i)
+        EXPECT_EQ(r.at(i), total - r.size() + i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferCapacityTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 1000,
+                                           1024));
+
+TEST(LockFreeMapTest, PutGetAdd)
+{
+    LockFreeMap m(16);
+    std::uint64_t v = 0;
+    EXPECT_FALSE(m.get(42, &v));
+    m.put(42, 7);
+    EXPECT_TRUE(m.get(42, &v));
+    EXPECT_EQ(v, 7u);
+    m.add(42, 3);
+    EXPECT_TRUE(m.get(42, &v));
+    EXPECT_EQ(v, 10u);
+    m.add(42, -4);
+    EXPECT_TRUE(m.get(42, &v));
+    EXPECT_EQ(v, 6u);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(LockFreeMapTest, ManyKeysAndClear)
+{
+    LockFreeMap m(64);
+    for (std::uint64_t k = 1; k <= 64; ++k)
+        m.put(k, k * 10);
+    EXPECT_EQ(m.size(), 64u);
+    std::uint64_t v = 0;
+    for (std::uint64_t k = 1; k <= 64; ++k) {
+        ASSERT_TRUE(m.get(k, &v));
+        EXPECT_EQ(v, k * 10);
+    }
+    std::size_t seen = 0;
+    m.forEach([&](std::uint64_t, std::uint64_t) { ++seen; });
+    EXPECT_EQ(seen, 64u);
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_FALSE(m.get(1, &v));
+}
+
+TEST(LockFreeMapTest, ConcurrentIncrements)
+{
+    // §5.3: instrumentation calls may run on arbitrary kernel threads.
+    LockFreeMap m(8);
+    constexpr int kThreads = 8;
+    constexpr int kIters = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m] {
+            for (int i = 0; i < kIters; ++i)
+                m.add(99, 1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    std::uint64_t v = 0;
+    ASSERT_TRUE(m.get(99, &v));
+    EXPECT_EQ(v, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(LockFreeMapTest, ConcurrentDistinctKeys)
+{
+    LockFreeMap m(128);
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m, t] {
+            for (std::uint64_t k = 1; k <= 16; ++k)
+                m.put(k * 1000 + t, k);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(m.size(), 128u);
+}
+
+TEST(StatusTest, CodesAndMessages)
+{
+    Status ok;
+    EXPECT_TRUE(ok.isOk());
+    EXPECT_EQ(ok.toString(), "OK");
+
+    Status err(Code::NotFound, "missing thing");
+    EXPECT_FALSE(err.isOk());
+    EXPECT_EQ(err.code(), Code::NotFound);
+    EXPECT_EQ(err.toString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, ValueAndError)
+{
+    Result<int> good(41);
+    ASSERT_TRUE(good.isOk());
+    EXPECT_EQ(good.value(), 41);
+
+    Result<int> bad(Status(Code::Internal, "boom"));
+    EXPECT_FALSE(bad.isOk());
+    EXPECT_EQ(bad.status().code(), Code::Internal);
+}
+
+} // namespace
+} // namespace lake

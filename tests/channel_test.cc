@@ -1,0 +1,156 @@
+// Tests for the kernel/user communication channels (§6, Table 2, Fig 6).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "channel/channel.h"
+
+namespace lake::channel {
+namespace {
+
+using Dir = Channel::Dir;
+
+TEST(ChannelTest, RoundTripPreservesBytes)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+
+    std::vector<std::uint8_t> msg(300);
+    std::iota(msg.begin(), msg.end(), 0);
+    chan.send(Dir::KernelToUser, msg);
+    ASSERT_TRUE(chan.pending(Dir::KernelToUser));
+    EXPECT_EQ(chan.recv(Dir::KernelToUser), msg);
+    EXPECT_FALSE(chan.pending(Dir::KernelToUser));
+}
+
+TEST(ChannelTest, DirectionsAreIndependent)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    chan.send(Dir::KernelToUser, {1});
+    chan.send(Dir::UserToKernel, {2});
+    EXPECT_EQ(chan.recv(Dir::UserToKernel)[0], 2);
+    EXPECT_EQ(chan.recv(Dir::KernelToUser)[0], 1);
+}
+
+TEST(ChannelTest, FifoWithinDirection)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    chan.send(Dir::KernelToUser, {10});
+    chan.send(Dir::KernelToUser, {20});
+    EXPECT_EQ(chan.recv(Dir::KernelToUser)[0], 10);
+    EXPECT_EQ(chan.recv(Dir::KernelToUser)[0], 20);
+}
+
+TEST(ChannelTest, SendAndRecvChargeVirtualTime)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    chan.send(Dir::KernelToUser, std::vector<std::uint8_t>(64));
+    Nanos after_send = clock.now();
+    EXPECT_GT(after_send, 0u);
+    chan.recv(Dir::KernelToUser);
+    // Delivery completes the one-way cost.
+    EXPECT_GE(clock.now(), after_send);
+    EXPECT_NEAR(static_cast<double>(clock.now()),
+                static_cast<double>(chan.transferCost(64)), 1.0);
+}
+
+TEST(ChannelTest, StatsCount)
+{
+    Clock clock;
+    Channel chan(Kind::Mmap, clock);
+    chan.send(Dir::KernelToUser, std::vector<std::uint8_t>(100));
+    chan.send(Dir::UserToKernel, std::vector<std::uint8_t>(50));
+    EXPECT_EQ(chan.messagesSent(), 2u);
+    EXPECT_EQ(chan.bytesSent(), 150u);
+}
+
+TEST(ChannelCostTest, Table2Doorbells)
+{
+    // The defaults must reproduce Table 2 of the paper.
+    EXPECT_EQ(defaultModel(Kind::Signal).doorbell_call, 56_us);
+    EXPECT_EQ(defaultModel(Kind::Signal).doorbell_latency, 56_us);
+    EXPECT_EQ(defaultModel(Kind::DevRw).doorbell_call, 6_us);
+    EXPECT_EQ(defaultModel(Kind::DevRw).doorbell_latency, 57_us);
+    EXPECT_EQ(defaultModel(Kind::Netlink).doorbell_call, 11_us);
+    EXPECT_EQ(defaultModel(Kind::Netlink).doorbell_latency, 54_us);
+    EXPECT_EQ(defaultModel(Kind::Mmap).doorbell_call, 6_us);
+    EXPECT_EQ(defaultModel(Kind::Mmap).doorbell_latency, 6_us);
+    EXPECT_TRUE(defaultModel(Kind::Mmap).spins);
+    EXPECT_FALSE(defaultModel(Kind::Netlink).spins);
+}
+
+TEST(ChannelCostTest, Fig6FlatThenLinear)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    // Flat through the 4 KiB threshold...
+    Nanos small = chan.roundTripCost(128, 0);
+    EXPECT_EQ(chan.roundTripCost(4096, 0), small);
+    // ...then strictly increasing.
+    Nanos c8k = chan.roundTripCost(8192, 0);
+    Nanos c16k = chan.roundTripCost(16384, 0);
+    Nanos c32k = chan.roundTripCost(32768, 0);
+    EXPECT_GT(c8k, small);
+    EXPECT_GT(c16k, c8k);
+    EXPECT_GT(c32k, c16k);
+    // Past the threshold the marginal cost is linear: the 16K->32K
+    // increment doubles the 8K->16K increment.
+    EXPECT_NEAR(static_cast<double>(c32k - c16k),
+                2.0 * static_cast<double>(c16k - c8k),
+                static_cast<double>(c16k - c8k) * 0.05);
+    // And the small-message round trip matches Fig. 6's ~28 us.
+    EXPECT_NEAR(toUs(small), 28.0, 1.0);
+}
+
+TEST(ChannelCostTest, MmapFastestNetlinkChosen)
+{
+    // §6's conclusion: mmap is fastest but spins; Netlink is the best
+    // non-spinning transport.
+    Nanos mmap_rt = defaultModel(Kind::Mmap).rt_base;
+    Nanos netlink_rt = defaultModel(Kind::Netlink).rt_base;
+    Nanos devrw_rt = defaultModel(Kind::DevRw).rt_base;
+    Nanos signal_rt = defaultModel(Kind::Signal).rt_base;
+    EXPECT_LT(mmap_rt, netlink_rt);
+    EXPECT_LT(netlink_rt, devrw_rt);
+    EXPECT_LT(devrw_rt, signal_rt);
+}
+
+class ChannelKindTest : public ::testing::TestWithParam<Kind>
+{
+};
+
+TEST_P(ChannelKindTest, PayloadIntegrityAcrossSizes)
+{
+    Clock clock;
+    Channel chan(GetParam(), clock);
+    for (std::size_t size : {1u, 128u, 4096u, 32768u}) {
+        std::vector<std::uint8_t> msg(size);
+        for (std::size_t i = 0; i < size; ++i)
+            msg[i] = static_cast<std::uint8_t>(i * 31 + size);
+        chan.send(Dir::KernelToUser, msg);
+        EXPECT_EQ(chan.recv(Dir::KernelToUser), msg);
+    }
+}
+
+TEST_P(ChannelKindTest, CostMonotoneInSize)
+{
+    Clock clock;
+    Channel chan(GetParam(), clock);
+    Nanos prev = 0;
+    for (std::size_t size = 256; size <= 1 << 20; size *= 4) {
+        Nanos c = chan.transferCost(size);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ChannelKindTest,
+                         ::testing::Values(Kind::Signal, Kind::DevRw,
+                                           Kind::Netlink, Kind::Mmap));
+
+} // namespace
+} // namespace lake::channel

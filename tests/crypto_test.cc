@@ -1,0 +1,323 @@
+// Tests for AES, AES-GCM (against NIST vectors) and the cipher engines.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/lake.h"
+#include "crypto/aes.h"
+#include "crypto/engines.h"
+#include "crypto/gcm.h"
+
+namespace lake::crypto {
+namespace {
+
+std::vector<std::uint8_t>
+fromHex(const std::string &hex)
+{
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i + 1 < hex.size(); i += 2) {
+        out.push_back(static_cast<std::uint8_t>(
+            std::stoi(hex.substr(i, 2), nullptr, 16)));
+    }
+    return out;
+}
+
+std::string
+toHex(const std::uint8_t *data, std::size_t n)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out;
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+TEST(AesTest, Fips197Aes128Vector)
+{
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    auto plain = fromHex("00112233445566778899aabbccddeeff");
+    Aes aes(key.data(), key.size());
+    EXPECT_EQ(aes.rounds(), 10);
+
+    std::uint8_t out[16];
+    aes.encryptBlock(plain.data(), out);
+    EXPECT_EQ(toHex(out, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, Fips197Aes256Vector)
+{
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f"
+                       "101112131415161718191a1b1c1d1e1f");
+    auto plain = fromHex("00112233445566778899aabbccddeeff");
+    Aes aes(key.data(), key.size());
+    EXPECT_EQ(aes.rounds(), 14);
+
+    std::uint8_t out[16];
+    aes.encryptBlock(plain.data(), out);
+    EXPECT_EQ(toHex(out, 16), "8ea2b7ca516745bfeafc49904b496089");
+}
+
+TEST(AesTest, InPlaceEncryptionIsSafe)
+{
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f");
+    Aes aes(key.data(), key.size());
+    auto buf = fromHex("00112233445566778899aabbccddeeff");
+    aes.encryptBlock(buf.data(), buf.data());
+    EXPECT_EQ(toHex(buf.data(), 16),
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(GcmTest, NistTestCase3NoAad)
+{
+    // NIST GCM spec, test case 3 (AES-128, 96-bit IV, 64-byte text).
+    auto key = fromHex("feffe9928665731c6d6a8f9467308308");
+    auto iv = fromHex("cafebabefacedbaddecaf888");
+    auto plain = fromHex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255");
+    auto expect_ct = fromHex(
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985");
+
+    AesGcm gcm(key.data(), key.size());
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[16];
+    gcm.encrypt(iv.data(), plain.data(), plain.size(), nullptr, 0,
+                cipher.data(), tag);
+    EXPECT_EQ(cipher, expect_ct);
+    EXPECT_EQ(toHex(tag, 16), "4d5c2af327cd64a62cf35abd2ba6fab4");
+
+    std::vector<std::uint8_t> recovered(plain.size());
+    EXPECT_TRUE(gcm.decrypt(iv.data(), cipher.data(), cipher.size(),
+                            nullptr, 0, tag, recovered.data()));
+    EXPECT_EQ(recovered, plain);
+}
+
+TEST(GcmTest, NistTestCase4WithAad)
+{
+    auto key = fromHex("feffe9928665731c6d6a8f9467308308");
+    auto iv = fromHex("cafebabefacedbaddecaf888");
+    auto plain = fromHex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39");
+    auto aad = fromHex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+
+    AesGcm gcm(key.data(), key.size());
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[16];
+    gcm.encrypt(iv.data(), plain.data(), plain.size(), aad.data(),
+                aad.size(), cipher.data(), tag);
+    EXPECT_EQ(toHex(tag, 16), "5bc94fbc3221a5db94fae95ae7121a47");
+    EXPECT_EQ(toHex(cipher.data(), 16),
+              "42831ec2217774244b7221b784d0d49c");
+}
+
+TEST(GcmTest, TamperedCiphertextFailsAndZeroes)
+{
+    auto key = fromHex("feffe9928665731c6d6a8f9467308308");
+    auto iv = fromHex("cafebabefacedbaddecaf888");
+    std::vector<std::uint8_t> plain(100, 0x5a);
+
+    AesGcm gcm(key.data(), key.size());
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[16];
+    gcm.encrypt(iv.data(), plain.data(), plain.size(), nullptr, 0,
+                cipher.data(), tag);
+
+    cipher[50] ^= 1;
+    std::vector<std::uint8_t> out(plain.size(), 0xff);
+    EXPECT_FALSE(gcm.decrypt(iv.data(), cipher.data(), cipher.size(),
+                             nullptr, 0, tag, out.data()));
+    for (std::uint8_t b : out)
+        EXPECT_EQ(b, 0); // unverified plaintext is never released
+}
+
+TEST(GcmTest, TamperedTagFails)
+{
+    auto key = fromHex("feffe9928665731c6d6a8f9467308308");
+    auto iv = fromHex("cafebabefacedbaddecaf888");
+    std::vector<std::uint8_t> plain(64, 1);
+    AesGcm gcm(key.data(), key.size());
+    std::vector<std::uint8_t> cipher(64);
+    std::uint8_t tag[16];
+    gcm.encrypt(iv.data(), plain.data(), 64, nullptr, 0, cipher.data(),
+                tag);
+    tag[0] ^= 0x80;
+    std::vector<std::uint8_t> out(64);
+    EXPECT_FALSE(gcm.decrypt(iv.data(), cipher.data(), 64, nullptr, 0,
+                             tag, out.data()));
+}
+
+class GcmSizeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GcmSizeTest, RoundTripArbitrarySizes)
+{
+    std::size_t n = GetParam();
+    auto key = fromHex("000102030405060708090a0b0c0d0e0f"
+                       "101112131415161718191a1b1c1d1e1f");
+    std::uint8_t iv[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+
+    std::vector<std::uint8_t> plain(n);
+    for (std::size_t i = 0; i < n; ++i)
+        plain[i] = static_cast<std::uint8_t>(i * 13 + 7);
+
+    AesGcm gcm(key.data(), key.size());
+    std::vector<std::uint8_t> cipher(n), out(n);
+    std::uint8_t tag[16];
+    gcm.encrypt(iv, plain.data(), n, nullptr, 0, cipher.data(), tag);
+    ASSERT_TRUE(
+        gcm.decrypt(iv, cipher.data(), n, nullptr, 0, tag, out.data()));
+    EXPECT_EQ(out, plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GcmSizeTest,
+                         ::testing::Values(1, 15, 16, 17, 31, 33, 100,
+                                           4096, 65536));
+
+// ---- engines ----------------------------------------------------------
+
+class EnginesTest : public ::testing::Test
+{
+  protected:
+    EnginesTest()
+    {
+        for (int i = 0; i < 32; ++i)
+            key_[i] = static_cast<std::uint8_t>(i * 3 + 1);
+        for (int i = 0; i < 12; ++i)
+            iv_[i] = static_cast<std::uint8_t>(i);
+    }
+
+    core::Lake lake_;
+    std::uint8_t key_[32];
+    std::uint8_t iv_[12];
+};
+
+TEST_F(EnginesTest, AllEnginesProduceIdenticalCiphertext)
+{
+    gpu::CpuSpec cpu = gpu::CpuSpec::xeonGold6226R();
+    CpuCipher sw(key_, 32, lake_.clock(), cpu);
+    AesNiCipher ni(key_, 32, lake_.clock(), cpu);
+    LakeGpuCipher gpu_eng(key_, 32, lake_.lib(), 1 << 16);
+
+    std::vector<std::uint8_t> plain(10000);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        plain[i] = static_cast<std::uint8_t>(i);
+
+    std::vector<std::uint8_t> c1(plain.size()), c2(plain.size()),
+        c3(plain.size());
+    std::uint8_t t1[16], t2[16], t3[16];
+    sw.encryptExtent(iv_, plain.data(), plain.size(), c1.data(), t1);
+    ni.encryptExtent(iv_, plain.data(), plain.size(), c2.data(), t2);
+    gpu_eng.encryptExtent(iv_, plain.data(), plain.size(), c3.data(), t3);
+
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(c1, c3);
+    EXPECT_EQ(std::memcmp(t1, t2, 16), 0);
+    EXPECT_EQ(std::memcmp(t1, t3, 16), 0);
+
+    // Cross-engine decrypt: GPU ciphertext through the CPU engine.
+    std::vector<std::uint8_t> out(plain.size());
+    EXPECT_TRUE(sw.decryptExtent(iv_, c3.data(), c3.size(), t3,
+                                 out.data()));
+    EXPECT_EQ(out, plain);
+}
+
+TEST_F(EnginesTest, ThroughputOrderingAtLargeExtents)
+{
+    gpu::CpuSpec cpu = gpu::CpuSpec::xeonGold6226R();
+    CpuCipher sw(key_, 32, lake_.clock(), cpu);
+    AesNiCipher ni(key_, 32, lake_.clock(), cpu);
+    LakeGpuCipher gpu_eng(key_, 32, lake_.lib(), 2 << 20);
+
+    std::vector<std::uint8_t> plain(2 << 20);
+    std::vector<std::uint8_t> cipher(plain.size());
+    std::uint8_t tag[16];
+
+    auto time_encrypt = [&](CipherEngine &e) {
+        Nanos t0 = lake_.clock().now();
+        e.encryptExtent(iv_, plain.data(), plain.size(), cipher.data(),
+                        tag);
+        return lake_.clock().now() - t0;
+    };
+
+    Nanos sw_t = time_encrypt(sw);
+    Nanos ni_t = time_encrypt(ni);
+    Nanos gpu_t = time_encrypt(gpu_eng);
+    // Fig. 14's ordering at 2 MiB blocks: CPU slowest, GPU fastest.
+    EXPECT_GT(sw_t, ni_t);
+    EXPECT_GT(ni_t, gpu_t);
+}
+
+TEST_F(EnginesTest, GpuDecryptDetectsTamper)
+{
+    LakeGpuCipher gpu_eng(key_, 16, lake_.lib(), 4096);
+    std::vector<std::uint8_t> plain(1000, 0x42), cipher(1000), out(1000);
+    std::uint8_t tag[16];
+    gpu_eng.encryptExtent(iv_, plain.data(), plain.size(), cipher.data(),
+                          tag);
+    cipher[0] ^= 1;
+    EXPECT_FALSE(gpu_eng.decryptExtent(iv_, cipher.data(), cipher.size(),
+                                       tag, out.data()));
+    for (std::uint8_t b : out)
+        EXPECT_EQ(b, 0);
+}
+
+TEST_F(EnginesTest, HybridRoundTripAndTamper)
+{
+    gpu::CpuSpec cpu = gpu::CpuSpec::xeonGold6226R();
+    HybridCipher hybrid(key_, 32, lake_.lib(), lake_.clock(), cpu,
+                        1 << 20);
+
+    std::vector<std::uint8_t> plain(300000);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        plain[i] = static_cast<std::uint8_t>(i * 7);
+    std::vector<std::uint8_t> cipher(plain.size()), out(plain.size());
+    std::uint8_t tag[16];
+
+    hybrid.encryptExtent(iv_, plain.data(), plain.size(), cipher.data(),
+                         tag);
+    ASSERT_TRUE(hybrid.decryptExtent(iv_, cipher.data(), cipher.size(),
+                                     tag, out.data()));
+    EXPECT_EQ(out, plain);
+
+    cipher[123] ^= 1;
+    EXPECT_FALSE(hybrid.decryptExtent(iv_, cipher.data(), cipher.size(),
+                                      tag, out.data()));
+}
+
+TEST_F(EnginesTest, HybridFasterThanAesNiAlone)
+{
+    gpu::CpuSpec cpu = gpu::CpuSpec::xeonGold6226R();
+    AesNiCipher ni(key_, 32, lake_.clock(), cpu);
+    HybridCipher hybrid(key_, 32, lake_.lib(), lake_.clock(), cpu,
+                        4 << 20);
+
+    std::vector<std::uint8_t> plain(4 << 20), cipher(4 << 20);
+    std::uint8_t tag[16];
+
+    Nanos t0 = lake_.clock().now();
+    ni.encryptExtent(iv_, plain.data(), plain.size(), cipher.data(), tag);
+    Nanos ni_t = lake_.clock().now() - t0;
+
+    t0 = lake_.clock().now();
+    hybrid.encryptExtent(iv_, plain.data(), plain.size(), cipher.data(),
+                         tag);
+    Nanos hybrid_t = lake_.clock().now() - t0;
+    EXPECT_LT(hybrid_t, ni_t);
+}
+
+} // namespace
+} // namespace lake::crypto

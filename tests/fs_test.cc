@@ -1,0 +1,238 @@
+// Tests for the eCryptfs stack (§7.7) and KML prefetching (§7.4).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/lake.h"
+#include "fs/ecryptfs.h"
+#include "fs/prefetch.h"
+
+namespace lake::fs {
+namespace {
+
+class ECryptFsTest : public ::testing::Test
+{
+  protected:
+    ECryptFsTest()
+    {
+        for (int i = 0; i < 32; ++i)
+            key_[i] = static_cast<std::uint8_t>(i + 100);
+    }
+
+    std::vector<std::uint8_t>
+    pattern(std::size_t n)
+    {
+        std::vector<std::uint8_t> data(n);
+        for (std::size_t i = 0; i < n; ++i)
+            data[i] = static_cast<std::uint8_t>(i * 31 + 5);
+        return data;
+    }
+
+    core::Lake lake_;
+    std::uint8_t key_[32];
+};
+
+TEST_F(ECryptFsTest, WriteReadRoundTripCpu)
+{
+    crypto::CpuCipher cipher(key_, 32, lake_.clock(),
+                             gpu::CpuSpec::xeonGold6226R());
+    ECryptFs fs(cipher, lake_.clock(), LowerFsModel::testbed(), 64 << 10);
+
+    auto data = pattern(1 << 20);
+    ASSERT_TRUE(fs.writeFile("/a", data.data(), data.size()).isOk());
+    EXPECT_TRUE(fs.exists("/a"));
+    auto back = fs.readFile("/a");
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), data);
+}
+
+TEST_F(ECryptFsTest, WriteReadRoundTripGpu)
+{
+    crypto::LakeGpuCipher cipher(key_, 32, lake_.lib(), 256 << 10);
+    ECryptFs fs(cipher, lake_.clock(), LowerFsModel::testbed(),
+                128 << 10);
+    auto data = pattern(777777); // deliberately not extent-aligned
+    ASSERT_TRUE(fs.writeFile("/g", data.data(), data.size()).isOk());
+    auto back = fs.readFile("/g");
+    ASSERT_TRUE(back.isOk());
+    EXPECT_EQ(back.value(), data);
+}
+
+TEST_F(ECryptFsTest, CiphertextIsNotPlaintext)
+{
+    crypto::CpuCipher cipher(key_, 32, lake_.clock(),
+                             gpu::CpuSpec::xeonGold6226R());
+    ECryptFs fs(cipher, lake_.clock(), LowerFsModel::testbed(), 16 << 10);
+    auto data = pattern(64 << 10);
+    fs.writeFile("/s", data.data(), data.size());
+    // Stored size includes per-extent IVs and tags.
+    EXPECT_GT(fs.storedSize("/s"), data.size());
+}
+
+TEST_F(ECryptFsTest, MissingFileIsNotFound)
+{
+    crypto::CpuCipher cipher(key_, 32, lake_.clock(),
+                             gpu::CpuSpec::xeonGold6226R());
+    ECryptFs fs(cipher, lake_.clock(), LowerFsModel::testbed(), 16 << 10);
+    EXPECT_EQ(fs.readFile("/nope").status().code(), Code::NotFound);
+}
+
+TEST_F(ECryptFsTest, EmptyFileRoundTrips)
+{
+    crypto::CpuCipher cipher(key_, 32, lake_.clock(),
+                             gpu::CpuSpec::xeonGold6226R());
+    ECryptFs fs(cipher, lake_.clock(), LowerFsModel::testbed(), 16 << 10);
+    ASSERT_TRUE(fs.writeFile("/e", nullptr, 0).isOk());
+    auto back = fs.readFile("/e");
+    ASSERT_TRUE(back.isOk());
+    EXPECT_TRUE(back.value().empty());
+}
+
+TEST_F(ECryptFsTest, ThroughputOrderingMatchesFig14)
+{
+    // At 2 MiB blocks: CPU << AES-NI < LAKE (reads).
+    gpu::CpuSpec cpu_spec = gpu::CpuSpec::xeonGold6226R();
+    auto data = pattern(32 << 20);
+
+    auto read_throughput = [&](crypto::CipherEngine &eng) {
+        ECryptFs fs(eng, lake_.clock(), LowerFsModel::testbed(),
+                    2 << 20);
+        fs.writeFile("/f", data.data(), data.size());
+        Nanos t0 = lake_.clock().now();
+        auto r = fs.readFile("/f");
+        EXPECT_TRUE(r.isOk());
+        double secs = toSec(lake_.clock().now() - t0);
+        return static_cast<double>(data.size()) / secs / 1e6; // MB/s
+    };
+
+    crypto::CpuCipher sw(key_, 32, lake_.clock(), cpu_spec);
+    crypto::AesNiCipher ni(key_, 32, lake_.clock(), cpu_spec);
+    crypto::LakeGpuCipher gpu_eng(key_, 32, lake_.lib(), 2 << 20);
+
+    double sw_mbps = read_throughput(sw);
+    double ni_mbps = read_throughput(ni);
+    double gpu_mbps = read_throughput(gpu_eng);
+
+    EXPECT_LT(sw_mbps, 200.0);  // ~142 MB/s in the paper
+    EXPECT_GT(ni_mbps, sw_mbps * 3.0);
+    EXPECT_GT(gpu_mbps, ni_mbps); // "up to 62% higher than AES-NI"
+}
+
+TEST_F(ECryptFsTest, ReadaheadOverlapHelps)
+{
+    gpu::CpuSpec cpu_spec = gpu::CpuSpec::xeonGold6226R();
+    crypto::AesNiCipher eng(key_, 32, lake_.clock(), cpu_spec);
+    auto data = pattern(16 << 20);
+
+    ECryptFs with_ra(eng, lake_.clock(), LowerFsModel::testbed(),
+                     1 << 20, true);
+    with_ra.writeFile("/f", data.data(), data.size());
+    Nanos t0 = lake_.clock().now();
+    with_ra.readFile("/f");
+    Nanos overlap_time = lake_.clock().now() - t0;
+
+    ECryptFs without_ra(eng, lake_.clock(), LowerFsModel::testbed(),
+                        1 << 20, false);
+    without_ra.writeFile("/f", data.data(), data.size());
+    t0 = lake_.clock().now();
+    without_ra.readFile("/f");
+    Nanos serial_time = lake_.clock().now() - t0;
+
+    EXPECT_LT(overlap_time, serial_time);
+}
+
+TEST_F(ECryptFsTest, StatsAccumulate)
+{
+    crypto::CpuCipher cipher(key_, 32, lake_.clock(),
+                             gpu::CpuSpec::xeonGold6226R());
+    ECryptFs fs(cipher, lake_.clock(), LowerFsModel::testbed(), 16 << 10);
+    auto data = pattern(64 << 10);
+    fs.writeFile("/x", data.data(), data.size());
+    fs.readFile("/x");
+    EXPECT_EQ(fs.stats().extents_written, 4u);
+    EXPECT_EQ(fs.stats().extents_read, 4u);
+    EXPECT_EQ(fs.stats().bytes_read, data.size());
+    EXPECT_GT(fs.stats().crypto_busy, 0u);
+    EXPECT_GT(fs.stats().disk_busy, 0u);
+}
+
+// ---- prefetch ---------------------------------------------------------
+
+TEST(PrefetchTest, PatternsProduceDistinctFeatures)
+{
+    Rng rng(41);
+    float seq_f[kPrefetchFeatures], rnd_f[kPrefetchFeatures];
+    auto seq = generateAccesses(AccessPattern::Sequential, 512, 1 << 20,
+                                rng);
+    auto rnd =
+        generateAccesses(AccessPattern::Random, 512, 1 << 20, rng);
+    extractPrefetchFeatures(seq, seq_f);
+    extractPrefetchFeatures(rnd, rnd_f);
+
+    // +1-stride ratio separates them decisively.
+    EXPECT_GT(seq_f[16], 0.9f);
+    EXPECT_LT(rnd_f[16], 0.05f);
+}
+
+TEST(PrefetchTest, StridedDetected)
+{
+    Rng rng(43);
+    float f[kPrefetchFeatures];
+    auto s = generateAccesses(AccessPattern::Strided, 512, 1 << 20, rng);
+    extractPrefetchFeatures(s, f);
+    EXPECT_GT(f[17], 0.8f); // repeated-stride ratio
+}
+
+TEST(PrefetchTest, ClassifierLearnsPatterns)
+{
+    Rng rng(47);
+    auto train = buildPrefetchDataset(150, 256, rng);
+    ml::Mlp net = trainPrefetchModel(train, 30, 0.05f, rng);
+
+    auto test = buildPrefetchDataset(40, 256, rng);
+    ml::Matrix x(test.size(), kPrefetchFeatures);
+    std::vector<int> y(test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        std::copy(test[i].x.begin(), test[i].x.end(), x.row(i));
+        y[i] = test[i].pattern;
+    }
+    EXPECT_GT(net.accuracy(x, y), 0.9);
+}
+
+TEST(PrefetchTest, ReadaheadHelpsSequentialHurtsRandom)
+{
+    Rng rng(53);
+    auto seq = generateAccesses(AccessPattern::Sequential, 4096, 1 << 20,
+                                rng);
+    auto rnd =
+        generateAccesses(AccessPattern::Random, 4096, 1 << 20, rng);
+
+    ReadaheadOutcome seq_ra = simulateReadahead(seq, 64, 4096);
+    ReadaheadOutcome seq_nora = simulateReadahead(seq, 0, 4096);
+    EXPECT_GT(seq_ra.hit_rate, 0.9);
+    EXPECT_LT(seq_nora.hit_rate, 0.1);
+
+    ReadaheadOutcome rnd_ra = simulateReadahead(rnd, 64, 4096);
+    EXPECT_GT(rnd_ra.wasted_fraction, 0.8); // prefetches never used
+}
+
+TEST(PrefetchTest, PerClassReadaheadBeatsFixedForMixedSet)
+{
+    // The KML premise: per-pattern readahead beats one-size-fits-all.
+    Rng rng(59);
+    double adaptive_disk = 0.0, fixed_disk = 0.0;
+    for (std::size_t cls = 0; cls < kPatternClasses; ++cls) {
+        auto stream = generateAccesses(static_cast<AccessPattern>(cls),
+                                       4096, 1 << 20, rng);
+        adaptive_disk += static_cast<double>(
+            simulateReadahead(stream, kReadaheadPages[cls], 8192)
+                .disk_reads);
+        fixed_disk += static_cast<double>(
+            simulateReadahead(stream, 64, 8192).disk_reads);
+    }
+    EXPECT_LT(adaptive_disk, fixed_disk);
+}
+
+} // namespace
+} // namespace lake::fs

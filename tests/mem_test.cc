@@ -1,0 +1,139 @@
+// Tests for the Kleio page-warmth substrate (§7.2).
+
+#include <gtest/gtest.h>
+
+#include "mem/pagewarmth.h"
+
+namespace lake::mem {
+namespace {
+
+TEST(PageGenTest, BehavioursHaveExpectedWarmth)
+{
+    Rng rng(83);
+    auto pages = generatePageHistories(2000, 32, rng);
+    ASSERT_EQ(pages.size(), 2000u);
+
+    double hot_mean = 0.0, cold_mean = 0.0;
+    std::size_t hot_n = 0, cold_n = 0;
+    for (const auto &p : pages) {
+        double sum = 0.0;
+        for (float c : p.counts)
+            sum += c;
+        if (p.behavior == PageBehavior::SteadyHot) {
+            hot_mean += sum;
+            ++hot_n;
+        } else if (p.behavior == PageBehavior::Cold) {
+            cold_mean += sum;
+            ++cold_n;
+        }
+    }
+    ASSERT_GT(hot_n, 0u);
+    ASSERT_GT(cold_n, 0u);
+    EXPECT_GT(hot_mean / hot_n, 20.0 * (cold_mean / cold_n + 1.0));
+}
+
+TEST(PageGenTest, HistoryBaselineTracksSteadyPages)
+{
+    Rng rng(89);
+    auto pages = generatePageHistories(3000, 32, rng);
+    std::size_t correct = 0, steady = 0;
+    for (const auto &p : pages) {
+        if (p.behavior != PageBehavior::SteadyHot &&
+            p.behavior != PageBehavior::Cold)
+            continue;
+        ++steady;
+        bool hot = p.next_count >= kHotThreshold;
+        if (historyPredictsHot(p) == hot)
+            ++correct;
+    }
+    ASSERT_GT(steady, 0u);
+    // On steady pages the reactive baseline is nearly perfect...
+    EXPECT_GT(static_cast<double>(correct) / steady, 0.95);
+}
+
+TEST(PageGenTest, HistoryBaselineStrugglesOnPeriodicPages)
+{
+    // ...but periodic pages defeat it often enough to motivate ML —
+    // Kleio's founding observation.
+    Rng rng(97);
+    auto pages = generatePageHistories(4000, 32, rng);
+    std::size_t correct = 0, periodic = 0;
+    for (const auto &p : pages) {
+        if (p.behavior != PageBehavior::Periodic)
+            continue;
+        ++periodic;
+        bool hot = p.next_count >= kHotThreshold;
+        if (historyPredictsHot(p) == hot)
+            ++correct;
+    }
+    ASSERT_GT(periodic, 100u);
+    EXPECT_LT(static_cast<double>(correct) / periodic, 0.90);
+}
+
+TEST(PlacementTest, OracleIsOptimal)
+{
+    Rng rng(101);
+    auto pages = generatePageHistories(1000, 32, rng);
+    std::vector<float> oracle_scores(pages.size());
+    for (std::size_t i = 0; i < pages.size(); ++i)
+        oracle_scores[i] = pages[i].next_count;
+
+    TierSpec tiers;
+    auto outcome = scorePlacement(pages, oracle_scores, tiers);
+    EXPECT_NEAR(outcome.slowdown_vs_oracle, 1.0, 1e-9);
+}
+
+TEST(PlacementTest, RandomPlacementIsWorseThanOracle)
+{
+    Rng rng(103);
+    auto pages = generatePageHistories(1000, 32, rng);
+    std::vector<float> random_scores(pages.size());
+    for (auto &s : random_scores)
+        s = static_cast<float>(rng.uniform01());
+
+    TierSpec tiers;
+    auto outcome = scorePlacement(pages, random_scores, tiers);
+    EXPECT_GT(outcome.slowdown_vs_oracle, 1.1);
+    EXPECT_GT(outcome.hot_misplaced_fraction, 0.2);
+}
+
+TEST(PlacementTest, HistoryBaselineBetweenRandomAndOracle)
+{
+    Rng rng(107);
+    auto pages = generatePageHistories(1000, 32, rng);
+
+    std::vector<float> hist_scores(pages.size());
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+        double ewma = 0.0;
+        for (float c : pages[i].counts)
+            ewma = 0.6 * ewma + 0.4 * c;
+        hist_scores[i] = static_cast<float>(ewma);
+    }
+    std::vector<float> random_scores(pages.size());
+    for (auto &s : random_scores)
+        s = static_cast<float>(rng.uniform01());
+
+    TierSpec tiers;
+    double hist = scorePlacement(pages, hist_scores, tiers)
+                      .slowdown_vs_oracle;
+    double random = scorePlacement(pages, random_scores, tiers)
+                        .slowdown_vs_oracle;
+    EXPECT_LT(hist, random);
+    EXPECT_GE(hist, 1.0);
+}
+
+TEST(LstmBatchTest, LayoutAndNormalization)
+{
+    Rng rng(109);
+    auto pages = generatePageHistories(10, 16, rng);
+    auto batch = toLstmBatch(pages, 16);
+    ASSERT_EQ(batch.size(), 160u);
+    for (float v : batch) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.5f);
+    }
+    EXPECT_FLOAT_EQ(batch[0], pages[0].counts[0] / 40.0f);
+}
+
+} // namespace
+} // namespace lake::mem

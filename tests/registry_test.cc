@@ -1,0 +1,322 @@
+// Tests for the in-kernel feature registry (Table 1 semantics).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "base/time.h"
+#include "registry/manager.h"
+#include "registry/registry.h"
+#include "registry/schema.h"
+
+namespace lake::registry {
+namespace {
+
+TEST(SchemaTest, DeclarationAndLookup)
+{
+    Schema s;
+    s.add("pend_ios").add("io_lat", 4, 4);
+    EXPECT_EQ(s.featureCount(), 2u);
+    EXPECT_TRUE(s.hasHistory());
+
+    const FeatureSpec *spec = s.find(featureKey("io_lat"));
+    ASSERT_NE(spec, nullptr);
+    EXPECT_EQ(spec->size, 4u);
+    EXPECT_EQ(spec->entries, 4u);
+    EXPECT_EQ(s.find(featureKey("nope")), nullptr);
+}
+
+TEST(SchemaTest, KeysAreStableAndNonZero)
+{
+    EXPECT_EQ(featureKey("pend_ios"), featureKey("pend_ios"));
+    EXPECT_NE(featureKey("pend_ios"), featureKey("io_lat"));
+    EXPECT_NE(featureKey(""), 0u);
+}
+
+class RegistryTest : public ::testing::Test
+{
+  protected:
+    RegistryTest()
+        : reg_("sda1", "bio_latency_prediction",
+               Schema().add("pend_ios").add("lat", 8, 3), 8)
+    {
+    }
+
+    static Schema
+    makeSchema()
+    {
+        Schema s;
+        s.add("pend_ios");
+        s.add("lat", 8, 3);
+        return s;
+    }
+
+    Registry reg_;
+};
+
+TEST_F(RegistryTest, CaptureCommitRead)
+{
+    reg_.beginFvCapture(100);
+    reg_.captureFeature("pend_ios", 5);
+    reg_.captureFeature("lat", 250);
+    reg_.commitFvCapture(110);
+
+    auto fvs = reg_.getFeatures();
+    ASSERT_EQ(fvs.size(), 1u);
+    EXPECT_EQ(fvs[0].ts_begin, 100u);
+    EXPECT_EQ(fvs[0].ts_end, 110u);
+    EXPECT_EQ(fvs[0].get("pend_ios"), 5u);
+    EXPECT_EQ(fvs[0].get("lat"), 250u);
+}
+
+TEST_F(RegistryTest, IncrementalCountersPersistAcrossCommits)
+{
+    reg_.beginFvCapture(0);
+    reg_.captureFeatureIncr("pend_ios", 1);
+    reg_.captureFeatureIncr("pend_ios", 1);
+    reg_.commitFvCapture(10);
+    reg_.captureFeatureIncr("pend_ios", -1);
+    reg_.commitFvCapture(20);
+
+    auto fvs = reg_.getFeatures();
+    ASSERT_EQ(fvs.size(), 2u);
+    EXPECT_EQ(fvs[0].get("pend_ios"), 2u);
+    EXPECT_EQ(fvs[1].get("pend_ios"), 1u);
+}
+
+TEST_F(RegistryTest, HistoryEntriesInherit)
+{
+    reg_.beginFvCapture(0);
+    reg_.captureFeature("lat", 100);
+    reg_.commitFvCapture(1);
+    reg_.captureFeature("lat", 200);
+    reg_.commitFvCapture(2);
+    reg_.captureFeature("lat", 300);
+    reg_.commitFvCapture(3);
+
+    auto fvs = reg_.getFeatures();
+    ASSERT_EQ(fvs.size(), 3u);
+    // §5.2: index 0 most recent, 1..N-1 from previous vectors.
+    const auto &latest = fvs[2].values.at(featureKey("lat"));
+    ASSERT_EQ(latest.size(), 3u);
+    EXPECT_EQ(latest[0], 300u);
+    EXPECT_EQ(latest[1], 200u);
+    EXPECT_EQ(latest[2], 100u);
+}
+
+TEST_F(RegistryTest, TimestampQueryFindsContainingVector)
+{
+    reg_.beginFvCapture(100);
+    reg_.captureFeature("pend_ios", 1);
+    reg_.commitFvCapture(200);
+    reg_.captureFeature("pend_ios", 2);
+    reg_.commitFvCapture(300);
+
+    auto hit = reg_.getFeatures(150);
+    ASSERT_EQ(hit.size(), 1u);
+    EXPECT_EQ(hit[0].get("pend_ios"), 1u);
+
+    auto hit2 = reg_.getFeatures(250);
+    ASSERT_EQ(hit2.size(), 1u);
+    EXPECT_EQ(hit2[0].get("pend_ios"), 2u);
+
+    EXPECT_TRUE(reg_.getFeatures(99).empty());
+}
+
+TEST_F(RegistryTest, TruncatePreservesNewestWithHistory)
+{
+    reg_.beginFvCapture(0);
+    for (int i = 0; i < 4; ++i) {
+        reg_.captureFeature("lat", 100 + i);
+        reg_.commitFvCapture(10 * (i + 1));
+    }
+    ASSERT_EQ(reg_.pendingCount(), 4u);
+
+    // §5.4: with history features, the newest vector survives so the
+    // next commit can populate its historical entries.
+    reg_.truncateFeatures();
+    ASSERT_EQ(reg_.pendingCount(), 1u);
+    EXPECT_EQ(reg_.getFeatures()[0].get("lat"), 103u);
+
+    // And history still chains through the survivor.
+    reg_.captureFeature("lat", 200);
+    reg_.commitFvCapture(100);
+    auto fvs = reg_.getFeatures();
+    const auto &hist = fvs.back().values.at(featureKey("lat"));
+    EXPECT_EQ(hist[0], 200u);
+    EXPECT_EQ(hist[1], 103u);
+}
+
+TEST(RegistryNoHistoryTest, TruncateDropsEverything)
+{
+    Registry reg("r", "s", Schema().add("x"), 4);
+    reg.beginFvCapture(0);
+    reg.captureFeature("x", 1);
+    reg.commitFvCapture(1);
+    reg.truncateFeatures();
+    EXPECT_EQ(reg.pendingCount(), 0u);
+}
+
+TEST(RegistryNoHistoryTest, TruncateByTimestamp)
+{
+    Registry reg("r", "s", Schema().add("x"), 8);
+    reg.beginFvCapture(0);
+    for (int i = 1; i <= 4; ++i) {
+        reg.captureFeature("x", i);
+        reg.commitFvCapture(i * 10);
+    }
+    reg.truncateFeatures(Nanos{25});
+    auto fvs = reg.getFeatures();
+    ASSERT_EQ(fvs.size(), 2u); // ts_end 30 and 40 survive
+    EXPECT_EQ(fvs[0].get("x"), 3u);
+}
+
+TEST(RegistryRingTest, WindowOverwritesOldest)
+{
+    Registry reg("r", "s", Schema().add("x"), 2);
+    reg.beginFvCapture(0);
+    for (int i = 1; i <= 5; ++i) {
+        reg.captureFeature("x", i);
+        reg.commitFvCapture(i);
+    }
+    auto fvs = reg.getFeatures();
+    ASSERT_EQ(fvs.size(), 2u);
+    EXPECT_EQ(fvs[0].get("x"), 4u);
+    EXPECT_EQ(fvs[1].get("x"), 5u);
+}
+
+TEST(RegistryScoreTest, DispatchesByPolicy)
+{
+    Registry reg("r", "s", Schema().add("x"), 8);
+    int cpu_calls = 0, gpu_calls = 0;
+    reg.registerClassifier(
+        Arch::Cpu, [&](const std::vector<FeatureVector> &fvs) {
+            ++cpu_calls;
+            return std::vector<float>(fvs.size(), 0.0f);
+        });
+    reg.registerClassifier(
+        Arch::Gpu, [&](const std::vector<FeatureVector> &fvs) {
+            ++gpu_calls;
+            return std::vector<float>(fvs.size(), 1.0f);
+        });
+    reg.registerPolicy(std::make_unique<policy::BatchThresholdPolicy>(4));
+
+    std::vector<FeatureVector> small(2), big(8);
+    reg.scoreFeatures(small, 0);
+    EXPECT_EQ(cpu_calls, 1);
+    EXPECT_EQ(reg.lastEngine(), policy::Engine::Cpu);
+    reg.scoreFeatures(big, 0);
+    EXPECT_EQ(gpu_calls, 1);
+    EXPECT_EQ(reg.lastEngine(), policy::Engine::Gpu);
+}
+
+TEST(RegistryScoreTest, FallsBackToCpuWithoutGpuClassifier)
+{
+    Registry reg("r", "s", Schema().add("x"), 8);
+    int cpu_calls = 0;
+    reg.registerClassifier(
+        Arch::Cpu, [&](const std::vector<FeatureVector> &fvs) {
+            ++cpu_calls;
+            return std::vector<float>(fvs.size(), 0.0f);
+        });
+    reg.registerPolicy(std::make_unique<policy::AlwaysGpuPolicy>());
+    std::vector<FeatureVector> fvs(4);
+    reg.scoreFeatures(fvs, 0);
+    EXPECT_EQ(cpu_calls, 1);
+    EXPECT_EQ(reg.lastEngine(), policy::Engine::Cpu);
+}
+
+TEST(RegistryScoreTest, EmptyBatchIsNoop)
+{
+    Registry reg("r", "s", Schema().add("x"), 8);
+    EXPECT_TRUE(reg.scoreFeatures({}, 0).empty());
+}
+
+TEST(RegistryConcurrencyTest, CaptureFromManyThreads)
+{
+    // §5.3: capture calls may come from arbitrary kernel threads while
+    // a capture is open.
+    Registry reg("r", "s", Schema().add("ctr").add("x"), 4);
+    reg.beginFvCapture(0);
+    constexpr int kThreads = 8, kIters = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < kIters; ++i)
+                reg.captureFeatureIncr("ctr", 1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    reg.commitFvCapture(1);
+    EXPECT_EQ(reg.getFeatures()[0].get("ctr"),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ManagerTest, LifecycleAndFacade)
+{
+    Clock clock;
+    RegistryManager mgr(clock);
+
+    Schema schema;
+    schema.add("pend_ios");
+    EXPECT_TRUE(
+        create_registry(mgr, "sda1", "bio", std::move(schema), 16).isOk());
+    EXPECT_EQ(mgr.registryCount(), 1u);
+    // Duplicate creation fails.
+    Schema schema2;
+    schema2.add("pend_ios");
+    EXPECT_EQ(create_registry(mgr, "sda1", "bio", std::move(schema2), 16)
+                  .code(),
+              Code::AlreadyExists);
+
+    // The Listing 4/5 flow through the facade.
+    begin_fv_capture(mgr, "sda1", "bio", 0);
+    capture_feature_incr(mgr, "sda1", "bio", "pend_ios", 1);
+    commit_fv_capture(mgr, "sda1", "bio", 5);
+    auto fvs = get_features(mgr, "sda1", "bio", std::nullopt);
+    ASSERT_EQ(fvs.size(), 1u);
+    EXPECT_EQ(fvs[0].get("pend_ios"), 1u);
+    truncate_features(mgr, "sda1", "bio", std::nullopt);
+    EXPECT_TRUE(get_features(mgr, "sda1", "bio", std::nullopt).empty());
+
+    EXPECT_TRUE(destroy_registry(mgr, "sda1", "bio").isOk());
+    EXPECT_EQ(destroy_registry(mgr, "sda1", "bio").code(),
+              Code::NotFound);
+}
+
+TEST(ModelStoreTest, LifecycleAndCosts)
+{
+    Clock clock;
+    ModelStore store(clock);
+
+    EXPECT_TRUE(store.createModel("/m/lat.nn").isOk());
+    EXPECT_EQ(store.createModel("/m/lat.nn").code(), Code::AlreadyExists);
+    EXPECT_TRUE(store.exists("/m/lat.nn"));
+
+    std::vector<std::uint8_t> blob = {1, 2, 3, 4};
+    EXPECT_TRUE(store.updateModel("/m/lat.nn", blob).isOk());
+    // Not loaded into memory until load_model.
+    EXPECT_EQ(store.inMemory("/m/lat.nn"), nullptr);
+    EXPECT_TRUE(store.loadModel("/m/lat.nn").isOk());
+    ASSERT_NE(store.inMemory("/m/lat.nn"), nullptr);
+    EXPECT_EQ(*store.inMemory("/m/lat.nn"), blob);
+
+    // Durable operations charge file-system-scale time.
+    EXPECT_GE(clock.now(), 3 * ModelStore::kFsOpCost);
+
+    // updateModel leaves the in-memory image serving old weights.
+    std::vector<std::uint8_t> blob2 = {9, 9};
+    EXPECT_TRUE(store.updateModel("/m/lat.nn", blob2).isOk());
+    EXPECT_EQ(*store.inMemory("/m/lat.nn"), blob);
+    EXPECT_TRUE(store.loadModel("/m/lat.nn").isOk());
+    EXPECT_EQ(*store.inMemory("/m/lat.nn"), blob2);
+
+    EXPECT_TRUE(store.deleteModel("/m/lat.nn").isOk());
+    EXPECT_FALSE(store.exists("/m/lat.nn"));
+    EXPECT_EQ(store.loadModel("/m/lat.nn").code(), Code::NotFound);
+}
+
+} // namespace
+} // namespace lake::registry

@@ -1,0 +1,245 @@
+// Tests for the API remoting system: wire format, lakeLib stubs,
+// lakeD dispatch, zero-copy shm paths, deferred async errors, and
+// high-level API extension.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "core/lake.h"
+#include "remote/wire.h"
+
+namespace lake::remote {
+namespace {
+
+TEST(WireTest, ScalarRoundTrip)
+{
+    Encoder enc;
+    enc.u32(0xdeadbeef).u64(0x0123456789abcdefull).f32(3.25f);
+    std::vector<std::uint8_t> buf = enc.take();
+    ASSERT_EQ(buf.size(), 16u);
+
+    Decoder dec(buf);
+    EXPECT_EQ(dec.u32(), 0xdeadbeefu);
+    EXPECT_EQ(dec.u64(), 0x0123456789abcdefull);
+    EXPECT_FLOAT_EQ(dec.f32(), 3.25f);
+    EXPECT_TRUE(dec.ok());
+    EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(WireTest, BytesAndStrings)
+{
+    Encoder enc;
+    enc.str("cuMemAlloc").bytes("\x01\x02\x03", 3);
+    std::vector<std::uint8_t> buf = enc.take();
+
+    Decoder dec(buf);
+    EXPECT_EQ(dec.str(), "cuMemAlloc");
+    std::size_t n = 0;
+    const std::uint8_t *p = dec.bytes(&n);
+    ASSERT_EQ(n, 3u);
+    EXPECT_EQ(p[2], 3);
+}
+
+TEST(WireTest, UnderrunIsSticky)
+{
+    Encoder enc;
+    enc.u32(7);
+    std::vector<std::uint8_t> buf = enc.take();
+    Decoder dec(buf);
+    EXPECT_EQ(dec.u32(), 7u);
+    EXPECT_EQ(dec.u64(), 0u); // underrun
+    EXPECT_FALSE(dec.ok());
+    EXPECT_EQ(dec.u32(), 0u); // stays failed
+}
+
+TEST(WireTest, CommandHead)
+{
+    Encoder enc = makeCommand(ApiId::CuLaunchKernel, 99);
+    std::vector<std::uint8_t> buf = enc.take();
+    Decoder dec(buf);
+    CommandHead head = readHead(dec);
+    EXPECT_EQ(head.id, ApiId::CuLaunchKernel);
+    EXPECT_EQ(head.seq, 99u);
+}
+
+class RemoteTest : public ::testing::Test
+{
+  protected:
+    core::Lake lake_;
+};
+
+TEST_F(RemoteTest, MemAllocThroughDaemon)
+{
+    gpu::DevicePtr p = 0;
+    EXPECT_EQ(lake_.lib().cuMemAlloc(&p, 1024), gpu::CuResult::Success);
+    EXPECT_NE(p, 0u);
+    EXPECT_EQ(lake_.device().memUsed(), 1024u);
+    EXPECT_EQ(lake_.lib().cuMemFree(p), gpu::CuResult::Success);
+    EXPECT_EQ(lake_.device().memUsed(), 0u);
+    EXPECT_GE(lake_.daemon().commandsHandled(), 2u);
+}
+
+TEST_F(RemoteTest, MarshalledMemcpyRoundTrip)
+{
+    gpu::DevicePtr p = 0;
+    ASSERT_EQ(lake_.lib().cuMemAlloc(&p, 512), gpu::CuResult::Success);
+
+    std::vector<std::uint8_t> src(512), dst(512);
+    std::iota(src.begin(), src.end(), 0);
+    ASSERT_EQ(lake_.lib().cuMemcpyHtoD(p, src.data(), 512),
+              gpu::CuResult::Success);
+    ASSERT_EQ(lake_.lib().cuMemcpyDtoH(dst.data(), p, 512),
+              gpu::CuResult::Success);
+    EXPECT_EQ(src, dst);
+    EXPECT_EQ(lake_.lib().bytesMarshalled(), 1024u);
+}
+
+TEST_F(RemoteTest, ShmZeroCopyPathMovesNoPayloadThroughChannel)
+{
+    shm::ShmArena &arena = lake_.arena();
+    const std::size_t n = 64 << 10;
+    shm::ShmOffset h = arena.alloc(n);
+    ASSERT_NE(h, shm::kNullOffset);
+
+    gpu::DevicePtr p = 0;
+    ASSERT_EQ(lake_.lib().cuMemAlloc(&p, n), gpu::CuResult::Success);
+
+    auto *buf = static_cast<std::uint8_t *>(arena.at(h));
+    for (std::size_t i = 0; i < n; ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 7);
+
+    std::uint64_t bytes_before = lake_.channel().bytesSent();
+    ASSERT_EQ(lake_.lib().cuMemcpyHtoDShm(p, h, n),
+              gpu::CuResult::Success);
+    std::uint64_t channel_bytes =
+        lake_.channel().bytesSent() - bytes_before;
+    // Only the command header and offsets cross the channel: §4's
+    // zero-copy property.
+    EXPECT_LT(channel_bytes, 256u);
+
+    // And the data really landed in device memory.
+    const void *dev_mem = lake_.device().resolve(p, n);
+    ASSERT_NE(dev_mem, nullptr);
+    EXPECT_EQ(std::memcmp(dev_mem, buf, n), 0);
+
+    std::memset(buf, 0, n);
+    ASSERT_EQ(lake_.lib().cuMemcpyDtoHShm(h, p, n),
+              gpu::CuResult::Success);
+    EXPECT_EQ(buf[9], static_cast<std::uint8_t>(9 * 7));
+    arena.free(h);
+}
+
+TEST_F(RemoteTest, RemotedKernelLaunchComputes)
+{
+    const std::uint64_t n = 256;
+    shm::ShmArena &arena = lake_.arena();
+    shm::ShmOffset h = arena.alloc(n * sizeof(float));
+
+    gpu::DevicePtr a = 0, b = 0, c = 0;
+    lake_.lib().cuMemAlloc(&a, n * 4);
+    lake_.lib().cuMemAlloc(&b, n * 4);
+    lake_.lib().cuMemAlloc(&c, n * 4);
+
+    auto *f = static_cast<float *>(arena.at(h));
+    for (std::uint64_t i = 0; i < n; ++i)
+        f[i] = 1.5f;
+    lake_.lib().cuMemcpyHtoDShm(a, h, n * 4);
+    for (std::uint64_t i = 0; i < n; ++i)
+        f[i] = 2.0f;
+    lake_.lib().cuMemcpyHtoDShm(b, h, n * 4);
+
+    gpu::LaunchConfig cfg;
+    cfg.kernel = "vec_add";
+    cfg.arg(a).arg(b).arg(c).arg(n, nullptr);
+    EXPECT_EQ(lake_.lib().cuLaunchKernel(cfg), gpu::CuResult::Success);
+    EXPECT_EQ(lake_.lib().cuCtxSynchronize(), gpu::CuResult::Success);
+
+    lake_.lib().cuMemcpyDtoHShm(h, c, n * 4);
+    for (std::uint64_t i = 0; i < n; ++i)
+        ASSERT_FLOAT_EQ(f[i], 3.5f);
+    arena.free(h);
+}
+
+TEST_F(RemoteTest, AsyncErrorsSurfaceAtSynchronize)
+{
+    gpu::LaunchConfig cfg;
+    cfg.kernel = "no_such_kernel";
+    // One-way launch reports success immediately...
+    EXPECT_EQ(lake_.lib().cuLaunchKernel(cfg), gpu::CuResult::Success);
+    // ...and the failure arrives at the synchronizing call.
+    EXPECT_EQ(lake_.lib().cuCtxSynchronize(), gpu::CuResult::NotFound);
+    // The error is consumed: the next sync is clean.
+    EXPECT_EQ(lake_.lib().cuCtxSynchronize(), gpu::CuResult::Success);
+}
+
+TEST_F(RemoteTest, NvmlRemoted)
+{
+    RemoteUtilization util;
+    ASSERT_EQ(lake_.lib().nvmlGetUtilization(&util),
+              gpu::CuResult::Success);
+    EXPECT_GE(util.gpu, 0.0f);
+    EXPECT_LE(util.gpu, 100.0f);
+}
+
+TEST_F(RemoteTest, HighLevelCallDispatchesByName)
+{
+    lake_.daemon().registerHighLevel(
+        "test.echo_sum", [](Decoder &dec, Encoder &resp) {
+            std::uint64_t a = dec.u64();
+            std::uint64_t b = dec.u64();
+            resp.u64(a + b);
+        });
+
+    Encoder args;
+    args.u64(40).u64(2);
+    auto result = lake_.lib().highLevelCall("test.echo_sum", args.take());
+    ASSERT_TRUE(result.isOk());
+    Decoder dec(result.value());
+    EXPECT_EQ(dec.u64(), 42u);
+}
+
+TEST_F(RemoteTest, UnknownHighLevelCallFails)
+{
+    auto result = lake_.lib().highLevelCall("test.missing", {});
+    EXPECT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), Code::NotFound);
+}
+
+TEST_F(RemoteTest, HighLevelCostCharged)
+{
+    lake_.daemon().registerHighLevel(
+        "test.slow", [](Decoder &, Encoder &) {}, 5_ms);
+    Nanos t0 = lake_.clock().now();
+    ASSERT_TRUE(lake_.lib().highLevelCall("test.slow", {}).isOk());
+    EXPECT_GE(lake_.clock().now() - t0, 5_ms);
+}
+
+TEST_F(RemoteTest, RpcChargesChannelTime)
+{
+    Nanos t0 = lake_.clock().now();
+    gpu::DevicePtr p = 0;
+    lake_.lib().cuMemAlloc(&p, 64);
+    Nanos elapsed = lake_.clock().now() - t0;
+    // A small-command RPC costs about one Fig. 6 round trip.
+    EXPECT_GE(elapsed, 20_us);
+    EXPECT_LE(elapsed, 60_us);
+}
+
+TEST_F(RemoteTest, OneWayPostsAreCheap)
+{
+    gpu::DevicePtr p = 0;
+    lake_.lib().cuMemAlloc(&p, 4096);
+    shm::ShmOffset h = lake_.arena().alloc(4096);
+
+    Nanos t0 = lake_.clock().now();
+    lake_.lib().cuMemcpyHtoDShmAsync(p, h, 4096, 1);
+    Nanos elapsed = lake_.clock().now() - t0;
+    // Posting pays roughly a one-way transfer, not a round trip.
+    EXPECT_LT(elapsed, 20_us);
+    lake_.arena().free(h);
+}
+
+} // namespace
+} // namespace lake::remote

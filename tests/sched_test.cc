@@ -1,0 +1,70 @@
+// Tests for the MLLB load-balancing substrate (§7.3).
+
+#include <gtest/gtest.h>
+
+#include "sched/mllb.h"
+
+namespace lake::sched {
+namespace {
+
+TEST(MiniSchedulerTest, LoadsAreConsistent)
+{
+    Rng rng(61);
+    MiniScheduler sched(16, 4.0, rng);
+    EXPECT_EQ(sched.cores(), 16u);
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < sched.cores(); ++c)
+        total += sched.coreLoad(c);
+    EXPECT_GT(total, 0u);
+}
+
+TEST(MiniSchedulerTest, CandidateShape)
+{
+    Rng rng(67);
+    MiniScheduler sched(8, 6.0, rng);
+    auto cand = sched.sampleCandidate(rng);
+    ASSERT_EQ(cand.x.size(), kMllbFeatures);
+    EXPECT_TRUE(cand.migrate == 0 || cand.migrate == 1);
+    // Source load (x[0]) should not be below destination load (x[1]).
+    EXPECT_GE(cand.x[0], cand.x[1]);
+}
+
+TEST(MllbDatasetTest, ContainsBothClasses)
+{
+    Rng rng(71);
+    auto data = buildMllbDataset(3000, 16, 5.0, rng);
+    ASSERT_EQ(data.size(), 3000u);
+    std::size_t migrate = 0;
+    for (const auto &c : data)
+        migrate += c.migrate;
+    // A usable training set needs both outcomes well represented.
+    EXPECT_GT(migrate, data.size() / 20);
+    EXPECT_LT(migrate, data.size() * 19 / 20);
+}
+
+TEST(MllbTrainingTest, ModelLearnsTheHeuristicBoundary)
+{
+    Rng rng(73);
+    auto train = buildMllbDataset(6000, 16, 5.0, rng);
+    ml::Mlp net = trainMllbModel(train, 30, 0.05f, rng);
+
+    auto test = buildMllbDataset(1500, 16, 5.0, rng);
+    ml::Matrix x(test.size(), kMllbFeatures);
+    std::vector<int> y(test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+        std::copy(test[i].x.begin(), test[i].x.end(), x.row(i));
+        y[i] = test[i].migrate;
+    }
+    EXPECT_GT(net.accuracy(x, y), 0.85);
+}
+
+TEST(MllbModelTest, ShapeMatchesConfig)
+{
+    Rng rng(79);
+    ml::Mlp net(ml::MlpConfig::mllb(), rng);
+    EXPECT_EQ(net.config().input, kMllbFeatures);
+    EXPECT_EQ(net.config().output, 2u);
+}
+
+} // namespace
+} // namespace lake::sched

@@ -1,0 +1,145 @@
+// Tests for the lakeShm best-fit arena.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "base/rng.h"
+#include "shm/arena.h"
+
+namespace lake::shm {
+namespace {
+
+TEST(ShmArenaTest, AllocAndFree)
+{
+    ShmArena arena(1 << 16);
+    ShmOffset a = arena.alloc(100);
+    ASSERT_NE(a, kNullOffset);
+    EXPECT_EQ(arena.liveAllocs(), 1u);
+    EXPECT_GE(arena.sizeOf(a), 100u);
+    std::memset(arena.at(a), 0xab, 100);
+    arena.free(a);
+    EXPECT_EQ(arena.liveAllocs(), 0u);
+    EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(ShmArenaTest, DistinctBuffersDoNotAlias)
+{
+    ShmArena arena(1 << 16);
+    ShmOffset a = arena.alloc(64);
+    ShmOffset b = arena.alloc(64);
+    ASSERT_NE(a, kNullOffset);
+    ASSERT_NE(b, kNullOffset);
+    std::memset(arena.at(a), 0x11, 64);
+    std::memset(arena.at(b), 0x22, 64);
+    EXPECT_EQ(static_cast<std::uint8_t *>(arena.at(a))[0], 0x11);
+    EXPECT_EQ(static_cast<std::uint8_t *>(arena.at(b))[0], 0x22);
+}
+
+TEST(ShmArenaTest, BestFitPrefersSmallestHole)
+{
+    ShmArena arena(1 << 16);
+    // Carve: [A:1024][B:64][C:4096][D:64][rest]; free A and C.
+    ShmOffset a = arena.alloc(1024);
+    ShmOffset b = arena.alloc(64);
+    ShmOffset c = arena.alloc(4096);
+    ShmOffset d = arena.alloc(64);
+    (void)b;
+    (void)d;
+    arena.free(a);
+    arena.free(c);
+    // A 512-byte request best-fits into the 1024 hole, not the 4096.
+    ShmOffset e = arena.alloc(512);
+    EXPECT_EQ(e, a);
+    // A 2048-byte request only fits the 4096 hole.
+    ShmOffset f = arena.alloc(2048);
+    EXPECT_EQ(f, c);
+}
+
+TEST(ShmArenaTest, CoalescingRebuildsLargeBlocks)
+{
+    ShmArena arena(1 << 14);
+    std::vector<ShmOffset> blocks;
+    for (int i = 0; i < 4; ++i)
+        blocks.push_back(arena.alloc(1 << 12)); // fills the arena
+    EXPECT_EQ(arena.alloc(64), kNullOffset);
+    for (ShmOffset o : blocks)
+        arena.free(o);
+    // After coalescing the full arena is one hole again.
+    EXPECT_EQ(arena.largestFree(), arena.capacity());
+    EXPECT_NE(arena.alloc(arena.capacity() - ShmArena::kAlign),
+              kNullOffset);
+}
+
+TEST(ShmArenaTest, ExhaustionReturnsNull)
+{
+    ShmArena arena(4096);
+    EXPECT_NE(arena.alloc(4000), kNullOffset);
+    EXPECT_EQ(arena.alloc(4096), kNullOffset);
+}
+
+TEST(ShmArenaTest, ZeroByteAllocationIsValid)
+{
+    ShmArena arena(4096);
+    ShmOffset a = arena.alloc(0);
+    ASSERT_NE(a, kNullOffset);
+    arena.free(a);
+}
+
+class ShmArenaPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ShmArenaPropertyTest, RandomAllocFreeNeverCorrupts)
+{
+    // Shadow-model property test: random alloc/free traffic; every
+    // live buffer keeps a unique fill byte; frees and reallocs must
+    // never clobber another live buffer.
+    ShmArena arena(1 << 18);
+    Rng rng(GetParam());
+    struct Live
+    {
+        ShmOffset off;
+        std::size_t size;
+        std::uint8_t fill;
+    };
+    std::vector<Live> live;
+    std::uint8_t next_fill = 1;
+
+    for (int step = 0; step < 2000; ++step) {
+        bool do_alloc = live.empty() || rng.chance(0.55);
+        if (do_alloc) {
+            std::size_t size = rng.uniformInt(1, 4096);
+            ShmOffset off = arena.alloc(size);
+            if (off == kNullOffset)
+                continue; // arena full; keep going
+            std::uint8_t fill = next_fill++;
+            if (next_fill == 0)
+                next_fill = 1;
+            std::memset(arena.at(off), fill, size);
+            live.push_back({off, size, fill});
+        } else {
+            std::size_t idx = rng.uniformInt(0, live.size() - 1);
+            Live victim = live[idx];
+            const auto *p =
+                static_cast<const std::uint8_t *>(arena.at(victim.off));
+            for (std::size_t i = 0; i < victim.size; ++i)
+                ASSERT_EQ(p[i], victim.fill) << "corruption at " << i;
+            arena.free(victim.off);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+    for (const Live &l : live)
+        arena.free(l.off);
+    EXPECT_EQ(arena.used(), 0u);
+    EXPECT_EQ(arena.largestFree(), arena.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShmArenaPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+} // namespace
+} // namespace lake::shm

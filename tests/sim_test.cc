@@ -1,0 +1,113 @@
+// Tests for the discrete-event simulator and its shared resources.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/simulator.h"
+
+namespace lake::sim {
+namespace {
+
+TEST(SimulatorTest, FiresInTimeOrder)
+{
+    Simulator s;
+    std::vector<int> order;
+    s.schedule(30, [&] { order.push_back(3); });
+    s.schedule(10, [&] { order.push_back(1); });
+    s.schedule(20, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30u);
+    EXPECT_EQ(s.eventsFired(), 3u);
+}
+
+TEST(SimulatorTest, FifoTieBreak)
+{
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        s.schedule(100, [&order, i] { order.push_back(i); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsScheduleEvents)
+{
+    Simulator s;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            s.scheduleIn(5, chain);
+    };
+    s.schedule(0, chain);
+    s.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(s.now(), 45u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvances)
+{
+    Simulator s;
+    int fired = 0;
+    s.schedule(10, [&] { ++fired; });
+    s.schedule(100, [&] { ++fired; });
+    s.runUntil(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s.now(), 50u);
+    EXPECT_FALSE(s.idle());
+    s.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(ResourceTest, SerializesWork)
+{
+    Simulator s;
+    Resource r(s, "engine");
+    std::vector<std::pair<Nanos, Nanos>> spans;
+    auto record = [&](Nanos a, Nanos b) { spans.emplace_back(a, b); };
+
+    s.schedule(0, [&] {
+        r.submit(100, record);
+        r.submit(50, record);
+    });
+    s.schedule(120, [&] { r.submit(30, record); });
+    s.run();
+
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_EQ(spans[0].first, 0u);
+    EXPECT_EQ(spans[0].second, 100u);
+    EXPECT_EQ(spans[1].first, 100u);
+    EXPECT_EQ(spans[1].second, 150u);
+    // Third submission arrives while the queue is still draining.
+    EXPECT_EQ(spans[2].first, 150u);
+    EXPECT_EQ(spans[2].second, 180u);
+}
+
+TEST(ResourceTest, IdleResourceStartsImmediately)
+{
+    Simulator s;
+    Resource r(s, "engine");
+    Nanos started = ~0ull;
+    s.schedule(500, [&] {
+        r.submit(10, [&](Nanos a, Nanos) { started = a; });
+    });
+    s.run();
+    EXPECT_EQ(started, 500u);
+}
+
+TEST(ResourceTest, UtilizationReflectsLoad)
+{
+    Simulator s;
+    Resource r(s, "engine");
+    s.schedule(0, [&] { r.submit(500); });
+    s.schedule(1000, [&] {
+        // Window [0,1000]: busy 500 of 1000.
+        EXPECT_NEAR(r.utilization(1000), 50.0, 1e-9);
+    });
+    s.run();
+}
+
+} // namespace
+} // namespace lake::sim
