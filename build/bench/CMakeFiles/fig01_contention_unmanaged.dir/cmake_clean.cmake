@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_contention_unmanaged.dir/fig01_contention_unmanaged.cc.o"
+  "CMakeFiles/fig01_contention_unmanaged.dir/fig01_contention_unmanaged.cc.o.d"
+  "fig01_contention_unmanaged"
+  "fig01_contention_unmanaged.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_contention_unmanaged.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_netlink_sizes.dir/fig06_netlink_sizes.cc.o"
+  "CMakeFiles/fig06_netlink_sizes.dir/fig06_netlink_sizes.cc.o.d"
+  "fig06_netlink_sizes"
+  "fig06_netlink_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_netlink_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

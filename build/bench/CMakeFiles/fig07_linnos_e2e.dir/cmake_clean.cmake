@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_linnos_e2e.dir/fig07_linnos_e2e.cc.o"
+  "CMakeFiles/fig07_linnos_e2e.dir/fig07_linnos_e2e.cc.o.d"
+  "fig07_linnos_e2e"
+  "fig07_linnos_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_linnos_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_io_inference.dir/fig08_io_inference.cc.o"
+  "CMakeFiles/fig08_io_inference.dir/fig08_io_inference.cc.o.d"
+  "fig08_io_inference"
+  "fig08_io_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_io_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

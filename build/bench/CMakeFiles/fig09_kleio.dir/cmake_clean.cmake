@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_kleio.dir/fig09_kleio.cc.o"
+  "CMakeFiles/fig09_kleio.dir/fig09_kleio.cc.o.d"
+  "fig09_kleio"
+  "fig09_kleio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_kleio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mllb.dir/fig10_mllb.cc.o"
+  "CMakeFiles/fig10_mllb.dir/fig10_mllb.cc.o.d"
+  "fig10_mllb"
+  "fig10_mllb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mllb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_prefetch.dir/fig11_prefetch.cc.o"
+  "CMakeFiles/fig11_prefetch.dir/fig11_prefetch.cc.o.d"
+  "fig11_prefetch"
+  "fig11_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

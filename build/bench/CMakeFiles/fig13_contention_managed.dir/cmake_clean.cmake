@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_contention_managed.dir/fig13_contention_managed.cc.o"
+  "CMakeFiles/fig13_contention_managed.dir/fig13_contention_managed.cc.o.d"
+  "fig13_contention_managed"
+  "fig13_contention_managed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_contention_managed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

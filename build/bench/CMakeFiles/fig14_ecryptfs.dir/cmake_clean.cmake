@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_ecryptfs.dir/fig14_ecryptfs.cc.o"
+  "CMakeFiles/fig14_ecryptfs.dir/fig14_ecryptfs.cc.o.d"
+  "fig14_ecryptfs"
+  "fig14_ecryptfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_ecryptfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_channels.dir/table2_channels.cc.o"
+  "CMakeFiles/table2_channels.dir/table2_channels.cc.o.d"
+  "table2_channels"
+  "table2_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

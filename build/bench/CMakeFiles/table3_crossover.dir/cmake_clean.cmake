@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_crossover.dir/table3_crossover.cc.o"
+  "CMakeFiles/table3_crossover.dir/table3_crossover.cc.o.d"
+  "table3_crossover"
+  "table3_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_policy.dir/contention_policy.cpp.o"
+  "CMakeFiles/contention_policy.dir/contention_policy.cpp.o.d"
+  "contention_policy"
+  "contention_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

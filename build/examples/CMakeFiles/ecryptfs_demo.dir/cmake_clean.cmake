@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecryptfs_demo.dir/ecryptfs_demo.cpp.o"
+  "CMakeFiles/ecryptfs_demo.dir/ecryptfs_demo.cpp.o.d"
+  "ecryptfs_demo"
+  "ecryptfs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecryptfs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_latency_predictor.dir/io_latency_predictor.cpp.o"
+  "CMakeFiles/io_latency_predictor.dir/io_latency_predictor.cpp.o.d"
+  "io_latency_predictor"
+  "io_latency_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_latency_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagewarmth_demo.dir/pagewarmth_demo.cpp.o"
+  "CMakeFiles/pagewarmth_demo.dir/pagewarmth_demo.cpp.o.d"
+  "pagewarmth_demo"
+  "pagewarmth_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagewarmth_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

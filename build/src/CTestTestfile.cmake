@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("shm")
+subdirs("channel")
+subdirs("gpu")
+subdirs("remote")
+subdirs("policy")
+subdirs("registry")
+subdirs("ml")
+subdirs("crypto")
+subdirs("storage")
+subdirs("fs")
+subdirs("sched")
+subdirs("mem")
+subdirs("malware")
+subdirs("core")

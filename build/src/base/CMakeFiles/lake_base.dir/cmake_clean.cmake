@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_base.dir/logging.cc.o"
+  "CMakeFiles/lake_base.dir/logging.cc.o.d"
+  "CMakeFiles/lake_base.dir/rng.cc.o"
+  "CMakeFiles/lake_base.dir/rng.cc.o.d"
+  "CMakeFiles/lake_base.dir/stats.cc.o"
+  "CMakeFiles/lake_base.dir/stats.cc.o.d"
+  "CMakeFiles/lake_base.dir/status.cc.o"
+  "CMakeFiles/lake_base.dir/status.cc.o.d"
+  "liblake_base.a"
+  "liblake_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

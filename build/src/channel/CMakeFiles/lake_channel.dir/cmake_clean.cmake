@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_channel.dir/channel.cc.o"
+  "CMakeFiles/lake_channel.dir/channel.cc.o.d"
+  "liblake_channel.a"
+  "liblake_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_core.dir/lake.cc.o"
+  "CMakeFiles/lake_core.dir/lake.cc.o.d"
+  "liblake_core.a"
+  "liblake_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblake_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_crypto.dir/aes.cc.o"
+  "CMakeFiles/lake_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/lake_crypto.dir/engines.cc.o"
+  "CMakeFiles/lake_crypto.dir/engines.cc.o.d"
+  "CMakeFiles/lake_crypto.dir/gcm.cc.o"
+  "CMakeFiles/lake_crypto.dir/gcm.cc.o.d"
+  "liblake_crypto.a"
+  "liblake_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_fs.dir/ecryptfs.cc.o"
+  "CMakeFiles/lake_fs.dir/ecryptfs.cc.o.d"
+  "CMakeFiles/lake_fs.dir/prefetch.cc.o"
+  "CMakeFiles/lake_fs.dir/prefetch.cc.o.d"
+  "liblake_fs.a"
+  "liblake_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/context.cc" "src/gpu/CMakeFiles/lake_gpu.dir/context.cc.o" "gcc" "src/gpu/CMakeFiles/lake_gpu.dir/context.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "src/gpu/CMakeFiles/lake_gpu.dir/device.cc.o" "gcc" "src/gpu/CMakeFiles/lake_gpu.dir/device.cc.o.d"
+  "/root/repo/src/gpu/kernels.cc" "src/gpu/CMakeFiles/lake_gpu.dir/kernels.cc.o" "gcc" "src/gpu/CMakeFiles/lake_gpu.dir/kernels.cc.o.d"
+  "/root/repo/src/gpu/nvml.cc" "src/gpu/CMakeFiles/lake_gpu.dir/nvml.cc.o" "gcc" "src/gpu/CMakeFiles/lake_gpu.dir/nvml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lake_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_gpu.dir/context.cc.o"
+  "CMakeFiles/lake_gpu.dir/context.cc.o.d"
+  "CMakeFiles/lake_gpu.dir/device.cc.o"
+  "CMakeFiles/lake_gpu.dir/device.cc.o.d"
+  "CMakeFiles/lake_gpu.dir/kernels.cc.o"
+  "CMakeFiles/lake_gpu.dir/kernels.cc.o.d"
+  "CMakeFiles/lake_gpu.dir/nvml.cc.o"
+  "CMakeFiles/lake_gpu.dir/nvml.cc.o.d"
+  "liblake_gpu.a"
+  "liblake_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

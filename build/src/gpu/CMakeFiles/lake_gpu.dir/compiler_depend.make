@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lake_gpu.
+# This may be replaced when dependencies are built.

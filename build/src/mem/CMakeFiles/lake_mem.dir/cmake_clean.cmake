@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_mem.dir/pagewarmth.cc.o"
+  "CMakeFiles/lake_mem.dir/pagewarmth.cc.o.d"
+  "liblake_mem.a"
+  "liblake_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

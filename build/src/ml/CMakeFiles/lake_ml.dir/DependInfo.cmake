@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/backends.cc" "src/ml/CMakeFiles/lake_ml.dir/backends.cc.o" "gcc" "src/ml/CMakeFiles/lake_ml.dir/backends.cc.o.d"
+  "/root/repo/src/ml/gpu_kernels.cc" "src/ml/CMakeFiles/lake_ml.dir/gpu_kernels.cc.o" "gcc" "src/ml/CMakeFiles/lake_ml.dir/gpu_kernels.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/lake_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/lake_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/lstm.cc" "src/ml/CMakeFiles/lake_ml.dir/lstm.cc.o" "gcc" "src/ml/CMakeFiles/lake_ml.dir/lstm.cc.o.d"
+  "/root/repo/src/ml/lstm_train.cc" "src/ml/CMakeFiles/lake_ml.dir/lstm_train.cc.o" "gcc" "src/ml/CMakeFiles/lake_ml.dir/lstm_train.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/lake_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/lake_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/lake_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/lake_ml.dir/mlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lake_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/lake_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/lake_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/lake_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/lake_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_ml.dir/backends.cc.o"
+  "CMakeFiles/lake_ml.dir/backends.cc.o.d"
+  "CMakeFiles/lake_ml.dir/gpu_kernels.cc.o"
+  "CMakeFiles/lake_ml.dir/gpu_kernels.cc.o.d"
+  "CMakeFiles/lake_ml.dir/knn.cc.o"
+  "CMakeFiles/lake_ml.dir/knn.cc.o.d"
+  "CMakeFiles/lake_ml.dir/lstm.cc.o"
+  "CMakeFiles/lake_ml.dir/lstm.cc.o.d"
+  "CMakeFiles/lake_ml.dir/lstm_train.cc.o"
+  "CMakeFiles/lake_ml.dir/lstm_train.cc.o.d"
+  "CMakeFiles/lake_ml.dir/matrix.cc.o"
+  "CMakeFiles/lake_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/lake_ml.dir/mlp.cc.o"
+  "CMakeFiles/lake_ml.dir/mlp.cc.o.d"
+  "liblake_ml.a"
+  "liblake_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_policy.dir/bpf.cc.o"
+  "CMakeFiles/lake_policy.dir/bpf.cc.o.d"
+  "CMakeFiles/lake_policy.dir/mlgate.cc.o"
+  "CMakeFiles/lake_policy.dir/mlgate.cc.o.d"
+  "CMakeFiles/lake_policy.dir/policy.cc.o"
+  "CMakeFiles/lake_policy.dir/policy.cc.o.d"
+  "liblake_policy.a"
+  "liblake_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

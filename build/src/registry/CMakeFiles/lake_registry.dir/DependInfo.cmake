@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/registry/manager.cc" "src/registry/CMakeFiles/lake_registry.dir/manager.cc.o" "gcc" "src/registry/CMakeFiles/lake_registry.dir/manager.cc.o.d"
+  "/root/repo/src/registry/model_store.cc" "src/registry/CMakeFiles/lake_registry.dir/model_store.cc.o" "gcc" "src/registry/CMakeFiles/lake_registry.dir/model_store.cc.o.d"
+  "/root/repo/src/registry/registry.cc" "src/registry/CMakeFiles/lake_registry.dir/registry.cc.o" "gcc" "src/registry/CMakeFiles/lake_registry.dir/registry.cc.o.d"
+  "/root/repo/src/registry/schema.cc" "src/registry/CMakeFiles/lake_registry.dir/schema.cc.o" "gcc" "src/registry/CMakeFiles/lake_registry.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/lake_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/lake_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

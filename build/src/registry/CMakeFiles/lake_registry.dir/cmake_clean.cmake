@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_registry.dir/manager.cc.o"
+  "CMakeFiles/lake_registry.dir/manager.cc.o.d"
+  "CMakeFiles/lake_registry.dir/model_store.cc.o"
+  "CMakeFiles/lake_registry.dir/model_store.cc.o.d"
+  "CMakeFiles/lake_registry.dir/registry.cc.o"
+  "CMakeFiles/lake_registry.dir/registry.cc.o.d"
+  "CMakeFiles/lake_registry.dir/schema.cc.o"
+  "CMakeFiles/lake_registry.dir/schema.cc.o.d"
+  "liblake_registry.a"
+  "liblake_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

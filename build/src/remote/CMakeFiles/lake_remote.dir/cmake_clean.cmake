@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_remote.dir/daemon.cc.o"
+  "CMakeFiles/lake_remote.dir/daemon.cc.o.d"
+  "CMakeFiles/lake_remote.dir/lakelib.cc.o"
+  "CMakeFiles/lake_remote.dir/lakelib.cc.o.d"
+  "CMakeFiles/lake_remote.dir/wire.cc.o"
+  "CMakeFiles/lake_remote.dir/wire.cc.o.d"
+  "liblake_remote.a"
+  "liblake_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_sched.dir/mllb.cc.o"
+  "CMakeFiles/lake_sched.dir/mllb.cc.o.d"
+  "liblake_sched.a"
+  "liblake_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_shm.dir/arena.cc.o"
+  "CMakeFiles/lake_shm.dir/arena.cc.o.d"
+  "liblake_shm.a"
+  "liblake_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

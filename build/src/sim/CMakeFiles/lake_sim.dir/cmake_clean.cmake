@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_sim.dir/resource.cc.o"
+  "CMakeFiles/lake_sim.dir/resource.cc.o.d"
+  "CMakeFiles/lake_sim.dir/simulator.cc.o"
+  "CMakeFiles/lake_sim.dir/simulator.cc.o.d"
+  "liblake_sim.a"
+  "liblake_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

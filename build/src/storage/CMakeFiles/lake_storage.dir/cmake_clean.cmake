@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lake_storage.dir/e2e.cc.o"
+  "CMakeFiles/lake_storage.dir/e2e.cc.o.d"
+  "CMakeFiles/lake_storage.dir/linnos.cc.o"
+  "CMakeFiles/lake_storage.dir/linnos.cc.o.d"
+  "CMakeFiles/lake_storage.dir/nvme.cc.o"
+  "CMakeFiles/lake_storage.dir/nvme.cc.o.d"
+  "CMakeFiles/lake_storage.dir/trace.cc.o"
+  "CMakeFiles/lake_storage.dir/trace.cc.o.d"
+  "liblake_storage.a"
+  "liblake_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lake_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

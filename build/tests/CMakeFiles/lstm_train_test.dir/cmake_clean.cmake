@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lstm_train_test.dir/lstm_train_test.cc.o"
+  "CMakeFiles/lstm_train_test.dir/lstm_train_test.cc.o.d"
+  "lstm_train_test"
+  "lstm_train_test.pdb"
+  "lstm_train_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lstm_train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

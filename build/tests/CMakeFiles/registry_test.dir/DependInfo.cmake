@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/registry_test.cc" "tests/CMakeFiles/registry_test.dir/registry_test.cc.o" "gcc" "tests/CMakeFiles/registry_test.dir/registry_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lake_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/lake_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/lake_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/lake_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/lake_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/malware/CMakeFiles/lake_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/lake_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lake_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/registry/CMakeFiles/lake_registry.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/lake_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/lake_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/lake_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/lake_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/lake_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/lake_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/lake_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
