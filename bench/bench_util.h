@@ -6,10 +6,13 @@
  * Shared output helpers for the figure/table reproduction harnesses.
  * Every bench prints a self-describing header naming the paper artifact
  * it regenerates, then fixed-width rows that read like the original.
+ * JsonWriter additionally emits machine-readable result files
+ * (BENCH_<name>.json) so perf trajectories can be tracked across PRs.
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace lake::bench {
 
@@ -29,6 +32,140 @@ expectation(const char *text)
     std::printf("------------------------------------------------------------------------------\n");
     std::printf("paper shape: %s\n\n", text);
 }
+
+/**
+ * Minimal streaming JSON writer: enough for flat-ish benchmark result
+ * objects, with correct comma placement and number formatting. Usage:
+ *
+ *   JsonWriter j;
+ *   j.beginObject();
+ *   j.key("gflops").value(12.5);
+ *   j.key("runs").beginArray().value(1).value(2).endArray();
+ *   j.endObject();
+ *   j.writeFile("BENCH_foo.json");
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter() { comma_.push_back(false); }
+
+    JsonWriter &
+    beginObject()
+    {
+        sep();
+        out_ += '{';
+        comma_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endObject()
+    {
+        out_ += '}';
+        comma_.pop_back();
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        sep();
+        out_ += '[';
+        comma_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &
+    endArray()
+    {
+        out_ += ']';
+        comma_.pop_back();
+        return *this;
+    }
+
+    /** Emits an object key; the next value belongs to it. */
+    JsonWriter &
+    key(const char *k)
+    {
+        sep();
+        quoted(k);
+        out_ += ':';
+        pending_key_ = true;
+        return *this;
+    }
+
+    JsonWriter &
+    value(double v)
+    {
+        sep();
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out_ += buf;
+        return *this;
+    }
+
+    JsonWriter &
+    value(std::size_t v)
+    {
+        sep();
+        out_ += std::to_string(v);
+        return *this;
+    }
+
+    JsonWriter &
+    value(const char *s)
+    {
+        sep();
+        quoted(s);
+        return *this;
+    }
+
+    /** The serialized document so far. */
+    const std::string &str() const { return out_; }
+
+    /** Writes the document to @p path. @return false on I/O failure. */
+    bool
+    writeFile(const char *path) const
+    {
+        std::FILE *f = std::fopen(path, "w");
+        if (!f)
+            return false;
+        bool ok = std::fwrite(out_.data(), 1, out_.size(), f) ==
+                  out_.size();
+        ok = std::fputc('\n', f) != EOF && ok;
+        ok = std::fclose(f) == 0 && ok;
+        return ok;
+    }
+
+  private:
+    void
+    sep()
+    {
+        if (pending_key_) {
+            pending_key_ = false;
+            return;
+        }
+        if (comma_.back())
+            out_ += ',';
+        comma_.back() = true;
+    }
+
+    void
+    quoted(const char *s)
+    {
+        out_ += '"';
+        for (; *s; ++s) {
+            if (*s == '"' || *s == '\\')
+                out_ += '\\';
+            out_ += *s;
+        }
+        out_ += '"';
+    }
+
+    std::string out_;
+    std::vector<char> comma_; ///< per-nesting "needs a comma" flag
+    bool pending_key_ = false;
+};
 
 } // namespace lake::bench
 

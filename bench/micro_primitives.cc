@@ -12,6 +12,8 @@
 #include "base/ring_buffer.h"
 #include "core/lake.h"
 #include "crypto/gcm.h"
+#include "ml/compute.h"
+#include "ml/knn.h"
 #include "ml/mlp.h"
 #include "policy/bpf.h"
 #include "registry/registry.h"
@@ -141,6 +143,100 @@ BM_MlpForwardLinnos(benchmark::State &state)
         benchmark::DoNotOptimize(net.forward(x));
 }
 BENCHMARK(BM_MlpForwardLinnos)->Arg(1)->Arg(32)->Arg(256);
+
+// Seed scalar affine loop, preserved as the GEMM host-time baseline;
+// compare against BM_GemmBlocked256 (ratio is the substrate speedup).
+void
+BM_GemmScalar256(benchmark::State &state)
+{
+    const std::size_t n = 256, in = 256, out = 256;
+    Rng rng(7);
+    std::vector<float> x(n * in), w(out * in), b(out), y(n * out);
+    for (float &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (float &v : w)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto _ : state) {
+        for (std::size_t r = 0; r < n; ++r) {
+            const float *xin = x.data() + r * in;
+            float *yout = y.data() + r * out;
+            for (std::size_t o = 0; o < out; ++o) {
+                const float *wrow = w.data() + o * in;
+                float acc = b[o];
+                for (std::size_t i = 0; i < in; ++i)
+                    acc += wrow[i] * xin[i];
+                yout[o] = acc;
+            }
+        }
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations()); // GEMMs
+}
+BENCHMARK(BM_GemmScalar256);
+
+void
+BM_GemmBlocked256(benchmark::State &state)
+{
+    const std::size_t n = 256, in = 256, out = 256;
+    Rng rng(7);
+    std::vector<float> x(n * in), w(out * in), b(out), y(n * out);
+    for (float &v : x)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (float &v : w)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto _ : state) {
+        ml::compute::affine(x.data(), n, in, w.data(), out, b.data(),
+                            y.data());
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations()); // GEMMs
+}
+BENCHMARK(BM_GemmBlocked256);
+
+// kNN at the Fig. 12 shape (16K refs x 1024 dims, k=16). items/s is
+// queries/s for both variants, so the two rates compare directly even
+// though the scalar one runs a single query per iteration.
+void
+BM_KnnScalarQueryFig12(benchmark::State &state)
+{
+    const std::size_t refs_n = 16384, dim = 1024, k = 16;
+    Rng rng(11);
+    std::vector<float> ref(dim), q(dim);
+    ml::Knn knn(dim, k);
+    for (std::size_t r = 0; r < refs_n; ++r) {
+        for (float &v : ref)
+            v = static_cast<float>(rng.uniform(0.0, 1.0));
+        knn.add(ref.data(), static_cast<int>(r % 2));
+    }
+    for (float &v : q)
+        v = static_cast<float>(rng.uniform(0.0, 1.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(knn.classify(q.data()));
+    state.SetItemsProcessed(state.iterations()); // queries
+}
+BENCHMARK(BM_KnnScalarQueryFig12);
+
+void
+BM_KnnBatchedFig12(benchmark::State &state)
+{
+    const std::size_t refs_n = 16384, dim = 1024, k = 16;
+    const std::size_t queries_n = 256;
+    Rng rng(11);
+    std::vector<float> ref(dim), queries(queries_n * dim);
+    ml::Knn knn(dim, k);
+    for (std::size_t r = 0; r < refs_n; ++r) {
+        for (float &v : ref)
+            v = static_cast<float>(rng.uniform(0.0, 1.0));
+        knn.add(ref.data(), static_cast<int>(r % 2));
+    }
+    for (float &v : queries)
+        v = static_cast<float>(rng.uniform(0.0, 1.0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(knn.classifyBatch(queries.data(),
+                                                   queries_n));
+    state.SetItemsProcessed(state.iterations() * queries_n); // queries
+}
+BENCHMARK(BM_KnnBatchedFig12);
 
 void
 BM_SimulatorEventChurn(benchmark::State &state)

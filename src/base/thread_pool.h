@@ -1,0 +1,131 @@
+#ifndef LAKE_BASE_THREAD_POOL_H
+#define LAKE_BASE_THREAD_POOL_H
+
+/**
+ * @file
+ * Fixed-size worker pool with a deterministic parallel-for.
+ *
+ * This is *host* parallelism for the simulator: the real CPU cycles
+ * spent executing model math, simulated-GPU kernel bodies, and bulk
+ * transforms. It never touches virtual time — every cost charged to a
+ * Clock is computed exactly as before, so figure benches are
+ * bit-identical at any thread count.
+ *
+ * Determinism contract: parallelFor() splits [begin, end) into fixed
+ * chunks of @c grain iterations. Chunk boundaries depend only on the
+ * range and grain — never on the thread count — and each output
+ * element is produced by exactly one chunk, so any computation whose
+ * chunks write disjoint state yields bit-identical results with
+ * LAKE_CPU_THREADS=1, 2, or 64. Workers race only for *which* chunk
+ * they execute next, not for what the chunk computes.
+ *
+ * Exceptions are barred: LAKE modules report failure through
+ * Status/panic, and an exception escaping a task on a worker thread
+ * would otherwise terminate the process with no diagnostics. A
+ * throwing task panics with a proper message instead.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lake::base {
+
+/**
+ * Fixed worker pool. The calling thread always participates in
+ * parallelFor, so a pool of size 1 has zero worker threads and runs
+ * everything inline.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallelism including the caller;
+     *        0 = configuredThreads()
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Joins all workers; outstanding parallelFor calls finish first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * The process-wide pool used by the ML compute layer and the
+     * simulated-GPU kernel bodies. Created on first use, sized by
+     * configuredThreads().
+     */
+    static ThreadPool &global();
+
+    /**
+     * Replaces the global pool with one of @p threads threads
+     * (0 = configuredThreads()). Test/bench hook for thread-count
+     * sweeps; callers must ensure no parallelFor is in flight.
+     */
+    static void resetGlobal(std::size_t threads);
+
+    /**
+     * Thread count requested via the LAKE_CPU_THREADS environment
+     * variable, or std::thread::hardware_concurrency() when unset.
+     * Always at least 1.
+     */
+    static std::size_t configuredThreads();
+
+    /** Total parallelism (workers + the participating caller). */
+    std::size_t threadCount() const { return workers_.size() + 1; }
+
+    /**
+     * Runs @p fn(chunk_begin, chunk_end) over [begin, end) split into
+     * chunks of @p grain iterations (the last chunk may be short).
+     * Blocks until every chunk has executed. Chunks run in arbitrary
+     * order on arbitrary threads; the chunk decomposition itself is a
+     * pure function of (begin, end, grain).
+     *
+     * Nested calls (from inside a task) execute inline and serially on
+     * the calling thread — parallelism is applied at the outermost
+     * level only, which keeps the pool deadlock-free.
+     */
+    void parallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                     const std::function<void(std::size_t, std::size_t)> &fn);
+
+  private:
+    /** One parallelFor invocation's shared state. */
+    struct Job
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+        std::size_t grain = 1;
+        std::size_t nchunks = 0;
+        const std::function<void(std::size_t, std::size_t)> *fn = nullptr;
+        /** Next chunk index to claim. */
+        std::atomic<std::size_t> next{0};
+        /** Chunks fully executed. */
+        std::atomic<std::size_t> done{0};
+        /** Workers currently inside runChunks (guarded by mu_). */
+        std::size_t active = 0;
+    };
+
+    void workerLoop();
+    void runChunks(Job &job);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< signals a new job / shutdown
+    std::condition_variable done_cv_; ///< signals job completion
+    Job *job_ = nullptr;              ///< guarded by mu_
+    std::uint64_t generation_ = 0;    ///< bumped per job, guarded by mu_
+    bool stop_ = false;               ///< guarded by mu_
+
+    /** Serializes concurrent parallelFor callers. */
+    std::mutex caller_mu_;
+};
+
+} // namespace lake::base
+
+#endif // LAKE_BASE_THREAD_POOL_H

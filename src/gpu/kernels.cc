@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "base/thread_pool.h"
 
 namespace lake::gpu {
 
@@ -72,8 +73,14 @@ vecAddBody(Device &dev, const LaunchConfig &cfg)
         dev.resolve(cfg.u64Arg(2), n * sizeof(float)));
     if (!a || !b || !c)
         return CuResult::LaunchFailed;
-    for (std::uint64_t i = 0; i < n; ++i)
-        c[i] = a[i] + b[i];
+    // Host execution of the functor rides the pool (element-disjoint
+    // chunks, so bit-identical at any thread count); the modeled
+    // device time below is untouched.
+    base::ThreadPool::global().parallelFor(
+        0, n, 65536, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                c[i] = a[i] + b[i];
+        });
     return CuResult::Success;
 }
 
@@ -90,8 +97,11 @@ saxpyBody(Device &dev, const LaunchConfig &cfg)
         dev.resolve(cfg.u64Arg(2), n * sizeof(float)));
     if (!x || !y)
         return CuResult::LaunchFailed;
-    for (std::uint64_t i = 0; i < n; ++i)
-        y[i] = alpha * x[i] + y[i];
+    base::ThreadPool::global().parallelFor(
+        0, n, 65536, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                y[i] = alpha * x[i] + y[i];
+        });
     return CuResult::Success;
 }
 
@@ -109,15 +119,20 @@ pageHashBody(Device &dev, const LaunchConfig &cfg)
         dev.resolve(cfg.u64Arg(1), npages * sizeof(std::uint64_t)));
     if (!in || !out)
         return CuResult::LaunchFailed;
-    for (std::uint64_t p = 0; p < npages; ++p) {
-        std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a
-        const std::uint8_t *page = in + p * kPageSize;
-        for (std::size_t i = 0; i < kPageSize; ++i) {
-            h ^= page[i];
-            h *= 0x100000001b3ull;
-        }
-        out[p] = h;
-    }
+    // Pages hash independently, exactly like the real kernel's
+    // one-thread-per-page mapping.
+    base::ThreadPool::global().parallelFor(
+        0, npages, 16, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t p = lo; p < hi; ++p) {
+                std::uint64_t h = 0xcbf29ce484222325ull; // FNV-1a
+                const std::uint8_t *page = in + p * kPageSize;
+                for (std::size_t i = 0; i < kPageSize; ++i) {
+                    h ^= page[i];
+                    h *= 0x100000001b3ull;
+                }
+                out[p] = h;
+            }
+        });
     return CuResult::Success;
 }
 

@@ -132,6 +132,9 @@ LakeMlp::classify(const Matrix &x)
 std::vector<int>
 CpuKnn::classify(const float *queries, std::size_t n)
 {
+    // Virtual time still models the kernel-context scalar scan (the
+    // paper's CPU bar); the host executes the batched GEMM + top-k
+    // path underneath (Knn::classifyBatch -> compute::knnNeighbors).
     cpu_.charge(model_.flopsPerQuery() * static_cast<double>(n));
     return model_.classifyBatch(queries, n);
 }

@@ -1,0 +1,223 @@
+#include "ml/compute.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h"
+#include "base/thread_pool.h"
+
+namespace lake::ml::compute {
+
+namespace {
+
+/** Rows per microkernel: one wt load feeds 4 accumulator streams. */
+constexpr std::size_t kRowBlock = 4;
+/** Register-tile width (floats): 4 x 16 accumulators live in SIMD regs. */
+constexpr std::size_t kRegTile = 16;
+/** parallelFor grain (rows) for GEMM row-block distribution. */
+constexpr std::size_t kGemmGrain = 2 * kRowBlock;
+/** parallelFor grain (queries) for the kNN top-k pass. */
+constexpr std::size_t kKnnGrain = 8;
+
+/**
+ * 4-row x 16-column register-tile microkernel. The k-loop accumulates
+ * the full depth into 4x16 local accumulators (vector registers after
+ * vectorization), so each output element is loaded/stored exactly
+ * once; each wt vector load feeds four independent accumulator
+ * streams. Per (row, column) the reduction still runs over i in
+ * ascending order, one product at a time — the seed scalar loop's
+ * summation order — so tiling never changes results.
+ */
+inline void
+micro4(const float *__restrict x0, const float *__restrict x1,
+       const float *__restrict x2, const float *__restrict x3,
+       std::size_t in, const float *__restrict wt, std::size_t out,
+       std::size_t o, const float *__restrict bias,
+       float *__restrict y0, float *__restrict y1, float *__restrict y2,
+       float *__restrict y3)
+{
+    float a0[kRegTile], a1[kRegTile], a2[kRegTile], a3[kRegTile];
+    for (std::size_t c = 0; c < kRegTile; ++c) {
+        float bv = bias ? bias[o + c] : 0.0f;
+        a0[c] = bv;
+        a1[c] = bv;
+        a2[c] = bv;
+        a3[c] = bv;
+    }
+    for (std::size_t i = 0; i < in; ++i) {
+        const float v0 = x0[i];
+        const float v1 = x1[i];
+        const float v2 = x2[i];
+        const float v3 = x3[i];
+        const float *__restrict wrow = wt + i * out + o;
+        for (std::size_t c = 0; c < kRegTile; ++c) {
+            const float wv = wrow[c];
+            a0[c] += v0 * wv;
+            a1[c] += v1 * wv;
+            a2[c] += v2 * wv;
+            a3[c] += v3 * wv;
+        }
+    }
+    for (std::size_t c = 0; c < kRegTile; ++c) {
+        y0[o + c] = a0[c];
+        y1[o + c] = a1[c];
+        y2[o + c] = a2[c];
+        y3[o + c] = a3[c];
+    }
+}
+
+/**
+ * Generic tail kernel for the ragged edges (row block < 4 or column
+ * tile < 16): same ascending-i accumulation, y resident in cache.
+ */
+inline void
+tailKernel(const float *__restrict x, std::size_t nrows, std::size_t in,
+           const float *__restrict wt, std::size_t out, std::size_t o0,
+           std::size_t o1, const float *__restrict bias,
+           float *__restrict y)
+{
+    for (std::size_t r = 0; r < nrows; ++r) {
+        float *__restrict yr = y + r * out;
+        for (std::size_t o = o0; o < o1; ++o)
+            yr[o] = bias ? bias[o] : 0.0f;
+    }
+    for (std::size_t r = 0; r < nrows; ++r) {
+        const float *__restrict xr = x + r * in;
+        float *__restrict yr = y + r * out;
+        for (std::size_t i = 0; i < in; ++i) {
+            const float a = xr[i];
+            const float *__restrict wrow = wt + i * out;
+            for (std::size_t o = o0; o < o1; ++o)
+                yr[o] += a * wrow[o];
+        }
+    }
+}
+
+} // namespace
+
+void
+packTranspose(const float *w, std::size_t rows, std::size_t cols,
+              float *wt)
+{
+    // Tiled transpose so both sides stay cache-friendly at kNN scale
+    // (rows up to tens of thousands).
+    constexpr std::size_t kT = 64;
+    for (std::size_t r0 = 0; r0 < rows; r0 += kT) {
+        std::size_t r1 = std::min(rows, r0 + kT);
+        for (std::size_t c0 = 0; c0 < cols; c0 += kT) {
+            std::size_t c1 = std::min(cols, c0 + kT);
+            for (std::size_t r = r0; r < r1; ++r)
+                for (std::size_t c = c0; c < c1; ++c)
+                    wt[c * rows + r] = w[r * cols + c];
+        }
+    }
+}
+
+void
+gemmBlock(const float *x, std::size_t n, std::size_t in, const float *wt,
+          std::size_t out, const float *bias, float *y)
+{
+    const std::size_t full_rows = n - n % kRowBlock;
+    const std::size_t full_cols = out - out % kRegTile;
+
+    for (std::size_t r = 0; r < full_rows; r += kRowBlock) {
+        const float *x0 = x + r * in;
+        float *y0 = y + r * out;
+        for (std::size_t o = 0; o < full_cols; o += kRegTile)
+            micro4(x0, x0 + in, x0 + 2 * in, x0 + 3 * in, in, wt, out,
+                   o, bias, y0, y0 + out, y0 + 2 * out, y0 + 3 * out);
+        if (full_cols < out)
+            tailKernel(x0, kRowBlock, in, wt, out, full_cols, out, bias,
+                       y0);
+    }
+    if (full_rows < n)
+        tailKernel(x + full_rows * in, n - full_rows, in, wt, out, 0,
+                   out, bias, y + full_rows * out);
+}
+
+void
+affine(const float *x, std::size_t n, std::size_t in, const float *w,
+       std::size_t out, const float *bias, float *y)
+{
+    std::vector<float> wt(in * out);
+    packTranspose(w, out, in, wt.data());
+    base::ThreadPool::global().parallelFor(
+        0, n, kGemmGrain, [&](std::size_t b, std::size_t e) {
+            gemmBlock(x + b * in, e - b, in, wt.data(), out, bias,
+                      y + b * out);
+        });
+}
+
+void
+knnNeighbors(const float *queries, std::size_t n, std::size_t dim,
+             const float *refs, std::size_t n_refs, std::size_t k,
+             Neighbor *out)
+{
+    LAKE_ASSERT(k >= 1 && k <= n_refs,
+                "knnNeighbors k=%zu outside 1..%zu", k, n_refs);
+    base::ThreadPool &pool = base::ThreadPool::global();
+
+    // ||r||^2 per reference, each summed independently in index order.
+    std::vector<float> ref_n2(n_refs);
+    pool.parallelFor(0, n_refs, 256, [&](std::size_t b, std::size_t e) {
+        for (std::size_t r = b; r < e; ++r) {
+            const float *__restrict p = refs + r * dim;
+            float s = 0.0f;
+            for (std::size_t i = 0; i < dim; ++i)
+                s += p[i] * p[i];
+            ref_n2[r] = s;
+        }
+    });
+
+    // refs^T packed once: the cross-term GEMM streams it unit-stride.
+    std::vector<float> rt(dim * n_refs);
+    pool.parallelFor(0, dim, 64, [&](std::size_t b, std::size_t e) {
+        for (std::size_t r = 0; r < n_refs; ++r)
+            for (std::size_t c = b; c < e; ++c)
+                rt[c * n_refs + r] = refs[r * dim + c];
+    });
+
+    pool.parallelFor(0, n, kKnnGrain, [&](std::size_t qb, std::size_t qe) {
+        std::size_t rows = qe - qb;
+        // Cross terms q.r for this query block: one GEMM tile.
+        std::vector<float> dots(rows * n_refs);
+        gemmBlock(queries + qb * dim, rows, dim, rt.data(), n_refs,
+                  nullptr, dots.data());
+
+        // (d2, index) max-heap of the best k, scanned in index order
+        // with strict comparison — identical selection (including tie
+        // handling) to the scalar reference scan.
+        std::vector<Neighbor> best;
+        for (std::size_t q = qb; q < qe; ++q) {
+            const float *__restrict qp = queries + q * dim;
+            float q_n2 = 0.0f;
+            for (std::size_t i = 0; i < dim; ++i)
+                q_n2 += qp[i] * qp[i];
+
+            const float *row = dots.data() + (q - qb) * n_refs;
+            best.clear();
+            best.reserve(k + 1);
+            auto worse = [](const Neighbor &a, const Neighbor &b) {
+                return a.d2 < b.d2 ||
+                       (a.d2 == b.d2 && a.index < b.index);
+            };
+            for (std::size_t r = 0; r < n_refs; ++r) {
+                float d2 = q_n2 + ref_n2[r] - 2.0f * row[r];
+                Neighbor cand{d2, static_cast<std::int32_t>(r)};
+                if (best.size() < k) {
+                    best.push_back(cand);
+                    std::push_heap(best.begin(), best.end(), worse);
+                } else if (worse(cand, best.front())) {
+                    std::pop_heap(best.begin(), best.end(), worse);
+                    best.back() = cand;
+                    std::push_heap(best.begin(), best.end(), worse);
+                }
+            }
+            std::sort_heap(best.begin(), best.end(), worse);
+            std::copy(best.begin(), best.end(), out + q * k);
+        }
+    });
+}
+
+} // namespace lake::ml::compute

@@ -1,0 +1,85 @@
+#ifndef LAKE_ML_COMPUTE_H
+#define LAKE_ML_COMPUTE_H
+
+/**
+ * @file
+ * Blocked, vectorized, multithreaded CPU compute for the ML models.
+ *
+ * Every CPU-side inference hot path (Matrix::affine, batched kNN, the
+ * simulated-GPU kernel bodies) funnels through this layer. The kernels
+ * are cache-blocked and written with independent accumulator streams
+ * and __restrict pointers so the compiler auto-vectorizes them, and
+ * they parallelize over output rows via base::ThreadPool.
+ *
+ * Host time only: nothing here touches virtual-time cost models. The
+ * calibrated figure benches charge exactly the same Nanos as the seed
+ * scalar loops did; this layer just makes the simulator's real
+ * execution of that math fast (see bench/micro_primitives and
+ * BENCH_mlcompute.json).
+ *
+ * Determinism: for every output element the reduction over the
+ * k-dimension runs in ascending index order, one element at a time —
+ * the same order as the seed scalar loops — and parallelism never
+ * splits a reduction. Results are therefore bit-identical at any
+ * LAKE_CPU_THREADS setting (and to the seed scalar code under
+ * identical floating-point contraction rules).
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lake::ml::compute {
+
+/**
+ * Packs the row-major matrix @p w (rows x cols) into its transpose
+ * @p wt (cols x rows). The GEMM kernels read weights in transposed
+ * layout so their inner loops are unit-stride over outputs.
+ */
+void packTranspose(const float *w, std::size_t rows, std::size_t cols,
+                   float *wt);
+
+/**
+ * Single-threaded blocked GEMM block:
+ *   y(n x out) = x(n x in) * wt(in x out) [+ bias]
+ * @p wt is the *transposed* weight matrix (see packTranspose); @p bias
+ * may be null for no bias. Tiled over output columns and the
+ * k-dimension, with a 4-row microkernel of independent accumulator
+ * streams.
+ */
+void gemmBlock(const float *x, std::size_t n, std::size_t in,
+               const float *wt, std::size_t out, const float *bias,
+               float *y);
+
+/**
+ * y = x * w^T + bias over the global ThreadPool, parallel across row
+ * blocks. @p w is row-major (out x in) exactly as Matrix stores layer
+ * weights; it is packed once per call.
+ */
+void affine(const float *x, std::size_t n, std::size_t in, const float *w,
+            std::size_t out, const float *bias, float *y);
+
+/** One kNN candidate: squared distance and reference index. */
+struct Neighbor
+{
+    float d2 = 0.0f;
+    std::int32_t index = -1;
+};
+
+/**
+ * Batched brute-force k-nearest-neighbours:
+ * for each of @p n queries, writes its @p k nearest references
+ * (ascending squared distance, ties broken by lower reference index)
+ * to out + q * k.
+ *
+ * Uses the ||q - r||^2 = ||q||^2 + ||r||^2 - 2 q.r decomposition: the
+ * cross terms become one blocked GEMM (queries x refs^T) and selection
+ * is a single top-k pass per query, parallel over queries. @p k must
+ * be <= @p n_refs.
+ */
+void knnNeighbors(const float *queries, std::size_t n, std::size_t dim,
+                  const float *refs, std::size_t n_refs, std::size_t k,
+                  Neighbor *out);
+
+} // namespace lake::ml::compute
+
+#endif // LAKE_ML_COMPUTE_H

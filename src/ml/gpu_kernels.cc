@@ -255,6 +255,9 @@ knnQueryBody(Device &dev, const LaunchConfig &cfg)
     Knn knn(dim, k);
     for (std::uint64_t r = 0; r < n_refs; r += stride)
         knn.add(refs + r * dim, labels[r]);
+    // classifyBatch is the batched GEMM + top-k path, parallel over
+    // queries on the host ThreadPool — the "GPU" functor really uses
+    // all host cores while knnQueryCost charges device time.
     std::vector<int> result = knn.classifyBatch(queries, n_queries);
     for (std::uint64_t q = 0; q < n_queries; ++q)
         out[q] = result[q];

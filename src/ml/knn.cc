@@ -2,8 +2,55 @@
 
 #include <algorithm>
 #include <map>
+#include <vector>
+
+#include "ml/compute.h"
 
 namespace lake::ml {
+
+namespace {
+
+/** Heap order: front = farthest candidate, ties to the higher index. */
+bool
+nearer(const compute::Neighbor &a, const compute::Neighbor &b)
+{
+    return a.d2 < b.d2 || (a.d2 == b.d2 && a.index < b.index);
+}
+
+/**
+ * Majority vote over @p k neighbours sorted by ascending distance.
+ * A vote tie is broken by nearest neighbour: the tied label whose
+ * closest reference is nearer wins (and a residual exact-distance tie
+ * falls to the lower reference index, since that orders the sort).
+ */
+int
+voteNearest(const compute::Neighbor *nb, std::size_t k,
+            const std::vector<std::int32_t> &labels)
+{
+    // votes and best (lowest) rank per label; nb is sorted, so the
+    // first occurrence of a label is its nearest reference.
+    std::map<std::int32_t, std::pair<std::size_t, std::size_t>> tally;
+    for (std::size_t i = 0; i < k; ++i) {
+        std::int32_t label = labels[nb[i].index];
+        auto [it, fresh] = tally.try_emplace(label, 0, i);
+        ++it->second.first;
+        (void)fresh;
+    }
+    std::int32_t winner = labels[nb[0].index];
+    std::size_t winner_votes = 0, winner_rank = k;
+    for (const auto &[label, vr] : tally) {
+        auto [votes, rank] = vr;
+        if (votes > winner_votes ||
+            (votes == winner_votes && rank < winner_rank)) {
+            winner = label;
+            winner_votes = votes;
+            winner_rank = rank;
+        }
+    }
+    return winner;
+}
+
+} // namespace
 
 Knn::Knn(std::size_t dim, std::size_t k) : dim_(dim), k_(k)
 {
@@ -23,10 +70,10 @@ Knn::classify(const float *query) const
     LAKE_ASSERT(!labels_.empty(), "knn classify with no references");
     std::size_t k = std::min(k_, labels_.size());
 
-    // Max-heap of the k best (distance, label) pairs seen so far.
-    std::vector<std::pair<float, std::int32_t>> best;
+    // Scalar reference scan (the oracle for the batched path): direct
+    // squared distances, max-heap of the k best seen so far.
+    std::vector<compute::Neighbor> best;
     best.reserve(k + 1);
-
     for (std::size_t r = 0; r < labels_.size(); ++r) {
         const float *ref = refs_.data() + r * dim_;
         float d2 = 0.0f;
@@ -34,37 +81,37 @@ Knn::classify(const float *query) const
             float diff = query[i] - ref[i];
             d2 += diff * diff;
         }
+        compute::Neighbor cand{d2, static_cast<std::int32_t>(r)};
         if (best.size() < k) {
-            best.emplace_back(d2, labels_[r]);
-            std::push_heap(best.begin(), best.end());
-        } else if (d2 < best.front().first) {
-            std::pop_heap(best.begin(), best.end());
-            best.back() = {d2, labels_[r]};
-            std::push_heap(best.begin(), best.end());
+            best.push_back(cand);
+            std::push_heap(best.begin(), best.end(), nearer);
+        } else if (nearer(cand, best.front())) {
+            std::pop_heap(best.begin(), best.end(), nearer);
+            best.back() = cand;
+            std::push_heap(best.begin(), best.end(), nearer);
         }
     }
-
-    std::map<std::int32_t, std::size_t> votes;
-    for (const auto &[d2, label] : best)
-        ++votes[label];
-    int winner = best.front().second;
-    std::size_t winner_votes = 0;
-    for (const auto &[label, count] : votes) {
-        if (count > winner_votes) {
-            winner = label;
-            winner_votes = count;
-        }
-    }
-    return winner;
+    std::sort_heap(best.begin(), best.end(), nearer);
+    return voteNearest(best.data(), k, labels_);
 }
 
 std::vector<int>
 Knn::classifyBatch(const float *queries, std::size_t n) const
 {
-    std::vector<int> out;
-    out.reserve(n);
+    LAKE_ASSERT(!labels_.empty(), "knn classify with no references");
+    if (n == 0)
+        return {};
+    std::size_t k = std::min(k_, labels_.size());
+
+    // One GEMM (||q-r||^2 decomposition) plus a top-k pass per query,
+    // parallel over queries — see compute::knnNeighbors.
+    std::vector<compute::Neighbor> nb(n * k);
+    compute::knnNeighbors(queries, n, dim_, refs_.data(), labels_.size(),
+                          k, nb.data());
+
+    std::vector<int> out(n);
     for (std::size_t q = 0; q < n; ++q)
-        out.push_back(classify(queries + q * dim_));
+        out[q] = voteNearest(nb.data() + q * k, k, labels_);
     return out;
 }
 

@@ -41,11 +41,17 @@ class Knn
     /** Number of reference points. */
     std::size_t refCount() const { return labels_.size(); }
 
-    /** Majority label of the k nearest references to @p query. */
+    /**
+     * Majority label of the k nearest references to @p query, scalar
+     * scan. A vote tie goes to the label with the nearest reference.
+     */
     int classify(const float *query) const;
 
     /**
-     * Classifies @p n queries (concatenated dim-float vectors).
+     * Classifies @p n queries (concatenated dim-float vectors) through
+     * the batched path: one blocked GEMM over the ||q-r||^2
+     * decomposition plus a top-k pass, parallel over queries (see
+     * ml/compute.h). Same voting rule as classify().
      */
     std::vector<int> classifyBatch(const float *queries,
                                    std::size_t n) const;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "base/thread_pool.h"
 
 namespace lake::ml {
 
@@ -141,13 +142,17 @@ Lstm::classifyBatch(const std::vector<float> &seqs, std::size_t batch) const
     LAKE_ASSERT(seqs.size() == per * batch,
                 "lstm batch has %zu values, want %zu", seqs.size(),
                 per * batch);
-    std::vector<int> out;
-    out.reserve(batch);
-    for (std::size_t s = 0; s < batch; ++s) {
-        std::vector<float> one(seqs.begin() + s * per,
-                               seqs.begin() + (s + 1) * per);
-        out.push_back(classify(one));
-    }
+    // Samples are independent: parallel over the batch, one label slot
+    // per sample, so results are identical at any thread count.
+    std::vector<int> out(batch);
+    base::ThreadPool::global().parallelFor(
+        0, batch, 1, [&](std::size_t b, std::size_t e) {
+            for (std::size_t s = b; s < e; ++s) {
+                std::vector<float> one(seqs.begin() + s * per,
+                                       seqs.begin() + (s + 1) * per);
+                out[s] = classify(one);
+            }
+        });
     return out;
 }
 

@@ -1,5 +1,7 @@
 #include "ml/matrix.h"
 
+#include "ml/compute.h"
+
 namespace lake::ml {
 
 Matrix
@@ -20,17 +22,8 @@ Matrix::affine(const Matrix &x, const Matrix &w, const std::vector<float> &b)
     LAKE_ASSERT(b.size() == w.rows(), "bias length mismatch");
 
     Matrix y(x.rows(), w.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-        const float *xin = x.row(r);
-        float *yout = y.row(r);
-        for (std::size_t o = 0; o < w.rows(); ++o) {
-            const float *wrow = w.row(o);
-            float acc = b[o];
-            for (std::size_t i = 0; i < x.cols(); ++i)
-                acc += wrow[i] * xin[i];
-            yout[o] = acc;
-        }
-    }
+    compute::affine(x.data(), x.rows(), x.cols(), w.data(), w.rows(),
+                    b.data(), y.data());
     return y;
 }
 

@@ -4,9 +4,11 @@
 /**
  * @file
  * Dense row-major float matrix — the only tensor type the in-kernel
- * models need. Deliberately scalar code: it stands in for the
- * unvectorized float routines a kernel module actually runs between
- * kernel_fpu_begin/end (the CpuSpec calibration assumes exactly this).
+ * models need. affine() routes through the blocked, vectorized,
+ * multithreaded compute layer (ml/compute.h) for *host* speed; the
+ * CpuSpec calibration still models the unvectorized float routines a
+ * kernel module runs between kernel_fpu_begin/end, so every *virtual*
+ * time charge is unchanged from the seed scalar loops.
  */
 
 #include <cstddef>

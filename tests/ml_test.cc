@@ -5,6 +5,8 @@
 
 #include <cmath>
 
+#include "base/thread_pool.h"
+#include "ml/compute.h"
 #include "ml/knn.h"
 #include "ml/lstm.h"
 #include "ml/matrix.h"
@@ -370,6 +372,125 @@ TEST(KnnTest, BatchMatchesSingles)
     auto batch = knn.classifyBatch(queries.data(), 10);
     for (int q = 0; q < 10; ++q)
         EXPECT_EQ(batch[q], knn.classify(queries.data() + q * 4));
+}
+
+TEST(KnnTest, VoteTieGoesToNearestNeighbor)
+{
+    // k=4 with votes 2:2 — label 1 owns the nearest reference, so it
+    // must win even though label 0 has the lower id. (The seed broke
+    // ties toward the lowest label id.)
+    Knn knn(1, 4);
+    float r0[] = {1.0f}, r1[] = {3.0f}, r2[] = {2.0f}, r3[] = {2.5f};
+    knn.add(r0, 1);
+    knn.add(r1, 1);
+    knn.add(r2, 0);
+    knn.add(r3, 0);
+    float q[] = {0.0f};
+    EXPECT_EQ(knn.classify(q), 1);
+    auto batch = knn.classifyBatch(q, 1);
+    EXPECT_EQ(batch[0], 1);
+}
+
+TEST(KnnTest, BatchMatchesSinglesAtScale)
+{
+    // Larger randomized oracle for the GEMM-decomposed batched path:
+    // awkward sizes (refs not a multiple of the register tile, dim not
+    // a multiple of anything) and enough queries to span several
+    // parallelFor chunks.
+    Rng rng(77);
+    const std::size_t dim = 37, refs_n = 501, queries_n = 67, k = 9;
+    Knn knn(dim, k);
+    std::vector<float> point(dim);
+    for (std::size_t r = 0; r < refs_n; ++r) {
+        for (auto &v : point)
+            v = static_cast<float>(rng.uniform(-2.0, 2.0));
+        knn.add(point.data(), static_cast<int>(r % 5));
+    }
+    std::vector<float> queries(queries_n * dim);
+    for (auto &v : queries)
+        v = static_cast<float>(rng.uniform(-2.0, 2.0));
+    auto batch = knn.classifyBatch(queries.data(), queries_n);
+    ASSERT_EQ(batch.size(), queries_n);
+    for (std::size_t q = 0; q < queries_n; ++q)
+        EXPECT_EQ(batch[q], knn.classify(queries.data() + q * dim))
+            << "query " << q;
+}
+
+// ---- thread-count determinism --------------------------------------
+//
+// The ThreadPool determinism contract promises bit-identical results
+// with LAKE_CPU_THREADS=1, 2 or 8. These sweeps pin that down for the
+// three routed hot paths: affine/GEMM, batched kNN, MLP forward.
+
+class ThreadSweepTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { base::ThreadPool::resetGlobal(0); }
+
+    template <typename Fn>
+    void
+    expectBitIdentical(Fn &&run)
+    {
+        base::ThreadPool::resetGlobal(1);
+        auto ref = run();
+        for (std::size_t threads : {2, 8}) {
+            base::ThreadPool::resetGlobal(threads);
+            auto got = run();
+            ASSERT_EQ(got.size(), ref.size());
+            for (std::size_t i = 0; i < ref.size(); ++i)
+                ASSERT_EQ(got[i], ref[i])
+                    << "element " << i << " at " << threads
+                    << " threads";
+        }
+    }
+};
+
+TEST_F(ThreadSweepTest, AffineBitIdentical)
+{
+    Rng rng(21);
+    Matrix x = Matrix::randn(53, 31, rng, 1.0);
+    Matrix w = Matrix::randn(17, 31, rng, 1.0);
+    std::vector<float> b(17, 0.25f);
+    expectBitIdentical([&] {
+        Matrix y = Matrix::affine(x, w, b);
+        return std::vector<float>(y.data(), y.data() + y.size());
+    });
+}
+
+TEST_F(ThreadSweepTest, KnnNeighborsBitIdentical)
+{
+    Rng rng(22);
+    const std::size_t dim = 19, refs_n = 230, queries_n = 41, k = 7;
+    std::vector<float> refs(refs_n * dim), queries(queries_n * dim);
+    for (auto &v : refs)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto &v : queries)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    expectBitIdentical([&] {
+        std::vector<compute::Neighbor> nb(queries_n * k);
+        compute::knnNeighbors(queries.data(), queries_n, dim,
+                              refs.data(), refs_n, k, nb.data());
+        std::vector<float> flat;
+        flat.reserve(nb.size() * 2);
+        for (const auto &n : nb) {
+            flat.push_back(n.d2);
+            flat.push_back(static_cast<float>(n.index));
+        }
+        return flat;
+    });
+}
+
+TEST_F(ThreadSweepTest, MlpForwardBitIdentical)
+{
+    Rng rng(23);
+    Mlp net(MlpConfig::linnos(), rng);
+    Matrix x(33, 31);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(i % 13) * 0.07f;
+    expectBitIdentical([&] {
+        Matrix y = net.forward(x);
+        return std::vector<float>(y.data(), y.data() + y.size());
+    });
 }
 
 TEST(KnnTest, FlopsScaleWithDbAndDim)
