@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-command sanitizer run for the LAKE test suite.
+#
+#   bench/sanitize.sh [thread|address|undefined|address+undefined] [ctest args...]
+#
+# Configures a dedicated build tree under build-san-<name>/, builds the
+# tests, and runs ctest. Extra arguments go to ctest verbatim, so
+#
+#   bench/sanitize.sh address -L faults
+#
+# runs just the fault-injection / malformed-command corpus under ASan.
+set -euo pipefail
+
+SAN="${1:-address}"
+shift || true
+
+case "$SAN" in
+    thread|address|undefined|address+undefined) ;;
+    *)
+        echo "usage: $0 [thread|address|undefined|address+undefined] [ctest args...]" >&2
+        exit 2
+        ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+# '+' is awkward in directory names; normalize for the build tree only.
+BUILD="$ROOT/build-san-${SAN//+/-}"
+
+cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DLAKE_SANITIZE="$SAN"
+cmake --build "$BUILD" -j "$(nproc)"
+ctest --test-dir "$BUILD" --output-on-failure "$@"

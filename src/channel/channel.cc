@@ -79,6 +79,13 @@ Channel::roundTripCost(std::size_t req_bytes, std::size_t resp_bytes) const
     return transferCost(req_bytes) + transferCost(resp_bytes);
 }
 
+FaultInjector &
+Channel::installFaults(FaultSpec spec)
+{
+    faults_ = std::make_unique<FaultInjector>(spec);
+    return *faults_;
+}
+
 void
 Channel::send(Dir dir, std::vector<std::uint8_t> payload)
 {
@@ -88,12 +95,28 @@ Channel::send(Dir dir, std::vector<std::uint8_t> payload)
     Nanos sender_share = one_way / 2;
     clock_.advance(sender_share);
 
-    Message msg;
-    msg.sent_at = clock_.now();
-    msg.deliver_at = clock_.now() + (one_way - sender_share);
+    // Sender-side accounting covers what was *sent*, before any fault
+    // mangles or loses it in flight.
     ++messages_sent_;
     bytes_sent_ += payload.size();
+
+    Nanos extra_delay = 0;
+    bool duplicate = false;
+    if (faults_ && faults_->armed()) {
+        FaultInjector::Outcome out =
+            faults_->apply(dir == Dir::KernelToUser, payload);
+        if (out.drop)
+            return; // vanished in transit; the sender already paid
+        extra_delay = out.extra_delay;
+        duplicate = out.duplicate;
+    }
+
+    Message msg;
+    msg.sent_at = clock_.now();
+    msg.deliver_at = clock_.now() + (one_way - sender_share) + extra_delay;
     msg.payload = std::move(payload);
+    if (duplicate)
+        queueFor(dir).push_back(msg);
     queueFor(dir).push_back(std::move(msg));
 }
 
@@ -102,6 +125,18 @@ Channel::recv(Dir dir)
 {
     auto &q = queueFor(dir);
     LAKE_ASSERT(!q.empty(), "recv on empty %s channel", kindName(kind_));
+    Message msg = std::move(q.front());
+    q.pop_front();
+    clock_.advanceTo(msg.deliver_at);
+    return std::move(msg.payload);
+}
+
+std::optional<std::vector<std::uint8_t>>
+Channel::tryRecv(Dir dir)
+{
+    auto &q = queueFor(dir);
+    if (q.empty())
+        return std::nullopt;
     Message msg = std::move(q.front());
     q.pop_front();
     clock_.advanceTo(msg.deliver_at);

@@ -16,10 +16,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "base/time.h"
+#include "channel/fault.h"
 
 namespace lake::channel {
 
@@ -109,6 +112,14 @@ class Channel
      */
     std::vector<std::uint8_t> recv(Dir dir);
 
+    /**
+     * Fallible receive: like recv, but returns nullopt when no message
+     * is pending instead of panicking. Under fault injection a dropped
+     * command or response makes an empty queue a *reachable* state, not
+     * a protocol bug; lakeLib turns the nullopt into a timeout Status.
+     */
+    std::optional<std::vector<std::uint8_t>> tryRecv(Dir dir);
+
     /** True when a message is pending in direction @p dir. */
     bool pending(Dir dir) const;
 
@@ -123,6 +134,24 @@ class Channel
     /** Payload bytes moved since creation (both directions). */
     std::uint64_t bytesSent() const { return bytes_sent_; }
 
+    /**
+     * Installs (replacing any previous) a fault injector that perturbs
+     * every subsequent send. The injector is owned by the channel and
+     * starts armed; use faults()->disarm() to suspend it.
+     * @return the installed injector, for counter access
+     */
+    FaultInjector &installFaults(FaultSpec spec);
+
+    /** The installed fault injector, or nullptr on a clean channel. */
+    FaultInjector *faults() { return faults_.get(); }
+
+    /**
+     * The shared virtual clock. Exposed so the remoting layer can
+     * charge timeout deadlines and retry backoff against the same
+     * timeline the transport charges its costs to.
+     */
+    Clock &clock() { return clock_; }
+
   private:
     std::deque<Message> &queueFor(Dir dir);
     const std::deque<Message> &queueFor(Dir dir) const;
@@ -132,6 +161,7 @@ class Channel
     CostModel model_;
     std::deque<Message> to_user_;
     std::deque<Message> to_kernel_;
+    std::unique_ptr<FaultInjector> faults_;
     std::uint64_t messages_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;
 };

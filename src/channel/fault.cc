@@ -1,0 +1,59 @@
+#include "channel/fault.h"
+
+namespace lake::channel {
+
+FaultInjector::FaultInjector(FaultSpec spec)
+    : spec_(spec), rng_(spec.seed)
+{
+}
+
+std::uint64_t
+FaultInjector::injected() const
+{
+    return dropped_ + truncated_ + flipped_ + duplicated_ + delayed_;
+}
+
+FaultInjector::Outcome
+FaultInjector::apply(bool kernel_to_user, std::vector<std::uint8_t> &payload)
+{
+    Outcome out;
+    if (!armed_)
+        return out;
+    bool direction_armed =
+        kernel_to_user ? spec_.kernel_to_user : spec_.user_to_kernel;
+    if (!direction_armed)
+        return out;
+    ++seen_;
+
+    if (rng_.chance(spec_.drop)) {
+        ++dropped_;
+        out.drop = true;
+        return out;
+    }
+    if (!payload.empty() && rng_.chance(spec_.truncate)) {
+        ++truncated_;
+        payload.resize(static_cast<std::size_t>(
+            rng_.uniformInt(0, payload.size() - 1)));
+        return out;
+    }
+    if (!payload.empty() && rng_.chance(spec_.bitflip)) {
+        ++flipped_;
+        std::uint64_t bit = rng_.uniformInt(0, payload.size() * 8 - 1);
+        payload[static_cast<std::size_t>(bit / 8)] ^=
+            static_cast<std::uint8_t>(1u << (bit % 8));
+        return out;
+    }
+    if (rng_.chance(spec_.duplicate)) {
+        ++duplicated_;
+        out.duplicate = true;
+        return out;
+    }
+    if (rng_.chance(spec_.delay)) {
+        ++delayed_;
+        out.extra_delay = spec_.delay_ns;
+        return out;
+    }
+    return out;
+}
+
+} // namespace lake::channel

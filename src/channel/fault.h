@@ -1,0 +1,113 @@
+#ifndef LAKE_CHANNEL_FAULT_H
+#define LAKE_CHANNEL_FAULT_H
+
+/**
+ * @file
+ * Deterministic message-fault injection for the command channel.
+ *
+ * The remoting path is LAKE's trust boundary: kernel code must survive
+ * a misbehaving lakeD (§3). The injector perturbs messages as they
+ * enter a Channel queue — drop, truncate, bit-flip, duplicate, delay —
+ * per direction and with a seeded generator, so every failure a test
+ * observes replays bit-identically. Wiring it into Channel (rather
+ * than any one transport) means all four §6 mechanisms can be
+ * exercised with the same knobs.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/time.h"
+
+namespace lake::channel {
+
+/** Knobs for deterministic fault injection (probabilities in [0,1]). */
+struct FaultSpec
+{
+    /** Seed for the injector's private generator. */
+    std::uint64_t seed = 0x1a4e;
+    /** Probability a message vanishes in transit. */
+    double drop = 0.0;
+    /** Probability a message is cut short at a random byte. */
+    double truncate = 0.0;
+    /** Probability one random bit of the payload flips. */
+    double bitflip = 0.0;
+    /** Probability a message is delivered twice. */
+    double duplicate = 0.0;
+    /** Probability delivery is delayed by an extra @ref delay_ns. */
+    double delay = 0.0;
+    /** Extra delivery latency charged when a delay fault fires. */
+    Nanos delay_ns = 200_us;
+    /** Arm the command direction (lakeLib -> lakeD). */
+    bool kernel_to_user = true;
+    /** Arm the response direction (lakeD -> lakeLib). */
+    bool user_to_kernel = true;
+};
+
+/**
+ * Seeded per-channel fault source.
+ *
+ * At most one fault fires per message (drop, truncate, bit-flip,
+ * duplicate, delay — rolled in that fixed order), which keeps the
+ * per-message fault distribution easy to reason about and replayable.
+ */
+class FaultInjector
+{
+  public:
+    /** Delivery-side effects of one apply() call. */
+    struct Outcome
+    {
+        bool drop = false;      //!< message never enqueued
+        bool duplicate = false; //!< message enqueued twice
+        Nanos extra_delay = 0;  //!< added to the delivery instant
+    };
+
+    explicit FaultInjector(FaultSpec spec);
+
+    /**
+     * Rolls the fault dice for one message. Truncate and bit-flip
+     * mutate @p payload in place; drop/duplicate/delay are reported in
+     * the Outcome for the channel to realise.
+     * @param kernel_to_user direction of travel
+     */
+    Outcome apply(bool kernel_to_user, std::vector<std::uint8_t> &payload);
+
+    /** Enables injection (constructed armed). */
+    void arm() { armed_ = true; }
+    /** Suspends injection; messages pass through untouched. */
+    void disarm() { armed_ = false; }
+    /** True while injection is active. */
+    bool armed() const { return armed_; }
+
+    /** Spec in force. */
+    const FaultSpec &spec() const { return spec_; }
+
+    /// @name Counters (per fault class, for tests and benches)
+    /// @{
+    std::uint64_t dropped() const { return dropped_; }
+    std::uint64_t truncated() const { return truncated_; }
+    std::uint64_t flipped() const { return flipped_; }
+    std::uint64_t duplicated() const { return duplicated_; }
+    std::uint64_t delayed() const { return delayed_; }
+    /** Total faults injected (sum of the classes). */
+    std::uint64_t injected() const;
+    /** Messages inspected while armed. */
+    std::uint64_t seen() const { return seen_; }
+    /// @}
+
+  private:
+    FaultSpec spec_;
+    Rng rng_;
+    bool armed_ = true;
+    std::uint64_t seen_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t truncated_ = 0;
+    std::uint64_t flipped_ = 0;
+    std::uint64_t duplicated_ = 0;
+    std::uint64_t delayed_ = 0;
+};
+
+} // namespace lake::channel
+
+#endif // LAKE_CHANNEL_FAULT_H

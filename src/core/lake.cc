@@ -1,5 +1,7 @@
 #include "core/lake.h"
 
+#include <utility>
+
 #include "base/logging.h"
 
 namespace lake::core {
@@ -11,17 +13,64 @@ Lake::Lake(LakeConfig config)
       lib_(channel_, arena_, [this] { daemon_.processPending(); }),
       registries_(clock_), kernel_cpu_(clock_, config.cpu)
 {
+    lib_.setRetryPolicy(config.retry);
+    // Latch degraded mode after degrade_threshold consecutive RPC
+    // failures; any success before that resets the streak.
+    lib_.setFailureObserver([this](const Status &s) {
+        if (s.isOk()) {
+            consecutive_failures_ = 0;
+            return;
+        }
+        ++consecutive_failures_;
+        if (config_.degrade_threshold > 0 && !degraded_ &&
+            consecutive_failures_ >= config_.degrade_threshold) {
+            degraded_ = true;
+            warn("lake: remoting degraded after %zu consecutive "
+                 "failures (last: %s); policies fall back to CPU",
+                 consecutive_failures_, s.message().c_str());
+        }
+    });
 }
 
 policy::UtilProbe
 Lake::nvmlProbe()
 {
-    return [this](Nanos) {
+    // Starts pessimistic: until a query succeeds, report the device as
+    // fully contended so contention policies prefer the CPU.
+    auto last = std::make_shared<double>(100.0);
+    return [this, last](Nanos) {
         remote::RemoteUtilization util;
         gpu::CuResult r = lib_.nvmlGetUtilization(&util);
-        LAKE_ASSERT(r == gpu::CuResult::Success, "nvml probe failed");
-        return static_cast<double>(util.gpu);
+        if (r == gpu::CuResult::Success)
+            *last = static_cast<double>(util.gpu);
+        return *last;
     };
+}
+
+void
+Lake::resetDegraded()
+{
+    degraded_ = false;
+    consecutive_failures_ = 0;
+}
+
+RemoteStats
+Lake::remoteStats() const
+{
+    RemoteStats s;
+    s.faults_seen = lib_.faultsSeen();
+    s.retries = lib_.retries();
+    s.fallbacks = fallbacks_;
+    s.degraded = degraded_;
+    return s;
+}
+
+std::unique_ptr<policy::ExecPolicy>
+Lake::degradationGuard(std::unique_ptr<policy::ExecPolicy> inner)
+{
+    return std::make_unique<policy::FallbackPolicy>(
+        std::move(inner), [this] { return degraded_; },
+        [this] { ++fallbacks_; });
 }
 
 } // namespace lake::core

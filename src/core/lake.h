@@ -44,6 +44,26 @@ struct LakeConfig
     gpu::DeviceSpec device = gpu::DeviceSpec::a100();
     /** Host CPU model (for in-kernel fallback execution). */
     gpu::CpuSpec cpu = gpu::CpuSpec::xeonGold6226R();
+    /**
+     * Consecutive remoting failures that latch degraded mode (CPU-only
+     * policies). 0 disables degradation entirely.
+     */
+    std::size_t degrade_threshold = 3;
+    /** Retry policy installed into lakeLib at boot. */
+    remote::RetryPolicy retry;
+};
+
+/** Remoting-health counters surfaced for tests and benches. */
+struct RemoteStats
+{
+    /** Failed RPC attempts lakeLib observed. */
+    std::uint64_t faults_seen = 0;
+    /** Retry attempts lakeLib issued. */
+    std::uint64_t retries = 0;
+    /** Inference dispatches forced onto the CPU by degradation. */
+    std::uint64_t fallbacks = 0;
+    /** True once degraded mode latched. */
+    bool degraded = false;
 };
 
 /**
@@ -77,9 +97,46 @@ class Lake
     /**
      * A utilization probe for contention policies: each call performs
      * a LAKE-remoted NVML query (so it really costs channel time and
-     * really observes the simulated device).
+     * really observes the simulated device). When the query fails the
+     * probe returns the last reading it saw (initially 100%, i.e.
+     * "assume contended") instead of panicking.
      */
     policy::UtilProbe nvmlProbe();
+
+    /// @name Failure semantics (ISSUE 2)
+    /// @{
+
+    /**
+     * True once repeated remoting failures latched degraded mode:
+     * policies wrapped by degradationGuard() pick the CPU from then on.
+     */
+    bool degraded() const { return degraded_; }
+
+    /**
+     * Operator action: re-arms accelerator use after the remoting path
+     * has been repaired (e.g. lakeD restarted).
+     */
+    void resetDegraded();
+
+    /** Remoting-health counters (faults_seen, retries, fallbacks). */
+    RemoteStats remoteStats() const;
+
+    /**
+     * Wraps @p inner in a FallbackPolicy bound to this Lake's health:
+     * while degraded() the wrapped policy returns Engine::Cpu and the
+     * fallbacks counter grows. Drop the result into any registry via
+     * registerPolicy — the Fig. 3 plumbing needs no other change.
+     */
+    std::unique_ptr<policy::ExecPolicy>
+    degradationGuard(std::unique_ptr<policy::ExecPolicy> inner);
+
+    /**
+     * Records one classifier-level CPU fallback (a call site that
+     * caught a remoting error mid-batch and finished on the CPU).
+     */
+    void noteFallback() { ++fallbacks_; }
+
+    /// @}
 
   private:
     LakeConfig config_;
@@ -91,6 +148,11 @@ class Lake
     remote::LakeLib lib_;
     registry::RegistryManager registries_;
     ml::KernelCpu kernel_cpu_;
+
+    /** Remoting failures since the last success. */
+    std::size_t consecutive_failures_ = 0;
+    bool degraded_ = false;
+    std::uint64_t fallbacks_ = 0;
 };
 
 } // namespace lake::core

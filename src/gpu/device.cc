@@ -62,6 +62,7 @@ cuResultName(CuResult r)
       case CuResult::NotFound:       return "CUDA_ERROR_NOT_FOUND";
       case CuResult::InvalidContext: return "CUDA_ERROR_INVALID_CONTEXT";
       case CuResult::LaunchFailed:   return "CUDA_ERROR_LAUNCH_FAILED";
+      case CuResult::Unavailable:    return "CUDA_ERROR_UNAVAILABLE";
     }
     return "CUDA_ERROR_UNKNOWN";
 }

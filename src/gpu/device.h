@@ -37,6 +37,12 @@ enum class CuResult
     NotFound,
     InvalidContext,
     LaunchFailed,
+    /**
+     * The remoting transport failed (dropped, corrupted, or timed-out
+     * command/response). Mirrors CUDA_ERROR_SYSTEM_NOT_READY-class
+     * errors: the device may be fine, the path to it is not.
+     */
+    Unavailable,
 };
 
 /** Printable result name. */

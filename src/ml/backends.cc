@@ -24,6 +24,18 @@ check(CuResult r, const char *what)
                 gpu::cuResultName(r));
 }
 
+/** Converts a failed driver call into a Status for tryClassify. */
+Status
+cuStatus(CuResult r, const char *what)
+{
+    if (r == CuResult::Success)
+        return Status::ok();
+    Code code = r == CuResult::Unavailable ? Code::Unavailable
+                                           : Code::Internal;
+    return Status(code, std::string(what) + " failed: " +
+                            gpu::cuResultName(r));
+}
+
 } // namespace
 
 std::vector<int>
@@ -82,6 +94,15 @@ LakeMlp::~LakeMlp()
 std::vector<int>
 LakeMlp::classify(const Matrix &x)
 {
+    Result<std::vector<int>> r = tryClassify(x);
+    LAKE_ASSERT(r.isOk(), "LakeMlp::classify: %s",
+                r.status().toString().c_str());
+    return r.takeValue();
+}
+
+Result<std::vector<int>>
+LakeMlp::tryClassify(const Matrix &x)
+{
     std::size_t batch = x.rows();
     LAKE_ASSERT(batch > 0 && batch <= max_batch_,
                 "batch %zu outside 1..%zu", batch, max_batch_);
@@ -96,14 +117,20 @@ LakeMlp::classify(const Matrix &x)
     std::memcpy(arena_.at(h_in_), x.data(), in_bytes);
 
     if (sync_copy_) {
-        check(lib_.cuMemcpyHtoDShm(d_in_, h_in_, in_bytes),
-              "sync HtoD");
+        if (Status s = cuStatus(lib_.cuMemcpyHtoDShm(d_in_, h_in_,
+                                                     in_bytes),
+                                "sync HtoD");
+            !s.isOk())
+            return s;
     } else {
         // Staged ahead of execution on a side stream: the transfer
         // overlaps batch formation and stays off the critical path.
-        check(lib_.cuMemcpyHtoDShmAsync(d_in_, h_in_, in_bytes,
-                                        kStageStream),
-              "async HtoD");
+        if (Status s = cuStatus(lib_.cuMemcpyHtoDShmAsync(
+                                    d_in_, h_in_, in_bytes,
+                                    kStageStream),
+                                "async HtoD");
+            !s.isOk())
+            return s;
     }
 
     gpu::LaunchConfig cfg;
@@ -112,9 +139,16 @@ LakeMlp::classify(const Matrix &x)
     cfg.block_x = 256;
     cfg.arg(d_model_).arg(d_in_).arg(d_out_).arg(
         static_cast<std::uint64_t>(batch), nullptr);
-    check(lib_.cuLaunchKernel(cfg, 0), "launch mlp_forward");
+    if (Status s = cuStatus(lib_.cuLaunchKernel(cfg, 0),
+                            "launch mlp_forward");
+        !s.isOk())
+        return s;
 
-    check(lib_.cuMemcpyDtoHShm(h_out_, d_out_, out_bytes), "DtoH");
+    if (Status s = cuStatus(lib_.cuMemcpyDtoHShm(h_out_, d_out_,
+                                                 out_bytes),
+                            "DtoH");
+        !s.isOk())
+        return s;
 
     const float *logits = static_cast<const float *>(arena_.at(h_out_));
     std::vector<int> labels(batch);
@@ -187,17 +221,34 @@ LakeKnn::~LakeKnn()
 std::vector<int>
 LakeKnn::classify(const float *queries, std::size_t n)
 {
+    Result<std::vector<int>> r = tryClassify(queries, n);
+    LAKE_ASSERT(r.isOk(), "LakeKnn::classify: %s",
+                r.status().toString().c_str());
+    return r.takeValue();
+}
+
+Result<std::vector<int>>
+LakeKnn::tryClassify(const float *queries, std::size_t n)
+{
     LAKE_ASSERT(n > 0 && n <= max_queries_, "query count %zu outside 1..%zu",
                 n, max_queries_);
     std::size_t q_bytes = n * dim_ * sizeof(float);
     std::memcpy(arena_.at(h_io_), queries, q_bytes);
 
-    if (sync_copy_)
-        check(lib_.cuMemcpyHtoDShm(d_queries_, h_io_, q_bytes), "HtoD");
-    else
-        check(lib_.cuMemcpyHtoDShmAsync(d_queries_, h_io_, q_bytes,
-                                        kStageStream),
-              "async HtoD");
+    if (sync_copy_) {
+        if (Status s = cuStatus(lib_.cuMemcpyHtoDShm(d_queries_, h_io_,
+                                                     q_bytes),
+                                "HtoD");
+            !s.isOk())
+            return s;
+    } else {
+        if (Status s = cuStatus(lib_.cuMemcpyHtoDShmAsync(
+                                    d_queries_, h_io_, q_bytes,
+                                    kStageStream),
+                                "async HtoD");
+            !s.isOk())
+            return s;
+    }
 
     gpu::LaunchConfig cfg;
     cfg.kernel = "knn_query";
@@ -210,10 +261,16 @@ LakeKnn::classify(const float *queries, std::size_t n)
         .arg(static_cast<std::uint64_t>(k_), nullptr);
     if (host_stride_ > 1)
         cfg.arg(static_cast<std::uint64_t>(host_stride_), nullptr);
-    check(lib_.cuLaunchKernel(cfg, 0), "launch knn_query");
+    if (Status s = cuStatus(lib_.cuLaunchKernel(cfg, 0),
+                            "launch knn_query");
+        !s.isOk())
+        return s;
 
-    check(lib_.cuMemcpyDtoHShm(h_io_, d_out_, n * sizeof(std::int32_t)),
-          "DtoH");
+    if (Status s = cuStatus(lib_.cuMemcpyDtoHShm(h_io_, d_out_,
+                                                 n * sizeof(std::int32_t)),
+                            "DtoH");
+        !s.isOk())
+        return s;
     const auto *out = static_cast<const std::int32_t *>(arena_.at(h_io_));
     return std::vector<int>(out, out + n);
 }

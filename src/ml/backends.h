@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/status.h"
 #include "base/time.h"
 #include "gpu/spec.h"
 #include "ml/knn.h"
@@ -103,8 +104,16 @@ class LakeMlp
     LakeMlp(const LakeMlp &) = delete;
     LakeMlp &operator=(const LakeMlp &) = delete;
 
-    /** Classifies a batch on the GPU. */
+    /** Classifies a batch on the GPU; asserts on remoting failure. */
     std::vector<int> classify(const Matrix &x);
+
+    /**
+     * Classifies a batch on the GPU, propagating remoting failures
+     * (timeouts, corrupt responses, degraded transport) as a Status
+     * instead of asserting — the caller decides whether to fall back
+     * to the CPU model.
+     */
+    Result<std::vector<int>> tryClassify(const Matrix &x);
 
   private:
     remote::LakeLib &lib_;
@@ -150,8 +159,12 @@ class LakeKnn
     LakeKnn(const LakeKnn &) = delete;
     LakeKnn &operator=(const LakeKnn &) = delete;
 
-    /** Classifies @p n queries on the GPU. */
+    /** Classifies @p n queries on the GPU; asserts on failure. */
     std::vector<int> classify(const float *queries, std::size_t n);
+
+    /** Status-propagating variant of classify (see LakeMlp). */
+    Result<std::vector<int>> tryClassify(const float *queries,
+                                         std::size_t n);
 
   private:
     remote::LakeLib &lib_;

@@ -23,6 +23,30 @@ BatchThresholdPolicy::decide(const PolicyInput &in)
     return in.batch_size >= batch_threshold_ ? Engine::Gpu : Engine::Cpu;
 }
 
+FallbackPolicy::FallbackPolicy(std::unique_ptr<ExecPolicy> inner,
+                               Predicate degraded, Notify on_fallback)
+    : inner_(std::move(inner)), degraded_(std::move(degraded)),
+      on_fallback_(std::move(on_fallback))
+{
+    LAKE_ASSERT(inner_ != nullptr, "fallback policy needs an inner policy");
+    LAKE_ASSERT(degraded_ != nullptr, "fallback policy needs a predicate");
+}
+
+Engine
+FallbackPolicy::decide(const PolicyInput &in)
+{
+    // Consult the health probe first: while degraded, skip the inner
+    // policy entirely — a ContentionAwarePolicy would otherwise issue
+    // remoted NVML probes over the very path that is failing.
+    if (degraded_()) {
+        ++overrides_;
+        if (on_fallback_)
+            on_fallback_();
+        return Engine::Cpu;
+    }
+    return inner_->decide(in);
+}
+
 ContentionAwarePolicy::ContentionAwarePolicy(UtilProbe probe, Config config)
     : probe_(std::move(probe)), cfg_(config), avg_(config.avg_window)
 {

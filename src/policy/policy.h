@@ -14,9 +14,11 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "base/stats.h"
 #include "base/time.h"
@@ -98,6 +100,47 @@ class BatchThresholdPolicy final : public ExecPolicy
 
   private:
     std::size_t batch_threshold_;
+};
+
+/**
+ * Degradation guard: wraps any policy and forces CPU execution while
+ * the remoting path is unhealthy.
+ *
+ * The ISSUE-2 failure contract: when repeated remoting failures latch
+ * the LAKE core into degraded mode, every accelerated call site must
+ * keep working on the CPU. Reusing the Fig. 3 policy plumbing — this
+ * is just another ExecPolicy — means nothing at the call sites
+ * changes; the registry dispatch simply stops picking the GPU.
+ */
+class FallbackPolicy final : public ExecPolicy
+{
+  public:
+    /** Health probe: true while remoting is degraded. */
+    using Predicate = std::function<bool()>;
+    /** Invoked whenever a GPU decision is overridden to CPU. */
+    using Notify = std::function<void()>;
+
+    /**
+     * @param inner       the real policy, consulted when healthy
+     * @param degraded    health probe (required)
+     * @param on_fallback fallback-counter hook (may be null)
+     */
+    FallbackPolicy(std::unique_ptr<ExecPolicy> inner, Predicate degraded,
+                   Notify on_fallback = nullptr);
+
+    Engine decide(const PolicyInput &in) override;
+    const char *name() const override { return "fallback"; }
+
+    /** Decisions forced to CPU while degraded. */
+    std::uint64_t overrides() const { return overrides_; }
+    /** The wrapped policy. */
+    ExecPolicy &inner() { return *inner_; }
+
+  private:
+    std::unique_ptr<ExecPolicy> inner_;
+    Predicate degraded_;
+    Notify on_fallback_;
+    std::uint64_t overrides_ = 0;
 };
 
 /**

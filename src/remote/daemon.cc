@@ -61,6 +61,16 @@ LakeDaemon::handleOne(const std::vector<std::uint8_t> &buf)
     CommandHead head = readHead(dec);
     ++handled_;
 
+    if (!dec.ok()) {
+        // Prologue truncated: without a trustworthy seq any answer
+        // would be attributed to the wrong command, so stay silent and
+        // let the kernel side time out.
+        ++malformed_;
+        warn("lakeD: dropping %zu-byte command with truncated prologue",
+             buf.size());
+        return;
+    }
+
     if (isOneWay(head.id)) {
         Encoder scratch;
         handleCuda(head.id, dec, scratch);
@@ -72,8 +82,11 @@ LakeDaemon::handleOne(const std::vector<std::uint8_t> &buf)
 
     if (head.id == ApiId::HighLevelCall) {
         std::string name = dec.str();
-        auto it = high_level_.find(name);
-        if (it == high_level_.end()) {
+        if (!dec.ok()) {
+            ++malformed_;
+            resp.u32(static_cast<std::uint32_t>(CuResult::InvalidValue));
+        } else if (auto it = high_level_.find(name);
+                   it == high_level_.end()) {
             warn("lakeD: no handler for high-level API '%s'",
                  name.c_str());
             resp.u32(static_cast<std::uint32_t>(CuResult::NotFound));
@@ -116,10 +129,21 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
     auto status = [&resp](CuResult r) {
         resp.u32(static_cast<std::uint32_t>(r));
     };
+    // Defensive rejection of a malformed two-way command: counted,
+    // answered InvalidValue, and never dispatched to the context.
+    auto reject = [&] {
+        ++malformed_;
+        status(CuResult::InvalidValue);
+    };
 
     switch (id) {
       case ApiId::CuMemAlloc: {
         std::uint64_t bytes = dec.u64();
+        if (!dec.ok()) {
+            reject();
+            resp.u64(0);
+            break;
+        }
         DevicePtr ptr = 0;
         CuResult r = ctx_.memAlloc(&ptr, bytes);
         status(r);
@@ -128,6 +152,10 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
       }
       case ApiId::CuMemFree: {
         DevicePtr ptr = dec.u64();
+        if (!dec.ok()) {
+            reject();
+            break;
+        }
         status(ctx_.memFree(ptr));
         break;
       }
@@ -137,7 +165,7 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
         std::size_t n = 0;
         const std::uint8_t *src = dec.bytes(&n);
         if (!dec.ok()) {
-            status(CuResult::InvalidValue);
+            reject();
             break;
         }
         status(ctx_.memcpyHtoD(dst, src, n));
@@ -146,7 +174,15 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
       case ApiId::CuMemcpyDtoH: {
         DevicePtr src = dec.u64();
         std::uint64_t n = dec.u64();
-        std::vector<std::uint8_t> tmp(n);
+        // Validate the decoder-supplied length *before* sizing the
+        // bounce buffer: a truncated command must not become an
+        // arbitrary-size allocation.
+        if (!dec.ok() || n > kMaxMarshalledCopy) {
+            reject();
+            resp.bytes(nullptr, 0);
+            break;
+        }
+        std::vector<std::uint8_t> tmp(static_cast<std::size_t>(n));
         CuResult r = ctx_.memcpyDtoH(tmp.data(), src, n);
         status(r);
         if (r == CuResult::Success)
@@ -162,10 +198,24 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
         shm::ShmOffset off = dec.u64();
         std::uint64_t n = dec.u64();
         std::uint32_t stream = dec.u32();
-        const void *src = arena_.at(off);
+        // The offset/length pair must name bytes inside a live lakeShm
+        // allocation before at() may be dereferenced.
+        bool valid = dec.ok() &&
+                     arena_.validRange(off, static_cast<std::size_t>(n));
         if (id == ApiId::CuMemcpyHtoDShm) {
+            if (!valid) {
+                reject();
+                break;
+            }
+            const void *src = arena_.at(off);
             status(drainDeferred(ctx_.memcpyHtoD(dst, src, n)));
         } else {
+            if (!valid) {
+                ++malformed_;
+                recordDeferred(CuResult::InvalidValue);
+                break;
+            }
+            const void *src = arena_.at(off);
             recordDeferred(ctx_.memcpyHtoDAsync(dst, src, n, stream));
         }
         break;
@@ -176,10 +226,22 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
         shm::ShmOffset off = dec.u64();
         std::uint64_t n = dec.u64();
         std::uint32_t stream = dec.u32();
-        void *dst = arena_.at(off);
+        bool valid = dec.ok() &&
+                     arena_.validRange(off, static_cast<std::size_t>(n));
         if (id == ApiId::CuMemcpyDtoHShm) {
+            if (!valid) {
+                reject();
+                break;
+            }
+            void *dst = arena_.at(off);
             status(drainDeferred(ctx_.memcpyDtoH(dst, src, n)));
         } else {
+            if (!valid) {
+                ++malformed_;
+                recordDeferred(CuResult::InvalidValue);
+                break;
+            }
+            void *dst = arena_.at(off);
             recordDeferred(ctx_.memcpyDtoHAsync(dst, src, n, stream));
         }
         break;
@@ -190,10 +252,18 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
         cfg.grid_x = dec.u32();
         cfg.block_x = dec.u32();
         std::uint32_t nargs = dec.u32();
+        // Cap the arg count by the bytes actually present so a corrupt
+        // count cannot drive a 4-billion-iteration decode loop.
+        if (!dec.ok() || nargs > dec.remaining() / 8) {
+            ++malformed_;
+            recordDeferred(CuResult::InvalidValue);
+            break;
+        }
         for (std::uint32_t i = 0; i < nargs; ++i)
             cfg.args.push_back(dec.u64());
         std::uint32_t stream = dec.u32();
         if (!dec.ok()) {
+            ++malformed_;
             recordDeferred(CuResult::InvalidValue);
             break;
         }
@@ -202,6 +272,10 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
       }
       case ApiId::CuStreamSynchronize: {
         std::uint32_t stream = dec.u32();
+        if (!dec.ok()) {
+            reject();
+            break;
+        }
         status(drainDeferred(ctx_.streamSynchronize(stream)));
         break;
       }
@@ -219,6 +293,7 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
       }
       default:
         warn("lakeD: unknown API id %u", static_cast<unsigned>(id));
+        ++malformed_;
         status(CuResult::InvalidValue);
         break;
     }

@@ -71,6 +71,22 @@ class LakeDaemon
     /** Commands executed since start. */
     std::uint64_t commandsHandled() const { return handled_; }
 
+    /**
+     * Malformed commands rejected defensively: truncated prologues,
+     * decode underruns, over-cap lengths, shm ranges outside live
+     * allocations. Each produced an InvalidValue answer (or, when the
+     * prologue itself was unreadable, no answer at all) instead of UB.
+     */
+    std::uint64_t malformedRejected() const { return malformed_; }
+
+    /**
+     * Largest marshalled copy a command may request. A truncated or
+     * corrupt length field must not translate into an arbitrary-size
+     * daemon allocation; real lakeD bulk data travels via lakeShm, so
+     * the marshalled path never legitimately approaches this.
+     */
+    static constexpr std::uint64_t kMaxMarshalledCopy = 64ull << 20;
+
   private:
     /** Executes one command buffer and sends the response. */
     void handleOne(const std::vector<std::uint8_t> &buf);
@@ -107,6 +123,7 @@ class LakeDaemon
     gpu::CuResult deferred_error_ = gpu::CuResult::Success;
 
     std::uint64_t handled_ = 0;
+    std::uint64_t malformed_ = 0;
 };
 
 } // namespace lake::remote

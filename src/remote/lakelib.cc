@@ -1,5 +1,6 @@
 #include "remote/lakelib.h"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
@@ -11,6 +12,37 @@ namespace lake::remote {
 using gpu::CuResult;
 using gpu::DevicePtr;
 
+namespace {
+
+/** Validates a wire status code; garbled values become Unavailable. */
+CuResult
+toCuResult(std::uint32_t code)
+{
+    if (code > static_cast<std::uint32_t>(CuResult::Unavailable))
+        return CuResult::Unavailable;
+    return static_cast<CuResult>(code);
+}
+
+/** Reads the seq a makeCommand buffer carries at bytes [4, 8). */
+std::uint32_t
+seqOf(const std::vector<std::uint8_t> &cmd)
+{
+    std::uint32_t seq = 0;
+    for (int i = 0; i < 4; ++i)
+        seq |= static_cast<std::uint32_t>(cmd[4 + i]) << (8 * i);
+    return seq;
+}
+
+/** Overwrites the seq in a makeCommand buffer (fresh seq per retry). */
+void
+patchSeq(std::vector<std::uint8_t> &cmd, std::uint32_t seq)
+{
+    for (int i = 0; i < 4; ++i)
+        cmd[4 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+}
+
+} // namespace
+
 LakeLib::LakeLib(channel::Channel &chan, shm::ShmArena &arena,
                  Doorbell doorbell)
     : chan_(chan), arena_(arena), doorbell_(std::move(doorbell))
@@ -18,31 +50,114 @@ LakeLib::LakeLib(channel::Channel &chan, shm::ShmArena &arena,
     LAKE_ASSERT(doorbell_ != nullptr, "lakeLib requires a doorbell");
 }
 
-std::vector<std::uint8_t>
-LakeLib::rpc(std::vector<std::uint8_t> cmd)
+void
+LakeLib::setFailureObserver(FailureObserver obs)
+{
+    observer_ = std::move(obs);
+}
+
+void
+LakeLib::observe(const Status &s)
+{
+    if (observer_)
+        observer_(s);
+}
+
+CuResult
+LakeLib::garbled(const char *what)
+{
+    ++faults_seen_;
+    observe(Status(Code::Unavailable, what));
+    return CuResult::Unavailable;
+}
+
+Nanos
+LakeLib::responseTimeout(std::size_t cmd_bytes) const
+{
+    const channel::CostModel &m = chan_.model();
+    return kTimeoutRounds *
+           (chan_.roundTripCost(cmd_bytes, m.bulk_threshold) +
+            m.doorbell_latency);
+}
+
+Result<std::vector<std::uint8_t>>
+LakeLib::attempt(const std::vector<std::uint8_t> &cmd, std::uint32_t seq)
 {
     using Dir = channel::Channel::Dir;
     ++calls_;
-    std::uint32_t seq = next_seq_ - 1; // sequence used by the caller
-
-    chan_.send(Dir::KernelToUser, std::move(cmd));
+    chan_.send(Dir::KernelToUser, cmd); // keep cmd: retries resend it
     doorbell_();
-    std::vector<std::uint8_t> resp = chan_.recv(Dir::UserToKernel);
 
-    LAKE_ASSERT(resp.size() >= 4, "short response from lakeD");
-    std::uint32_t echo = 0;
-    std::memcpy(&echo, resp.data(), sizeof(echo));
-    LAKE_ASSERT(echo == seq, "response seq %u != expected %u", echo, seq);
-    return resp;
+    // Drain until our echo appears: under faults the queue may hold
+    // duplicates or responses whose matching command attempt timed out.
+    while (true) {
+        std::optional<std::vector<std::uint8_t>> resp =
+            chan_.tryRecv(Dir::UserToKernel);
+        if (!resp) {
+            // Nothing will ever arrive — the command or its response
+            // was lost. Model the caller blocking out its deadline.
+            chan_.clock().advance(responseTimeout(cmd.size()));
+            return Result<std::vector<std::uint8_t>>(
+                Status(Code::Unavailable,
+                       detail::format("rpc seq %u: response timeout",
+                                      seq)));
+        }
+        if (resp->size() < 4)
+            continue; // too short to carry an echo: corrupt, discard
+        std::uint32_t echo = 0;
+        std::memcpy(&echo, resp->data(), sizeof(echo));
+        if (echo == seq)
+            return Result<std::vector<std::uint8_t>>(std::move(*resp));
+        // Stale or corrupted-seq response: discard and keep draining.
+    }
+}
+
+Result<std::vector<std::uint8_t>>
+LakeLib::rpc(std::vector<std::uint8_t> cmd, bool idempotent)
+{
+    std::uint32_t attempts =
+        idempotent ? std::max<std::uint32_t>(1, retry_.max_attempts) : 1;
+    Nanos backoff = retry_.backoff;
+
+    Status last;
+    for (std::uint32_t a = 0; a < attempts; ++a) {
+        if (a > 0) {
+            ++retries_;
+            // Back off in virtual time, and stamp a fresh seq so a
+            // late response to a previous attempt can never satisfy
+            // this one.
+            chan_.clock().advance(backoff);
+            backoff = static_cast<Nanos>(static_cast<double>(backoff) *
+                                         retry_.multiplier);
+            patchSeq(cmd, next_seq_++);
+        }
+        Result<std::vector<std::uint8_t>> r = attempt(cmd, seqOf(cmd));
+        if (r.isOk()) {
+            // Success is reported by the caller once the response body
+            // also decodes; a seq-valid but garbled payload must count
+            // as a transport failure, not a success.
+            return r;
+        }
+        ++faults_seen_;
+        last = r.status();
+    }
+    observe(last);
+    return Result<std::vector<std::uint8_t>>(std::move(last));
 }
 
 gpu::CuResult
-LakeLib::statusRpc(std::vector<std::uint8_t> cmd)
+LakeLib::statusRpc(std::vector<std::uint8_t> cmd, bool idempotent)
 {
-    std::vector<std::uint8_t> resp = rpc(std::move(cmd));
-    Decoder dec(resp);
+    Result<std::vector<std::uint8_t>> r = rpc(std::move(cmd), idempotent);
+    if (!r.isOk())
+        return CuResult::Unavailable;
+    Decoder dec(r.value());
     dec.u32(); // seq echo
-    return static_cast<CuResult>(dec.u32());
+    std::uint32_t code = dec.u32();
+    if (!dec.ok())
+        return garbled("rpc: truncated status response");
+    observe(Status::ok());
+    return toCuResult(code);
 }
 
 void
@@ -63,12 +178,19 @@ LakeLib::cuMemAlloc(DevicePtr *out, std::size_t bytes)
         return CuResult::InvalidValue;
     Encoder cmd = makeCommand(ApiId::CuMemAlloc, next_seq_++);
     cmd.u64(bytes);
-    std::vector<std::uint8_t> resp = rpc(cmd.take());
-    Decoder dec(resp);
+    // Not idempotent: a lost response would leak the daemon-side block.
+    auto r = rpc(cmd.take(), /*idempotent=*/false);
+    if (!r.isOk())
+        return CuResult::Unavailable;
+    Decoder dec(r.value());
     dec.u32(); // seq
-    auto r = static_cast<CuResult>(dec.u32());
-    *out = dec.u64();
-    return r;
+    CuResult res = toCuResult(dec.u32());
+    DevicePtr ptr = dec.u64();
+    if (!dec.ok())
+        return garbled("cuMemAlloc: garbled response");
+    observe(Status::ok());
+    *out = ptr;
+    return res;
 }
 
 CuResult
@@ -76,7 +198,8 @@ LakeLib::cuMemFree(DevicePtr ptr)
 {
     Encoder cmd = makeCommand(ApiId::CuMemFree, next_seq_++);
     cmd.u64(ptr);
-    return statusRpc(cmd.take());
+    // Not idempotent: the block may have been re-handed-out meanwhile.
+    return statusRpc(cmd.take(), /*idempotent=*/false);
 }
 
 CuResult
@@ -89,7 +212,7 @@ LakeLib::cuMemcpyHtoD(DevicePtr dst, const void *src, std::size_t bytes)
     bytes_marshalled_ += bytes;
     Encoder cmd = makeCommand(ApiId::CuMemcpyHtoD, next_seq_++);
     cmd.u64(dst).bytes(src, bytes);
-    return statusRpc(cmd.take());
+    return statusRpc(cmd.take(), /*idempotent=*/true);
 }
 
 CuResult
@@ -100,18 +223,21 @@ LakeLib::cuMemcpyDtoH(void *dst, DevicePtr src, std::size_t bytes)
     bytes_marshalled_ += bytes;
     Encoder cmd = makeCommand(ApiId::CuMemcpyDtoH, next_seq_++);
     cmd.u64(src).u64(bytes);
-    std::vector<std::uint8_t> resp = rpc(cmd.take());
-    Decoder dec(resp);
+    auto r = rpc(cmd.take(), /*idempotent=*/true);
+    if (!r.isOk())
+        return CuResult::Unavailable;
+    Decoder dec(r.value());
     dec.u32(); // seq
-    auto r = static_cast<CuResult>(dec.u32());
+    CuResult res = toCuResult(dec.u32());
     std::size_t n = 0;
     const std::uint8_t *data = dec.bytes(&n);
-    if (r == CuResult::Success) {
-        if (n != bytes || data == nullptr)
-            return CuResult::InvalidValue;
+    if (res == CuResult::Success) {
+        if (!dec.ok() || n != bytes || data == nullptr)
+            return garbled("cuMemcpyDtoH: garbled payload");
         std::memcpy(dst, data, n);
     }
-    return r;
+    observe(Status::ok());
+    return res;
 }
 
 CuResult
@@ -120,7 +246,7 @@ LakeLib::cuMemcpyHtoDShm(DevicePtr dst, shm::ShmOffset src,
 {
     Encoder cmd = makeCommand(ApiId::CuMemcpyHtoDShm, next_seq_++);
     cmd.u64(dst).u64(src).u64(bytes).u32(0);
-    return statusRpc(cmd.take());
+    return statusRpc(cmd.take(), /*idempotent=*/true);
 }
 
 CuResult
@@ -129,7 +255,7 @@ LakeLib::cuMemcpyDtoHShm(shm::ShmOffset dst, DevicePtr src,
 {
     Encoder cmd = makeCommand(ApiId::CuMemcpyDtoHShm, next_seq_++);
     cmd.u64(src).u64(dst).u64(bytes).u32(0);
-    return statusRpc(cmd.take());
+    return statusRpc(cmd.take(), /*idempotent=*/true);
 }
 
 CuResult
@@ -171,14 +297,16 @@ LakeLib::cuStreamSynchronize(std::uint32_t stream)
 {
     Encoder cmd = makeCommand(ApiId::CuStreamSynchronize, next_seq_++);
     cmd.u32(stream);
-    return statusRpc(cmd.take());
+    // Not idempotent: the sync drains the deferred-error slot, so a
+    // retried sync could silently swallow an async failure report.
+    return statusRpc(cmd.take(), /*idempotent=*/false);
 }
 
 CuResult
 LakeLib::cuCtxSynchronize()
 {
     Encoder cmd = makeCommand(ApiId::CuCtxSynchronize, next_seq_++);
-    return statusRpc(cmd.take());
+    return statusRpc(cmd.take(), /*idempotent=*/false);
 }
 
 CuResult
@@ -187,18 +315,26 @@ LakeLib::nvmlGetUtilization(RemoteUtilization *out)
     if (out == nullptr)
         return CuResult::InvalidValue;
     Encoder cmd = makeCommand(ApiId::NvmlGetUtilization, next_seq_++);
-    std::vector<std::uint8_t> resp = rpc(cmd.take());
-    Decoder dec(resp);
+    auto r = rpc(cmd.take(), /*idempotent=*/true);
+    if (!r.isOk())
+        return CuResult::Unavailable;
+    Decoder dec(r.value());
     dec.u32(); // seq
-    auto r = static_cast<CuResult>(dec.u32());
-    out->gpu = dec.f32();
-    out->memory = dec.f32();
-    return r;
+    CuResult res = toCuResult(dec.u32());
+    float gpu_util = dec.f32();
+    float mem_util = dec.f32();
+    if (!dec.ok())
+        return garbled("nvmlGetUtilization: garbled response");
+    observe(Status::ok());
+    out->gpu = gpu_util;
+    out->memory = mem_util;
+    return res;
 }
 
 Result<std::vector<std::uint8_t>>
 LakeLib::highLevelCall(const std::string &name,
-                       const std::vector<std::uint8_t> &args)
+                       const std::vector<std::uint8_t> &args,
+                       bool idempotent)
 {
     Encoder cmd = makeCommand(ApiId::HighLevelCall, next_seq_++);
     cmd.str(name);
@@ -206,14 +342,28 @@ LakeLib::highLevelCall(const std::string &name,
     std::vector<std::uint8_t> buf = cmd.take();
     buf.insert(buf.end(), args.begin(), args.end());
 
-    std::vector<std::uint8_t> resp = rpc(std::move(buf));
+    auto rpc_result = rpc(std::move(buf), idempotent);
+    if (!rpc_result.isOk())
+        return rpc_result; // transport error, already a Status
+    const std::vector<std::uint8_t> &resp = rpc_result.value();
     Decoder dec(resp);
     dec.u32(); // seq
-    auto r = static_cast<CuResult>(dec.u32());
+    std::uint32_t code = dec.u32();
+    if (!dec.ok()) {
+        Status s(Code::Unavailable, std::string("high-level API '") +
+                                        name + "': truncated response");
+        ++faults_seen_;
+        observe(s);
+        return Result<std::vector<std::uint8_t>>(std::move(s));
+    }
+    observe(Status::ok());
+    CuResult r = toCuResult(code);
     if (r != CuResult::Success) {
+        Code c = r == CuResult::Unavailable ? Code::Unavailable
+                                            : Code::NotFound;
         return Result<std::vector<std::uint8_t>>(
-            Status(Code::NotFound, std::string("high-level API '") + name +
-                                       "' failed: " + cuResultName(r)));
+            Status(c, std::string("high-level API '") + name +
+                          "' failed: " + cuResultName(r)));
     }
     // Hand back the remainder of the response after seq + status.
     std::vector<std::uint8_t> payload(resp.begin() + 8, resp.end());

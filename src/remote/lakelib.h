@@ -41,6 +41,23 @@ struct RemoteUtilization
 };
 
 /**
+ * Bounded retry-with-backoff for *idempotent* remoted calls.
+ *
+ * Only calls whose re-execution is harmless retry (memcpys, NVML
+ * queries); allocation and synchronization calls fail fast because a
+ * lost response leaves daemon-side state the kernel cannot see.
+ */
+struct RetryPolicy
+{
+    /** Total attempts, including the first (1 = never retry). */
+    std::uint32_t max_attempts = 1;
+    /** Virtual-time wait before the first retry. */
+    Nanos backoff = 100_us;
+    /** Backoff growth factor per further retry. */
+    double multiplier = 2.0;
+};
+
+/**
  * Kernel-space stub library.
  */
 class LakeLib
@@ -53,6 +70,17 @@ class LakeLib
      * within the caller's turn.
      */
     using Doorbell = std::function<void()>;
+
+    /**
+     * Invoked with the final outcome of every round-trip RPC —
+     * Status::ok() on success, the transport error otherwise (after
+     * retries are exhausted). The LAKE core uses it to latch degraded
+     * mode after repeated failures.
+     */
+    using FailureObserver = std::function<void(const Status &)>;
+
+    /** Round trips a response may take before the caller gives up. */
+    static constexpr Nanos kTimeoutRounds = 4;
 
     /**
      * @param chan     command channel shared with lakeD
@@ -116,39 +144,82 @@ class LakeLib
 
     /**
      * Invokes a high-level API (§4.4) by name with opaque arguments.
+     * @param idempotent true when the handler may safely re-execute;
+     *        enables the retry policy for this call
      * @return the handler's response payload on success.
      */
     Result<std::vector<std::uint8_t>>
     highLevelCall(const std::string &name,
-                  const std::vector<std::uint8_t> &args);
+                  const std::vector<std::uint8_t> &args,
+                  bool idempotent = false);
 
     /** The lakeShm arena (kernel code allocates staging buffers here). */
     shm::ShmArena &arena() { return arena_; }
 
-    /** Remoted calls issued since construction. */
+    /** Installs the retry policy for idempotent calls. */
+    void setRetryPolicy(RetryPolicy p) { retry_ = p; }
+    /** Retry policy in force. */
+    const RetryPolicy &retryPolicy() const { return retry_; }
+
+    /** Installs (or clears, with nullptr) the RPC outcome observer. */
+    void setFailureObserver(FailureObserver obs);
+
+    /**
+     * Virtual-time deadline after which a missing response counts as
+     * lost: a few CostModel round trips plus the doorbell latency.
+     */
+    Nanos responseTimeout(std::size_t cmd_bytes) const;
+
+    /** Remoted calls issued since construction (retries included). */
     std::uint64_t calls() const { return calls_; }
     /** Bytes marshalled through command payloads (not shm). */
     std::uint64_t bytesMarshalled() const { return bytes_marshalled_; }
+    /** Failed RPC attempts observed (timeouts, corrupt responses). */
+    std::uint64_t faultsSeen() const { return faults_seen_; }
+    /** Retry attempts issued by the retry policy. */
+    std::uint64_t retries() const { return retries_; }
 
   private:
     /**
-     * Sends one command, wakes the daemon, and returns the response
-     * body positioned after the verified sequence echo.
+     * Sends one command (retrying per policy when @p idempotent),
+     * wakes the daemon, and returns the response positioned after the
+     * verified sequence echo — or the transport error the caller must
+     * handle: seq mismatch, short/garbled response, or timeout.
      */
-    std::vector<std::uint8_t> rpc(std::vector<std::uint8_t> cmd);
+    Result<std::vector<std::uint8_t>> rpc(std::vector<std::uint8_t> cmd,
+                                          bool idempotent);
+
+    /** One send/receive attempt of rpc, no retries. */
+    Result<std::vector<std::uint8_t>>
+    attempt(const std::vector<std::uint8_t> &cmd, std::uint32_t seq);
 
     /** Runs an RPC whose response is just a status code. */
-    gpu::CuResult statusRpc(std::vector<std::uint8_t> cmd);
+    gpu::CuResult statusRpc(std::vector<std::uint8_t> cmd,
+                            bool idempotent);
 
     /** Sends a one-way command (no response expected). */
     void post(std::vector<std::uint8_t> cmd);
 
+    /** Reports an RPC outcome to the observer (when installed). */
+    void observe(const Status &s);
+
+    /**
+     * Records a response that echoed the right seq but failed to
+     * decode — counted as a fault and reported to the observer, since
+     * a garbling transport is as unhealthy as a dropping one.
+     */
+    gpu::CuResult garbled(const char *what);
+
     channel::Channel &chan_;
     shm::ShmArena &arena_;
     Doorbell doorbell_;
+    RetryPolicy retry_;
+    FailureObserver observer_;
     std::uint32_t next_seq_ = 1;
     std::uint64_t calls_ = 0;
     std::uint64_t bytes_marshalled_ = 0;
+    std::uint64_t faults_seen_ = 0;
+    std::uint64_t retries_ = 0;
 };
 
 } // namespace lake::remote

@@ -51,6 +51,10 @@ Encoder &
 Encoder::bytes(const void *data, std::size_t n)
 {
     u64(n);
+    // Empty blocks are legal (e.g. a failed DtoH response carries no
+    // payload); `nullptr + 0` pointer arithmetic is UB, so bail early.
+    if (n == 0)
+        return *this;
     const auto *p = static_cast<const std::uint8_t *>(data);
     buf_.insert(buf_.end(), p, p + n);
     return *this;
@@ -65,7 +69,10 @@ Encoder::str(const std::string &s)
 bool
 Decoder::need(std::size_t n)
 {
-    if (!ok_ || pos_ + n > size_) {
+    // Compare against the remaining bytes rather than `pos_ + n`: a
+    // corrupt u64 length near UINT64_MAX would wrap the addition and
+    // let bytes() hand out an out-of-bounds pointer.
+    if (!ok_ || n > size_ - pos_) {
         ok_ = false;
         return false;
     }

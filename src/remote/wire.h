@@ -95,6 +95,8 @@ class Decoder
     bool ok() const { return ok_; }
     /** True when all bytes were consumed. */
     bool atEnd() const { return pos_ == size_; }
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return size_ - pos_; }
 
   private:
     bool need(std::size_t n);

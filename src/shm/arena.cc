@@ -84,6 +84,27 @@ ShmArena::free(ShmOffset offset)
     }
 }
 
+bool
+ShmArena::validRange(ShmOffset offset, std::size_t bytes) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (offset >= region_.size())
+        return false;
+    // The candidate is the live allocation with the greatest base not
+    // past the offset.
+    auto it = live_.upper_bound(offset);
+    if (it == live_.begin())
+        return false;
+    --it;
+    ShmOffset base = it->first;
+    std::size_t size = it->second;
+    ShmOffset into = offset - base;
+    if (into >= size)
+        return false;
+    // Subtraction form avoids overflow on attacker-chosen lengths.
+    return bytes <= size - into;
+}
+
 std::size_t
 ShmArena::sizeOf(ShmOffset offset) const
 {

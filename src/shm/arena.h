@@ -22,7 +22,6 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 namespace lake::shm {
@@ -78,6 +77,15 @@ class ShmArena
     /** Size originally requested for a live buffer; 0 if unknown. */
     std::size_t sizeOf(ShmOffset offset) const;
 
+    /**
+     * True when [offset, offset+bytes) lies entirely inside one live
+     * allocation. This is lakeD's defense against malformed commands:
+     * a decoder-supplied offset/length pair must name bytes the kernel
+     * side actually allocated before at() may be dereferenced.
+     * Interior offsets are accepted; spans across allocations are not.
+     */
+    bool validRange(ShmOffset offset, std::size_t bytes) const;
+
     /** Total region capacity. */
     std::size_t capacity() const { return region_.size(); }
     /** Bytes currently handed out (after alignment rounding). */
@@ -95,8 +103,12 @@ class ShmArena
     std::vector<std::uint8_t> region_;
     /** Free blocks by offset, for neighbour coalescing. */
     std::map<ShmOffset, std::size_t> free_by_offset_;
-    /** Live allocation sizes (rounded) by offset. */
-    std::unordered_map<ShmOffset, std::size_t> live_;
+    /**
+     * Live allocation sizes (rounded) by offset. Ordered so
+     * validRange can find the allocation containing an arbitrary
+     * (possibly interior) offset with one upper_bound.
+     */
+    std::map<ShmOffset, std::size_t> live_;
     std::size_t used_ = 0;
 };
 

@@ -106,6 +106,10 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
             *config.model, lake.lib(), /*sync_copy=*/false,
             config.batch_max);
     }
+    // Arm faults only after the model upload so boot staging is clean;
+    // everything from here on must survive a misbehaving channel.
+    if (config.inject_faults)
+        lake.channel().installFaults(config.faults);
     policy::MlGate gate(config.gate);
     bool use_gate = config.mode == E2eMode::LakeAdaptive;
 
@@ -127,9 +131,11 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
                         st.toString().c_str());
             devs[d].reg =
                 lake.registries().find(devs[d].dev->name(), kSys);
-            devs[d].reg->registerPolicy(
+            // Fig. 3 plumbing with the ISSUE-2 guard: once remoting
+            // degrades, every decision comes back Engine::Cpu.
+            devs[d].reg->registerPolicy(lake.degradationGuard(
                 std::make_unique<policy::BatchThresholdPolicy>(
-                    config.gpu_batch_threshold));
+                    config.gpu_batch_threshold)));
             devs[d].reg->registerClassifier(
                 registry::Arch::Cpu,
                 [&cpu_mlp](const std::vector<registry::FeatureVector>
@@ -140,10 +146,22 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
                 });
             devs[d].reg->registerClassifier(
                 registry::Arch::Gpu,
-                [&lake_mlp](const std::vector<registry::FeatureVector>
-                                &fvs) {
+                [&lake_mlp, &cpu_mlp,
+                 &lake](const std::vector<registry::FeatureVector>
+                            &fvs) {
                     ml::Matrix x = featurize(fvs);
-                    std::vector<int> c = lake_mlp->classify(x);
+                    // A remoting failure mid-batch must not kill the
+                    // I/O path: finish this batch on the CPU and count
+                    // the fallback.
+                    Result<std::vector<int>> r =
+                        lake_mlp->tryClassify(x);
+                    std::vector<int> c;
+                    if (r.isOk()) {
+                        c = r.takeValue();
+                    } else {
+                        lake.noteFallback();
+                        c = cpu_mlp->classify(x);
+                    }
                     return std::vector<float>(c.begin(), c.end());
                 });
             devs[d].reg->beginFvCapture(0);
@@ -369,6 +387,12 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
     simr.run();
     // The quantum timers always fire inside the run, so every queued
     // batch has been flushed by the time the event queue drains.
+
+    core::RemoteStats rs = lake.remoteStats();
+    result.remote_faults = rs.faults_seen;
+    result.remote_retries = rs.retries;
+    result.cpu_fallbacks = rs.fallbacks;
+    result.degraded = rs.degraded;
 
     result.gate_closures = gate.closures();
     result.avg_read_lat_us = read_stat.mean();

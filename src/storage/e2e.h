@@ -22,6 +22,7 @@
 
 #include "base/stats.h"
 #include "base/time.h"
+#include "channel/fault.h"
 #include "core/lake.h"
 #include "policy/mlgate.h"
 #include "ml/mlp.h"
@@ -64,6 +65,15 @@ struct E2eConfig
     /** Experiment duration. */
     Nanos duration = 2_s;
     std::uint64_t seed = 42;
+    /**
+     * Arm the channel fault injector (after model upload, so boot-time
+     * staging stays clean). Exercises the ISSUE-2 failure path: lakeLib
+     * reports Status errors, inference falls back to the CPU, and with
+     * enough consecutive failures the run latches degraded mode.
+     */
+    bool inject_faults = false;
+    /** Fault mix when inject_faults is set. */
+    channel::FaultSpec faults{};
 };
 
 /** Per-run measurements (one Fig. 7 bar). */
@@ -80,6 +90,10 @@ struct E2eResult
     std::uint64_t gpu_batches = 0; //!< batches dispatched to the GPU
     std::uint64_t gated_batches = 0; //!< reads/batches that skipped ML
     std::uint64_t gate_closures = 0; //!< MlGate off-switches
+    std::uint64_t remote_faults = 0; //!< failed RPC attempts (lakeLib)
+    std::uint64_t remote_retries = 0; //!< retry attempts (lakeLib)
+    std::uint64_t cpu_fallbacks = 0; //!< inferences forced onto the CPU
+    bool degraded = false; //!< run ended in degraded (CPU-only) mode
 };
 
 /**

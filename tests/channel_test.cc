@@ -152,5 +152,74 @@ INSTANTIATE_TEST_SUITE_P(AllKinds, ChannelKindTest,
                          ::testing::Values(Kind::Signal, Kind::DevRw,
                                            Kind::Netlink, Kind::Mmap));
 
+TEST(ChannelFaultTest, TryRecvReturnsNulloptWhenEmpty)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    EXPECT_FALSE(chan.tryRecv(Dir::KernelToUser).has_value());
+
+    chan.send(Dir::KernelToUser, {42});
+    std::optional<std::vector<std::uint8_t>> msg =
+        chan.tryRecv(Dir::KernelToUser);
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ((*msg)[0], 42);
+    EXPECT_FALSE(chan.tryRecv(Dir::KernelToUser).has_value());
+}
+
+TEST(ChannelFaultTest, DropFaultEmptiesTheQueue)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    FaultSpec spec;
+    spec.drop = 1.0;
+    FaultInjector &inj = chan.installFaults(spec);
+
+    chan.send(Dir::KernelToUser, {1, 2, 3});
+    EXPECT_FALSE(chan.pending(Dir::KernelToUser));
+    EXPECT_EQ(inj.dropped(), 1u);
+    // The sender still paid its share of the transfer cost.
+    EXPECT_GT(clock.now(), 0);
+    // Accounting counts the send attempt even though it was dropped.
+    EXPECT_EQ(chan.messagesSent(), 1u);
+}
+
+TEST(ChannelFaultTest, DuplicateFaultDeliversTwice)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    FaultSpec spec;
+    spec.duplicate = 1.0;
+    chan.installFaults(spec);
+
+    chan.send(Dir::UserToKernel, {9});
+    ASSERT_TRUE(chan.pending(Dir::UserToKernel));
+    EXPECT_EQ(chan.recv(Dir::UserToKernel)[0], 9);
+    ASSERT_TRUE(chan.pending(Dir::UserToKernel));
+    EXPECT_EQ(chan.recv(Dir::UserToKernel)[0], 9);
+    EXPECT_FALSE(chan.pending(Dir::UserToKernel));
+}
+
+TEST(ChannelFaultTest, DelayFaultPostponesDelivery)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    FaultSpec spec;
+    spec.delay = 1.0;
+    spec.delay_ns = 3_ms;
+    chan.installFaults(spec);
+
+    chan.send(Dir::KernelToUser, {1});
+    Nanos before = clock.now();
+    (void)chan.recv(Dir::KernelToUser); // blocks to the delivery instant
+    EXPECT_GE(clock.now() - before, 3_ms);
+}
+
+TEST(ChannelFaultTest, CleanChannelHasNoInjector)
+{
+    Clock clock;
+    Channel chan(Kind::Netlink, clock);
+    EXPECT_EQ(chan.faults(), nullptr);
+}
+
 } // namespace
 } // namespace lake::channel

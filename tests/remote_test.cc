@@ -54,6 +54,38 @@ TEST(WireTest, UnderrunIsSticky)
     EXPECT_EQ(dec.u32(), 0u); // stays failed
 }
 
+TEST(WireTest, HugeLengthPrefixFailsCleanly)
+{
+    // Regression: Decoder::need computed pos_ + n, which wraps for a
+    // length prefix near UINT64_MAX and let bytes() hand out a bogus
+    // pointer. The overflow-safe form must just fail the decode.
+    Encoder enc;
+    enc.u64(~0ull - 8); // a "length" of ~16 EiB
+    std::vector<std::uint8_t> buf = enc.take();
+
+    Decoder dec(buf);
+    std::size_t n = 0;
+    const std::uint8_t *p = dec.bytes(&n);
+    EXPECT_EQ(p, nullptr);
+    EXPECT_FALSE(dec.ok());
+}
+
+TEST(WireTest, EmptyByteBlockWithNullPointer)
+{
+    // Regression: bytes(nullptr, 0) computed nullptr arithmetic (UB);
+    // an empty block is legal and must round-trip.
+    Encoder enc;
+    enc.bytes(nullptr, 0).u32(7);
+    std::vector<std::uint8_t> buf = enc.take();
+
+    Decoder dec(buf);
+    std::size_t n = 99;
+    dec.bytes(&n);
+    EXPECT_EQ(n, 0u);
+    EXPECT_EQ(dec.u32(), 7u);
+    EXPECT_TRUE(dec.ok());
+}
+
 TEST(WireTest, CommandHead)
 {
     Encoder enc = makeCommand(ApiId::CuLaunchKernel, 99);

@@ -141,5 +141,38 @@ TEST_P(ShmArenaPropertyTest, RandomAllocFreeNeverCorrupts)
 INSTANTIATE_TEST_SUITE_P(Seeds, ShmArenaPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+TEST(ShmArenaTest, ValidRangeTracksLiveAllocations)
+{
+    ShmArena arena(1 << 16);
+    ShmOffset a = arena.alloc(256);
+    ASSERT_NE(a, kNullOffset);
+
+    // Whole allocation and interior windows are valid; the offset must
+    // itself point into the allocation (one-past-end is out).
+    EXPECT_TRUE(arena.validRange(a, 256));
+    EXPECT_TRUE(arena.validRange(a + 16, 64));
+    EXPECT_FALSE(arena.validRange(a + arena.sizeOf(a), 0));
+    // sizeOf may round up to the alignment quantum; anything past the
+    // rounded size is out.
+    EXPECT_FALSE(arena.validRange(a, arena.sizeOf(a) + 1));
+    // Free space and out-of-region offsets are never valid.
+    EXPECT_FALSE(arena.validRange(a + (1 << 12), 1));
+    EXPECT_FALSE(arena.validRange(arena.capacity(), 1));
+    EXPECT_FALSE(arena.validRange(arena.capacity() + 4096, 1));
+
+    arena.free(a);
+    EXPECT_FALSE(arena.validRange(a, 1));
+}
+
+TEST(ShmArenaTest, ValidRangeRejectsOverflowingLengths)
+{
+    ShmArena arena(1 << 16);
+    ShmOffset a = arena.alloc(256);
+    ASSERT_NE(a, kNullOffset);
+    // offset + bytes wrapping past UINT64_MAX must not pass.
+    EXPECT_FALSE(arena.validRange(a, ~std::size_t{0} - 8));
+    EXPECT_FALSE(arena.validRange(a + 128, ~std::size_t{0}));
+}
+
 } // namespace
 } // namespace lake::shm
