@@ -11,6 +11,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,47 @@ class JsonWriter
     std::vector<char> comma_; ///< per-nesting "needs a comma" flag
     bool pending_key_ = false;
 };
+
+// Build provenance, stamped by bench/CMakeLists.txt at configure time.
+// The fallbacks keep the header usable outside that build (e.g. a
+// hand-compiled bench), clearly marked as unstamped.
+#ifndef LAKE_BUILD_GIT_REV
+#define LAKE_BUILD_GIT_REV "unknown"
+#endif
+#ifndef LAKE_BUILD_TYPE
+#define LAKE_BUILD_TYPE "unknown"
+#endif
+#ifndef LAKE_BUILD_FLAGS
+#define LAKE_BUILD_FLAGS "unknown"
+#endif
+#ifndef LAKE_BUILD_NATIVE_ARCH
+#define LAKE_BUILD_NATIVE_ARCH "unknown"
+#endif
+
+/**
+ * Appends a "build" object recording how this binary was produced:
+ * compiler, flags, build type, LAKE_NATIVE_ARCH, the git revision the
+ * tree was configured at, and the LAKE_CPU_THREADS environment in
+ * force. Every BENCH_*.json carries it so two result files can be
+ * compared knowing whether the toolchain or ISA tuning moved between
+ * them (a real trap: an -march=native binary vs a portable one differ
+ * 2x on SIMD-heavy paths with zero source change).
+ */
+inline JsonWriter &
+provenance(JsonWriter &j)
+{
+    j.key("build").beginObject();
+    j.key("compiler").value(__VERSION__);
+    j.key("build_type").value(LAKE_BUILD_TYPE);
+    j.key("flags").value(LAKE_BUILD_FLAGS);
+    j.key("native_arch").value(LAKE_BUILD_NATIVE_ARCH);
+    j.key("git_rev").value(LAKE_BUILD_GIT_REV);
+    const char *threads = std::getenv("LAKE_CPU_THREADS");
+    j.key("lake_cpu_threads").value(threads && *threads ? threads
+                                                        : "default");
+    j.endObject();
+    return j;
+}
 
 } // namespace lake::bench
 

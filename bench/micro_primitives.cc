@@ -75,6 +75,38 @@ BM_ShmAllocFree(benchmark::State &state)
 }
 BENCHMARK(BM_ShmAllocFree)->Arg(64)->Arg(4096)->Arg(1 << 20);
 
+// Best-fit throughput against a fragmented arena: the free list is
+// pre-seeded with Arg(0) free blocks of staggered sizes, then the hot
+// loop allocs/frees a mid-sized block. The seed allocator scanned the
+// whole free list per alloc (O(n) in the block count); the size-ordered
+// index makes the flat portion of this curve — check the Arg(16) vs
+// Arg(4096) rates.
+void
+BM_ShmAllocFragmented(benchmark::State &state)
+{
+    const std::size_t blocks = state.range(0);
+    shm::ShmArena arena((blocks + 2) * 8192);
+
+    // Alternate live/dead allocations so the dead ones cannot coalesce:
+    // every second block stays allocated, pinning its neighbours apart.
+    std::vector<shm::ShmOffset> dead, live;
+    for (std::size_t i = 0; i < blocks; ++i) {
+        // Varied sizes so the free index holds many distinct keys.
+        dead.push_back(arena.alloc(64 + 16 * (i % 128)));
+        live.push_back(arena.alloc(64));
+    }
+    for (shm::ShmOffset off : dead)
+        arena.free(off);
+
+    for (auto _ : state) {
+        shm::ShmOffset off = arena.alloc(1024);
+        benchmark::DoNotOptimize(off);
+        arena.free(off);
+    }
+    state.SetItemsProcessed(state.iterations()); // alloc+free pairs
+}
+BENCHMARK(BM_ShmAllocFragmented)->Arg(16)->Arg(256)->Arg(4096);
+
 void
 BM_LockFreeMapAdd(benchmark::State &state)
 {

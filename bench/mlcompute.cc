@@ -91,6 +91,7 @@ main(int argc, char **argv)
     bench::JsonWriter json;
     json.beginObject();
     json.key("bench").value("mlcompute");
+    bench::provenance(json);
     json.key("unit_note")
         .value("host time; virtual-time figure benches are unaffected");
 

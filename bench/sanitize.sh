@@ -30,3 +30,9 @@ cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DLAKE_SANITIZE="$SAN"
 cmake --build "$BUILD" -j "$(nproc)"
 ctest --test-dir "$BUILD" --output-on-failure "$@"
+
+# Smoke-size perf benches (ctest -L perf), e.g. the remoting-pipeline
+# bench: under sanitizers the timings are meaningless, but the runs
+# drive the batched fast path end to end, so a wire/allocator bug
+# surfaces here even if no unit test names it.
+ctest --test-dir "$BUILD" --output-on-failure -L perf

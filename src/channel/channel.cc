@@ -46,6 +46,7 @@ Channel::Channel(Kind kind, Clock &clock)
 Channel::Channel(Kind kind, Clock &clock, CostModel model)
     : kind_(kind), clock_(clock), model_(model)
 {
+    pool_.reserve(kPoolCap);
 }
 
 std::deque<Message> &
@@ -118,6 +119,34 @@ Channel::send(Dir dir, std::vector<std::uint8_t> payload)
     if (duplicate)
         queueFor(dir).push_back(msg);
     queueFor(dir).push_back(std::move(msg));
+}
+
+void
+Channel::send(Dir dir, const void *data, std::size_t n)
+{
+    std::vector<std::uint8_t> buf = takeBuffer();
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    if (n > 0)
+        buf.assign(p, p + n);
+    send(dir, std::move(buf));
+}
+
+std::vector<std::uint8_t>
+Channel::takeBuffer()
+{
+    if (pool_.empty())
+        return {};
+    std::vector<std::uint8_t> buf = std::move(pool_.back());
+    pool_.pop_back();
+    buf.clear();
+    return buf;
+}
+
+void
+Channel::recycle(std::vector<std::uint8_t> buf)
+{
+    if (pool_.size() < kPoolCap && buf.capacity() > 0)
+        pool_.push_back(std::move(buf));
 }
 
 std::vector<std::uint8_t>

@@ -105,6 +105,14 @@ class Channel
     void send(Dir dir, std::vector<std::uint8_t> payload);
 
     /**
+     * Sends a copy of @p n bytes at @p data, staging it in a pooled
+     * buffer so steady-state traffic (a scratch encoder on each side,
+     * buffers recycled after consumption) performs no heap allocation.
+     * Cost accounting is identical to the by-value overload.
+     */
+    void send(Dir dir, const void *data, std::size_t n);
+
+    /**
      * Receives the oldest message in direction @p dir, blocking in
      * virtual time until its delivery instant. Panics when the queue is
      * empty — in the synchronous RPC protocol a receive without a prior
@@ -145,6 +153,26 @@ class Channel
     /** The installed fault injector, or nullptr on a clean channel. */
     FaultInjector *faults() { return faults_.get(); }
 
+    /// @name Buffer recycling (zero-alloc wire path)
+    /// @{
+
+    /**
+     * A cleared buffer from the recycle pool (or a fresh one when the
+     * pool is empty). Capacity is retained from its previous trip, so
+     * the warm path assigns into it without allocating.
+     */
+    std::vector<std::uint8_t> takeBuffer();
+
+    /**
+     * Returns a consumed message buffer to the pool. Both sides share
+     * the channel, so a command buffer lakeLib filled can be recycled
+     * by lakeD after dispatch, and vice versa for responses. The pool
+     * is bounded; excess buffers are simply destroyed.
+     */
+    void recycle(std::vector<std::uint8_t> buf);
+
+    /// @}
+
     /**
      * The shared virtual clock. Exposed so the remoting layer can
      * charge timeout deadlines and retry backoff against the same
@@ -159,8 +187,12 @@ class Channel
     Kind kind_;
     Clock &clock_;
     CostModel model_;
+    /** Recycle-pool bound; beyond this, returned buffers are freed. */
+    static constexpr std::size_t kPoolCap = 16;
+
     std::deque<Message> to_user_;
     std::deque<Message> to_kernel_;
+    std::vector<std::vector<std::uint8_t>> pool_;
     std::unique_ptr<FaultInjector> faults_;
     std::uint64_t messages_sent_ = 0;
     std::uint64_t bytes_sent_ = 0;

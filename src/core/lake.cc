@@ -14,6 +14,7 @@ Lake::Lake(LakeConfig config)
       registries_(clock_), kernel_cpu_(clock_, config.cpu)
 {
     lib_.setRetryPolicy(config.retry);
+    lib_.setPipeline(config.pipeline);
     // Latch degraded mode after degrade_threshold consecutive RPC
     // failures; any success before that resets the streak.
     lib_.setFailureObserver([this](const Status &s) {

@@ -51,6 +51,13 @@ struct LakeConfig
     std::size_t degrade_threshold = 3;
     /** Retry policy installed into lakeLib at boot. */
     remote::RetryPolicy retry;
+    /**
+     * Command pipelining installed into lakeLib at boot (default off:
+     * one message + doorbell per command, the pre-pipelining behavior,
+     * so existing virtual-time numbers are unchanged unless a caller
+     * opts in).
+     */
+    remote::PipelineConfig pipeline;
 };
 
 /** Remoting-health counters surfaced for tests and benches. */
@@ -120,6 +127,12 @@ class Lake
 
     /** Remoting-health counters (faults_seen, retries, fallbacks). */
     RemoteStats remoteStats() const;
+
+    /**
+     * Reconfigures command pipelining at runtime (any pending batch is
+     * flushed first, so no queued command is lost or reordered).
+     */
+    void setPipeline(remote::PipelineConfig p) { lib_.setPipeline(p); }
 
     /**
      * Wraps @p inner in a FallbackPolicy bound to this Lake's health:

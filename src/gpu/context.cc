@@ -99,17 +99,21 @@ CuResult
 GpuContext::launchKernel(const LaunchConfig &cfg, StreamId stream)
 {
     chargeCall();
-    const KernelRegistry &reg = KernelRegistry::global();
-    if (!reg.has(cfg.kernel))
+    // Single name lookup; body, countLaunch and cost then run in the
+    // same order the has()/run()/cost() sequence used, so modeled time
+    // is unchanged.
+    const KernelRegistry::Entry *entry =
+        KernelRegistry::global().find(cfg.kernel);
+    if (!entry)
         return CuResult::NotFound;
 
-    CuResult res = reg.run(device_, cfg);
+    CuResult res = entry->body(device_, cfg);
     if (res != CuResult::Success)
         return res;
 
     device_.countLaunch();
     Nanos duration =
-        device_.spec().launch_overhead + reg.cost(device_, cfg);
+        device_.spec().launch_overhead + entry->cost(device_, cfg);
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCompute(at, duration);
     stream_ready_[stream] = span.end;

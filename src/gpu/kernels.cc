@@ -1,6 +1,7 @@
 #include "gpu/kernels.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "base/logging.h"
 #include "base/thread_pool.h"
@@ -26,6 +27,13 @@ bool
 KernelRegistry::has(const std::string &name) const
 {
     return table_.count(name) != 0;
+}
+
+const KernelRegistry::Entry *
+KernelRegistry::find(const std::string &name) const
+{
+    auto it = table_.find(name);
+    return it == table_.end() ? nullptr : &it->second;
 }
 
 CuResult
@@ -59,12 +67,26 @@ KernelRegistry::names() const
 
 namespace {
 
+/**
+ * Rejects element counts whose byte size would overflow 64 bits: the
+ * wrapped product can slip past Device::resolve's range check and send
+ * a body walking far out of bounds. Reachable from the wire (a garbled
+ * launch arg), so this is a malformed-command defense, not pedantry.
+ */
+bool
+sizeOverflows(std::uint64_t count, std::uint64_t elem_size)
+{
+    return count > std::numeric_limits<std::uint64_t>::max() / elem_size;
+}
+
 CuResult
 vecAddBody(Device &dev, const LaunchConfig &cfg)
 {
     if (cfg.args.size() != 4)
         return CuResult::InvalidValue;
     std::uint64_t n = cfg.u64Arg(3);
+    if (sizeOverflows(n, sizeof(float)))
+        return CuResult::InvalidValue;
     auto *a = static_cast<const float *>(
         dev.resolve(cfg.u64Arg(0), n * sizeof(float)));
     auto *b = static_cast<const float *>(
@@ -91,6 +113,8 @@ saxpyBody(Device &dev, const LaunchConfig &cfg)
         return CuResult::InvalidValue;
     float alpha = cfg.floatArg(0);
     std::uint64_t n = cfg.u64Arg(3);
+    if (sizeOverflows(n, sizeof(float)))
+        return CuResult::InvalidValue;
     auto *x = static_cast<const float *>(
         dev.resolve(cfg.u64Arg(1), n * sizeof(float)));
     auto *y = static_cast<float *>(
@@ -113,6 +137,8 @@ pageHashBody(Device &dev, const LaunchConfig &cfg)
     if (cfg.args.size() != 3)
         return CuResult::InvalidValue;
     std::uint64_t npages = cfg.u64Arg(2);
+    if (sizeOverflows(npages, kPageSize))
+        return CuResult::InvalidValue;
     auto *in = static_cast<const std::uint8_t *>(
         dev.resolve(cfg.u64Arg(0), npages * kPageSize));
     auto *out = static_cast<std::uint64_t *>(

@@ -96,6 +96,22 @@ class KernelRegistry
     /** The process-wide registry. */
     static KernelRegistry &global();
 
+    /** One registered kernel: its computation and its cost model. */
+    struct Entry
+    {
+        Body body;
+        Cost cost;
+    };
+
+    /**
+     * One-lookup handle for the launch fast path: has() + run() +
+     * cost() each hash the kernel name again, which showed up as the
+     * dominant per-launch cost in the remoting pipeline bench.
+     * @return the entry, or nullptr for unknown kernels. Invalidated
+     *         by the next add().
+     */
+    const Entry *find(const std::string &name) const;
+
     /**
      * Registers a kernel; re-registering a name replaces the previous
      * entry (module reload semantics).
@@ -115,12 +131,6 @@ class KernelRegistry
     std::vector<std::string> names() const;
 
   private:
-    struct Entry
-    {
-        Body body;
-        Cost cost;
-    };
-
     std::unordered_map<std::string, Entry> table_;
 };
 

@@ -30,6 +30,9 @@ LakeDaemon::processPending()
     while (chan_.pending(Dir::KernelToUser)) {
         std::vector<std::uint8_t> buf = chan_.recv(Dir::KernelToUser);
         handleOne(buf);
+        // Hand the drained buffer back to the channel pool so the next
+        // send can reuse its capacity instead of allocating.
+        chan_.recycle(std::move(buf));
     }
 }
 
@@ -46,6 +49,7 @@ isOneWay(ApiId id)
       case ApiId::CuMemcpyHtoDShmAsync:
       case ApiId::CuMemcpyDtoHShmAsync:
       case ApiId::CuLaunchKernel:
+      case ApiId::CuMemFreeAsync:
         return true;
       default:
         return false;
@@ -57,7 +61,54 @@ isOneWay(ApiId id)
 void
 LakeDaemon::handleOne(const std::vector<std::uint8_t> &buf)
 {
+    if (buf.size() >= sizeof(std::uint32_t)) {
+        std::uint32_t magic = 0;
+        std::memcpy(&magic, buf.data(), sizeof(magic));
+        if (magic == kBatchMagic) {
+            handleBatch(buf);
+            return;
+        }
+    }
+    handleCommand(buf.data(), buf.size());
+}
+
+void
+LakeDaemon::handleBatch(const std::vector<std::uint8_t> &buf)
+{
+    ++batches_;
     Decoder dec(buf);
+    dec.u32(); // magic, verified by handleOne
+    std::uint32_t count = dec.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+        // Each frame is a u32-length-prefixed block; a corrupt *body*
+        // still leaves the next prefix reachable, so it costs exactly
+        // one command.
+        std::uint32_t len = dec.u32();
+        const std::uint8_t *frame = dec.raw(len);
+        if (!dec.ok()) {
+            // Truncated framing: no trustworthy boundary remains. The
+            // lost tail is one-way traffic, so like a dropped message
+            // its absence surfaces at the next synchronizing call.
+            ++malformed_;
+            warn("lakeD: batch framing truncated at command %u of %u",
+                 i, count);
+            return;
+        }
+        handleCommand(frame, len);
+    }
+    if (!dec.atEnd()) {
+        // Count understated the frames present (corrupt header): the
+        // orphaned tail is never executed, only counted.
+        ++malformed_;
+        warn("lakeD: batch carries %zu bytes past its declared count",
+             dec.remaining());
+    }
+}
+
+void
+LakeDaemon::handleCommand(const std::uint8_t *data, std::size_t size)
+{
+    Decoder dec(data, size);
     CommandHead head = readHead(dec);
     ++handled_;
 
@@ -67,17 +118,18 @@ LakeDaemon::handleOne(const std::vector<std::uint8_t> &buf)
         // let the kernel side time out.
         ++malformed_;
         warn("lakeD: dropping %zu-byte command with truncated prologue",
-             buf.size());
+             size);
         return;
     }
 
     if (isOneWay(head.id)) {
-        Encoder scratch;
-        handleCuda(head.id, dec, scratch);
+        resp_enc_.reset(); // scratch only; one-way commands never reply
+        handleCuda(head.id, dec, resp_enc_);
         return;
     }
 
-    Encoder resp;
+    resp_enc_.reset();
+    Encoder &resp = resp_enc_;
     resp.u32(head.seq);
 
     if (head.id == ApiId::HighLevelCall) {
@@ -99,7 +151,8 @@ LakeDaemon::handleOne(const std::vector<std::uint8_t> &buf)
         handleCuda(head.id, dec, resp);
     }
 
-    chan_.send(channel::Channel::Dir::UserToKernel, resp.take());
+    chan_.send(channel::Channel::Dir::UserToKernel, resp.data(),
+               resp.size());
 }
 
 void
@@ -159,6 +212,18 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
         status(ctx_.memFree(ptr));
         break;
       }
+      case ApiId::CuMemFreeAsync: {
+        // Deferred free from the pipelined fast path: one-way, so a
+        // bad pointer is reported by the next synchronizing call.
+        DevicePtr ptr = dec.u64();
+        if (!dec.ok()) {
+            ++malformed_;
+            recordDeferred(CuResult::InvalidValue);
+            break;
+        }
+        recordDeferred(ctx_.memFree(ptr));
+        break;
+      }
       case ApiId::CuMemcpyHtoD: {
         // Marshalled path: payload travelled inside the command.
         DevicePtr dst = dec.u64();
@@ -182,11 +247,11 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
             resp.bytes(nullptr, 0);
             break;
         }
-        std::vector<std::uint8_t> tmp(static_cast<std::size_t>(n));
-        CuResult r = ctx_.memcpyDtoH(tmp.data(), src, n);
+        dtoh_scratch_.resize(static_cast<std::size_t>(n));
+        CuResult r = ctx_.memcpyDtoH(dtoh_scratch_.data(), src, n);
         status(r);
         if (r == CuResult::Success)
-            resp.bytes(tmp.data(), tmp.size());
+            resp.bytes(dtoh_scratch_.data(), dtoh_scratch_.size());
         else
             resp.bytes(nullptr, 0);
         break;
@@ -247,10 +312,11 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
         break;
       }
       case ApiId::CuLaunchKernel: {
-        gpu::LaunchConfig cfg;
+        gpu::LaunchConfig &cfg = launch_scratch_;
         cfg.kernel = dec.str();
         cfg.grid_x = dec.u32();
         cfg.block_x = dec.u32();
+        cfg.args.clear();
         std::uint32_t nargs = dec.u32();
         // Cap the arg count by the bytes actually present so a corrupt
         // count cannot drive a 4-billion-iteration decode loop.

@@ -71,6 +71,9 @@ class LakeDaemon
     /** Commands executed since start. */
     std::uint64_t commandsHandled() const { return handled_; }
 
+    /** Multi-command batch messages received (pipelined fast path). */
+    std::uint64_t batchesReceived() const { return batches_; }
+
     /**
      * Malformed commands rejected defensively: truncated prologues,
      * decode underruns, over-cap lengths, shm ranges outside live
@@ -88,8 +91,22 @@ class LakeDaemon
     static constexpr std::uint64_t kMaxMarshalledCopy = 64ull << 20;
 
   private:
-    /** Executes one command buffer and sends the response. */
+    /**
+     * Routes one channel message: a kBatchMagic message fans out to
+     * handleBatch, anything else is a single command.
+     */
     void handleOne(const std::vector<std::uint8_t> &buf);
+
+    /**
+     * Executes every length-prefixed frame of a batch message. A frame
+     * whose *body* fails to decode costs exactly that command (the
+     * length prefix still locates the next frame); truncated *framing*
+     * ends the batch, since no further boundary is trustworthy.
+     */
+    void handleBatch(const std::vector<std::uint8_t> &buf);
+
+    /** Executes one command and sends the response (if two-way). */
+    void handleCommand(const std::uint8_t *data, std::size_t size);
 
     /** Dispatches the CUDA driver API subset. */
     void handleCuda(ApiId id, Decoder &dec, Encoder &resp);
@@ -122,7 +139,17 @@ class LakeDaemon
      */
     gpu::CuResult deferred_error_ = gpu::CuResult::Success;
 
+    /**
+     * Scratch state reused across commands so steady-state dispatch
+     * stops allocating once grown to the working-set size: the response
+     * encoder, the DtoH bounce buffer, and the launch config.
+     */
+    Encoder resp_enc_;
+    std::vector<std::uint8_t> dtoh_scratch_;
+    gpu::LaunchConfig launch_scratch_;
+
     std::uint64_t handled_ = 0;
+    std::uint64_t batches_ = 0;
     std::uint64_t malformed_ = 0;
 };
 

@@ -5,7 +5,6 @@
 #include <utility>
 
 #include "base/logging.h"
-#include "remote/wire.h"
 
 namespace lake::remote {
 
@@ -25,20 +24,12 @@ toCuResult(std::uint32_t code)
 
 /** Reads the seq a makeCommand buffer carries at bytes [4, 8). */
 std::uint32_t
-seqOf(const std::vector<std::uint8_t> &cmd)
+seqOf(const Encoder &cmd)
 {
     std::uint32_t seq = 0;
     for (int i = 0; i < 4; ++i)
-        seq |= static_cast<std::uint32_t>(cmd[4 + i]) << (8 * i);
+        seq |= static_cast<std::uint32_t>(cmd.data()[4 + i]) << (8 * i);
     return seq;
-}
-
-/** Overwrites the seq in a makeCommand buffer (fresh seq per retry). */
-void
-patchSeq(std::vector<std::uint8_t> &cmd, std::uint32_t seq)
-{
-    for (int i = 0; i < 4; ++i)
-        cmd[4 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
 }
 
 } // namespace
@@ -54,6 +45,15 @@ void
 LakeLib::setFailureObserver(FailureObserver obs)
 {
     observer_ = std::move(obs);
+}
+
+void
+LakeLib::setPipeline(PipelineConfig p)
+{
+    flush();
+    pipeline_ = p;
+    if (pipeline_.max_batch == 0)
+        pipeline_.max_batch = 1;
 }
 
 void
@@ -80,13 +80,74 @@ LakeLib::responseTimeout(std::size_t cmd_bytes) const
             m.doorbell_latency);
 }
 
+Encoder &
+LakeLib::begin(ApiId id)
+{
+    cmd_enc_.reset();
+    cmd_enc_.u32(static_cast<std::uint32_t>(id)).u32(next_seq_++);
+    return cmd_enc_;
+}
+
+void
+LakeLib::ring()
+{
+    ++doorbells_;
+    doorbell_();
+}
+
+void
+LakeLib::flush()
+{
+    if (batch_pending_ == 0)
+        return;
+    // Patch the count placeholder (bytes [4, 8), after the magic),
+    // ship the whole batch as one message, and ring one doorbell for
+    // all of it — the coalescing that amortizes the §6 crossing cost.
+    batch_enc_.patchU32(4, static_cast<std::uint32_t>(batch_pending_));
+    chan_.send(channel::Channel::Dir::KernelToUser, batch_enc_.data(),
+               batch_enc_.size());
+    ++batches_flushed_;
+    batch_pending_ = 0;
+    batch_enc_.reset();
+    ring();
+}
+
+void
+LakeLib::post()
+{
+    // One-way command: failures surface at the next synchronizing call
+    // (CUDA's asynchronous-error contract), so no response is awaited —
+    // the caller only pays the send-side cost.
+    ++calls_;
+    if (!pipeline_.enabled) {
+        chan_.send(channel::Channel::Dir::KernelToUser, cmd_enc_.data(),
+                   cmd_enc_.size());
+        ring();
+        return;
+    }
+    // Pipelined: append a length-prefixed frame to the pending batch;
+    // the doorbell waits for a flush point.
+    if (batch_pending_ == 0) {
+        batch_enc_.reset();
+        batch_enc_.u32(kBatchMagic).u32(0); // count patched at flush
+    }
+    batch_enc_.u32(static_cast<std::uint32_t>(cmd_enc_.size()));
+    batch_enc_.raw(cmd_enc_.data(), cmd_enc_.size());
+    ++batch_pending_;
+    ++commands_batched_;
+    if (batch_pending_ >= pipeline_.max_batch)
+        flush();
+}
+
 Result<std::vector<std::uint8_t>>
-LakeLib::attempt(const std::vector<std::uint8_t> &cmd, std::uint32_t seq)
+LakeLib::attempt(std::uint32_t seq)
 {
     using Dir = channel::Channel::Dir;
     ++calls_;
-    chan_.send(Dir::KernelToUser, cmd); // keep cmd: retries resend it
-    doorbell_();
+    // The scratch command stays intact across the drain loop, so a
+    // retry can resend it (with a restamped seq) without a copy.
+    chan_.send(Dir::KernelToUser, cmd_enc_.data(), cmd_enc_.size());
+    ring();
 
     // Drain until our echo appears: under faults the queue may hold
     // duplicates or responses whose matching command attempt timed out.
@@ -96,25 +157,34 @@ LakeLib::attempt(const std::vector<std::uint8_t> &cmd, std::uint32_t seq)
         if (!resp) {
             // Nothing will ever arrive — the command or its response
             // was lost. Model the caller blocking out its deadline.
-            chan_.clock().advance(responseTimeout(cmd.size()));
+            chan_.clock().advance(responseTimeout(cmd_enc_.size()));
             return Result<std::vector<std::uint8_t>>(
                 Status(Code::Unavailable,
                        detail::format("rpc seq %u: response timeout",
                                       seq)));
         }
-        if (resp->size() < 4)
-            continue; // too short to carry an echo: corrupt, discard
+        if (resp->size() < 4) {
+            // Too short to carry an echo: corrupt, discard.
+            chan_.recycle(std::move(*resp));
+            continue;
+        }
         std::uint32_t echo = 0;
         std::memcpy(&echo, resp->data(), sizeof(echo));
         if (echo == seq)
             return Result<std::vector<std::uint8_t>>(std::move(*resp));
         // Stale or corrupted-seq response: discard and keep draining.
+        chan_.recycle(std::move(*resp));
     }
 }
 
 Result<std::vector<std::uint8_t>>
-LakeLib::rpc(std::vector<std::uint8_t> cmd, bool idempotent)
+LakeLib::rpc(bool idempotent)
 {
+    // Queued one-way commands must execute before this call: flushing
+    // here preserves submission order and lets the flush share the
+    // two-way call's daemon wakeup window.
+    flush();
+
     std::uint32_t attempts =
         idempotent ? std::max<std::uint32_t>(1, retry_.max_attempts) : 1;
     Nanos backoff = retry_.backoff;
@@ -129,9 +199,9 @@ LakeLib::rpc(std::vector<std::uint8_t> cmd, bool idempotent)
             chan_.clock().advance(backoff);
             backoff = static_cast<Nanos>(static_cast<double>(backoff) *
                                          retry_.multiplier);
-            patchSeq(cmd, next_seq_++);
+            cmd_enc_.patchU32(4, next_seq_++);
         }
-        Result<std::vector<std::uint8_t>> r = attempt(cmd, seqOf(cmd));
+        Result<std::vector<std::uint8_t>> r = attempt(seqOf(cmd_enc_));
         if (r.isOk()) {
             // Success is reported by the caller once the response body
             // also decodes; a seq-valid but garbled payload must count
@@ -146,29 +216,21 @@ LakeLib::rpc(std::vector<std::uint8_t> cmd, bool idempotent)
 }
 
 gpu::CuResult
-LakeLib::statusRpc(std::vector<std::uint8_t> cmd, bool idempotent)
+LakeLib::statusRpc(bool idempotent)
 {
-    Result<std::vector<std::uint8_t>> r = rpc(std::move(cmd), idempotent);
+    Result<std::vector<std::uint8_t>> r = rpc(idempotent);
     if (!r.isOk())
         return CuResult::Unavailable;
-    Decoder dec(r.value());
+    std::vector<std::uint8_t> resp = r.takeValue();
+    Decoder dec(resp);
     dec.u32(); // seq echo
     std::uint32_t code = dec.u32();
-    if (!dec.ok())
+    bool ok = dec.ok();
+    chan_.recycle(std::move(resp));
+    if (!ok)
         return garbled("rpc: truncated status response");
     observe(Status::ok());
     return toCuResult(code);
-}
-
-void
-LakeLib::post(std::vector<std::uint8_t> cmd)
-{
-    // One-way command: failures surface at the next synchronizing call
-    // (CUDA's asynchronous-error contract), so no response is awaited —
-    // the caller only pays the send-side cost.
-    ++calls_;
-    chan_.send(channel::Channel::Dir::KernelToUser, std::move(cmd));
-    doorbell_();
 }
 
 CuResult
@@ -176,17 +238,19 @@ LakeLib::cuMemAlloc(DevicePtr *out, std::size_t bytes)
 {
     if (out == nullptr)
         return CuResult::InvalidValue;
-    Encoder cmd = makeCommand(ApiId::CuMemAlloc, next_seq_++);
-    cmd.u64(bytes);
+    begin(ApiId::CuMemAlloc).u64(bytes);
     // Not idempotent: a lost response would leak the daemon-side block.
-    auto r = rpc(cmd.take(), /*idempotent=*/false);
+    auto r = rpc(/*idempotent=*/false);
     if (!r.isOk())
         return CuResult::Unavailable;
-    Decoder dec(r.value());
+    std::vector<std::uint8_t> resp = r.takeValue();
+    Decoder dec(resp);
     dec.u32(); // seq
     CuResult res = toCuResult(dec.u32());
     DevicePtr ptr = dec.u64();
-    if (!dec.ok())
+    bool ok = dec.ok();
+    chan_.recycle(std::move(resp));
+    if (!ok)
         return garbled("cuMemAlloc: garbled response");
     observe(Status::ok());
     *out = ptr;
@@ -196,10 +260,16 @@ LakeLib::cuMemAlloc(DevicePtr *out, std::size_t bytes)
 CuResult
 LakeLib::cuMemFree(DevicePtr ptr)
 {
-    Encoder cmd = makeCommand(ApiId::CuMemFree, next_seq_++);
-    cmd.u64(ptr);
+    if (pipeline_.enabled && pipeline_.defer_frees) {
+        // Deferred free: rides the pending batch as a one-way command;
+        // an unknown-pointer failure surfaces at the next sync.
+        begin(ApiId::CuMemFreeAsync).u64(ptr);
+        post();
+        return CuResult::Success;
+    }
+    begin(ApiId::CuMemFree).u64(ptr);
     // Not idempotent: the block may have been re-handed-out meanwhile.
-    return statusRpc(cmd.take(), /*idempotent=*/false);
+    return statusRpc(/*idempotent=*/false);
 }
 
 CuResult
@@ -210,9 +280,8 @@ LakeLib::cuMemcpyHtoD(DevicePtr dst, const void *src, std::size_t bytes)
     // Marshalled: the payload is copied into the command and again out
     // of it in lakeD — the double buffering §3 calls out.
     bytes_marshalled_ += bytes;
-    Encoder cmd = makeCommand(ApiId::CuMemcpyHtoD, next_seq_++);
-    cmd.u64(dst).bytes(src, bytes);
-    return statusRpc(cmd.take(), /*idempotent=*/true);
+    begin(ApiId::CuMemcpyHtoD).u64(dst).bytes(src, bytes);
+    return statusRpc(/*idempotent=*/true);
 }
 
 CuResult
@@ -221,21 +290,24 @@ LakeLib::cuMemcpyDtoH(void *dst, DevicePtr src, std::size_t bytes)
     if (dst == nullptr)
         return CuResult::InvalidValue;
     bytes_marshalled_ += bytes;
-    Encoder cmd = makeCommand(ApiId::CuMemcpyDtoH, next_seq_++);
-    cmd.u64(src).u64(bytes);
-    auto r = rpc(cmd.take(), /*idempotent=*/true);
+    begin(ApiId::CuMemcpyDtoH).u64(src).u64(bytes);
+    auto r = rpc(/*idempotent=*/true);
     if (!r.isOk())
         return CuResult::Unavailable;
-    Decoder dec(r.value());
+    std::vector<std::uint8_t> resp = r.takeValue();
+    Decoder dec(resp);
     dec.u32(); // seq
     CuResult res = toCuResult(dec.u32());
     std::size_t n = 0;
     const std::uint8_t *data = dec.bytes(&n);
     if (res == CuResult::Success) {
-        if (!dec.ok() || n != bytes || data == nullptr)
+        if (!dec.ok() || n != bytes || data == nullptr) {
+            chan_.recycle(std::move(resp));
             return garbled("cuMemcpyDtoH: garbled payload");
+        }
         std::memcpy(dst, data, n);
     }
+    chan_.recycle(std::move(resp));
     observe(Status::ok());
     return res;
 }
@@ -244,27 +316,28 @@ CuResult
 LakeLib::cuMemcpyHtoDShm(DevicePtr dst, shm::ShmOffset src,
                          std::size_t bytes)
 {
-    Encoder cmd = makeCommand(ApiId::CuMemcpyHtoDShm, next_seq_++);
-    cmd.u64(dst).u64(src).u64(bytes).u32(0);
-    return statusRpc(cmd.take(), /*idempotent=*/true);
+    begin(ApiId::CuMemcpyHtoDShm).u64(dst).u64(src).u64(bytes).u32(0);
+    return statusRpc(/*idempotent=*/true);
 }
 
 CuResult
 LakeLib::cuMemcpyDtoHShm(shm::ShmOffset dst, DevicePtr src,
                          std::size_t bytes)
 {
-    Encoder cmd = makeCommand(ApiId::CuMemcpyDtoHShm, next_seq_++);
-    cmd.u64(src).u64(dst).u64(bytes).u32(0);
-    return statusRpc(cmd.take(), /*idempotent=*/true);
+    begin(ApiId::CuMemcpyDtoHShm).u64(src).u64(dst).u64(bytes).u32(0);
+    return statusRpc(/*idempotent=*/true);
 }
 
 CuResult
 LakeLib::cuMemcpyHtoDShmAsync(DevicePtr dst, shm::ShmOffset src,
                               std::size_t bytes, std::uint32_t stream)
 {
-    Encoder cmd = makeCommand(ApiId::CuMemcpyHtoDShmAsync, next_seq_++);
-    cmd.u64(dst).u64(src).u64(bytes).u32(stream);
-    post(cmd.take());
+    begin(ApiId::CuMemcpyHtoDShmAsync)
+        .u64(dst)
+        .u64(src)
+        .u64(bytes)
+        .u32(stream);
+    post();
     return CuResult::Success;
 }
 
@@ -272,41 +345,43 @@ CuResult
 LakeLib::cuMemcpyDtoHShmAsync(shm::ShmOffset dst, DevicePtr src,
                               std::size_t bytes, std::uint32_t stream)
 {
-    Encoder cmd = makeCommand(ApiId::CuMemcpyDtoHShmAsync, next_seq_++);
-    cmd.u64(src).u64(dst).u64(bytes).u32(stream);
-    post(cmd.take());
+    begin(ApiId::CuMemcpyDtoHShmAsync)
+        .u64(src)
+        .u64(dst)
+        .u64(bytes)
+        .u32(stream);
+    post();
     return CuResult::Success;
 }
 
 CuResult
 LakeLib::cuLaunchKernel(const gpu::LaunchConfig &cfg, std::uint32_t stream)
 {
-    Encoder cmd = makeCommand(ApiId::CuLaunchKernel, next_seq_++);
+    Encoder &cmd = begin(ApiId::CuLaunchKernel);
     cmd.str(cfg.kernel);
     cmd.u32(cfg.grid_x).u32(cfg.block_x);
     cmd.u32(static_cast<std::uint32_t>(cfg.args.size()));
     for (std::uint64_t a : cfg.args)
         cmd.u64(a);
     cmd.u32(stream);
-    post(cmd.take());
+    post();
     return CuResult::Success;
 }
 
 CuResult
 LakeLib::cuStreamSynchronize(std::uint32_t stream)
 {
-    Encoder cmd = makeCommand(ApiId::CuStreamSynchronize, next_seq_++);
-    cmd.u32(stream);
+    begin(ApiId::CuStreamSynchronize).u32(stream);
     // Not idempotent: the sync drains the deferred-error slot, so a
     // retried sync could silently swallow an async failure report.
-    return statusRpc(cmd.take(), /*idempotent=*/false);
+    return statusRpc(/*idempotent=*/false);
 }
 
 CuResult
 LakeLib::cuCtxSynchronize()
 {
-    Encoder cmd = makeCommand(ApiId::CuCtxSynchronize, next_seq_++);
-    return statusRpc(cmd.take(), /*idempotent=*/false);
+    begin(ApiId::CuCtxSynchronize);
+    return statusRpc(/*idempotent=*/false);
 }
 
 CuResult
@@ -314,16 +389,19 @@ LakeLib::nvmlGetUtilization(RemoteUtilization *out)
 {
     if (out == nullptr)
         return CuResult::InvalidValue;
-    Encoder cmd = makeCommand(ApiId::NvmlGetUtilization, next_seq_++);
-    auto r = rpc(cmd.take(), /*idempotent=*/true);
+    begin(ApiId::NvmlGetUtilization);
+    auto r = rpc(/*idempotent=*/true);
     if (!r.isOk())
         return CuResult::Unavailable;
-    Decoder dec(r.value());
+    std::vector<std::uint8_t> resp = r.takeValue();
+    Decoder dec(resp);
     dec.u32(); // seq
     CuResult res = toCuResult(dec.u32());
     float gpu_util = dec.f32();
     float mem_util = dec.f32();
-    if (!dec.ok())
+    bool ok = dec.ok();
+    chan_.recycle(std::move(resp));
+    if (!ok)
         return garbled("nvmlGetUtilization: garbled response");
     observe(Status::ok());
     out->gpu = gpu_util;
@@ -336,20 +414,20 @@ LakeLib::highLevelCall(const std::string &name,
                        const std::vector<std::uint8_t> &args,
                        bool idempotent)
 {
-    Encoder cmd = makeCommand(ApiId::HighLevelCall, next_seq_++);
+    Encoder &cmd = begin(ApiId::HighLevelCall);
     cmd.str(name);
     // Args ride verbatim after the name; the handler owns their format.
-    std::vector<std::uint8_t> buf = cmd.take();
-    buf.insert(buf.end(), args.begin(), args.end());
+    cmd.raw(args.data(), args.size());
 
-    auto rpc_result = rpc(std::move(buf), idempotent);
+    auto rpc_result = rpc(idempotent);
     if (!rpc_result.isOk())
         return rpc_result; // transport error, already a Status
-    const std::vector<std::uint8_t> &resp = rpc_result.value();
+    std::vector<std::uint8_t> resp = rpc_result.takeValue();
     Decoder dec(resp);
     dec.u32(); // seq
     std::uint32_t code = dec.u32();
     if (!dec.ok()) {
+        chan_.recycle(std::move(resp));
         Status s(Code::Unavailable, std::string("high-level API '") +
                                         name + "': truncated response");
         ++faults_seen_;
@@ -359,6 +437,7 @@ LakeLib::highLevelCall(const std::string &name,
     observe(Status::ok());
     CuResult r = toCuResult(code);
     if (r != CuResult::Success) {
+        chan_.recycle(std::move(resp));
         Code c = r == CuResult::Unavailable ? Code::Unavailable
                                             : Code::NotFound;
         return Result<std::vector<std::uint8_t>>(
@@ -367,6 +446,7 @@ LakeLib::highLevelCall(const std::string &name,
     }
     // Hand back the remainder of the response after seq + status.
     std::vector<std::uint8_t> payload(resp.begin() + 8, resp.end());
+    chan_.recycle(std::move(resp));
     return Result<std::vector<std::uint8_t>>(std::move(payload));
 }
 

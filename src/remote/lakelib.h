@@ -29,6 +29,7 @@
 #include "channel/channel.h"
 #include "gpu/device.h"
 #include "gpu/kernels.h"
+#include "remote/wire.h"
 #include "shm/arena.h"
 
 namespace lake::remote {
@@ -55,6 +56,41 @@ struct RetryPolicy
     Nanos backoff = 100_us;
     /** Backoff growth factor per further retry. */
     double multiplier = 2.0;
+};
+
+/**
+ * Opt-in command pipelining (NVMe-style doorbell coalescing; the AvA
+ * batching insight applied to LAKE's one-way traffic).
+ *
+ * When enabled, one-way commands — kernel launches, async shm memcpys,
+ * and (optionally) deferred frees — are queued locally and shipped as a
+ * single multi-command batch message at the next flush point: a
+ * synchronizing call, any two-way RPC, @ref max_batch queued commands,
+ * or an explicit LakeLib::flush(). One doorbell and one channel
+ * message then amortize over the whole batch.
+ *
+ * Default off: the fast path changes no virtual-time number unless a
+ * caller asks for it.
+ *
+ * Failure semantics (DESIGN.md §6): a batch is one message, lost or
+ * delivered as a unit. Its contents are one-way and non-idempotent, so
+ * per the RetryPolicy rules it is never re-sent — exactly like an
+ * unbatched one-way post, loss surfaces (if at all) at the next
+ * synchronizing call, which *does* time out, count faults, and latch
+ * degraded mode when the transport is down.
+ */
+struct PipelineConfig
+{
+    /** Master switch; everything below is inert while false. */
+    bool enabled = false;
+    /** Queued one-way commands that force a flush (min 1). */
+    std::size_t max_batch = 16;
+    /**
+     * Route cuMemFree through the batch as a one-way deferred free.
+     * The call then returns Success immediately and a daemon-side
+     * failure surfaces at the next synchronizing call.
+     */
+    bool defer_frees = false;
 };
 
 /**
@@ -161,6 +197,23 @@ class LakeLib
     /** Retry policy in force. */
     const RetryPolicy &retryPolicy() const { return retry_; }
 
+    /**
+     * Installs the pipelining configuration. Flushes any pending batch
+     * first, so reconfiguration never strands queued commands.
+     */
+    void setPipeline(PipelineConfig p);
+    /** Pipeline configuration in force. */
+    const PipelineConfig &pipeline() const { return pipeline_; }
+
+    /**
+     * Ships the pending one-way batch (if any) as one channel message
+     * and rings the doorbell once. No-op when nothing is queued.
+     */
+    void flush();
+
+    /** One-way commands queued but not yet flushed. */
+    std::size_t pendingBatched() const { return batch_pending_; }
+
     /** Installs (or clears, with nullptr) the RPC outcome observer. */
     void setFailureObserver(FailureObserver obs);
 
@@ -178,27 +231,47 @@ class LakeLib
     std::uint64_t faultsSeen() const { return faults_seen_; }
     /** Retry attempts issued by the retry policy. */
     std::uint64_t retries() const { return retries_; }
+    /** Doorbell rings since construction (the coalescing win). */
+    std::uint64_t doorbells() const { return doorbells_; }
+    /** Batch messages flushed by the pipeline. */
+    std::uint64_t batchesFlushed() const { return batches_flushed_; }
+    /** One-way commands that rode a batch instead of their own
+     *  message. */
+    std::uint64_t commandsBatched() const { return commands_batched_; }
 
   private:
     /**
-     * Sends one command (retrying per policy when @p idempotent),
-     * wakes the daemon, and returns the response positioned after the
-     * verified sequence echo — or the transport error the caller must
-     * handle: seq mismatch, short/garbled response, or timeout.
+     * Starts a command in the reusable scratch encoder: resets it and
+     * writes the ApiId + a fresh seq. Every stub encodes through this,
+     * so steady-state traffic allocates nothing on the send side.
      */
-    Result<std::vector<std::uint8_t>> rpc(std::vector<std::uint8_t> cmd,
-                                          bool idempotent);
+    Encoder &begin(ApiId id);
+
+    /**
+     * Sends the scratch command (retrying per policy when
+     * @p idempotent), wakes the daemon, and returns the response
+     * positioned after the verified sequence echo — or the transport
+     * error the caller must handle: seq mismatch, short/garbled
+     * response, or timeout. Flushes the pending batch first so queued
+     * one-way commands execute before this call, in submission order.
+     */
+    Result<std::vector<std::uint8_t>> rpc(bool idempotent);
 
     /** One send/receive attempt of rpc, no retries. */
-    Result<std::vector<std::uint8_t>>
-    attempt(const std::vector<std::uint8_t> &cmd, std::uint32_t seq);
+    Result<std::vector<std::uint8_t>> attempt(std::uint32_t seq);
 
     /** Runs an RPC whose response is just a status code. */
-    gpu::CuResult statusRpc(std::vector<std::uint8_t> cmd,
-                            bool idempotent);
+    gpu::CuResult statusRpc(bool idempotent);
 
-    /** Sends a one-way command (no response expected). */
-    void post(std::vector<std::uint8_t> cmd);
+    /**
+     * Ships the scratch command one-way: queued into the pending batch
+     * when pipelining is on (flushing at max_batch), sent as its own
+     * message + doorbell otherwise.
+     */
+    void post();
+
+    /** Rings the daemon doorbell (counted). */
+    void ring();
 
     /** Reports an RPC outcome to the observer (when installed). */
     void observe(const Status &s);
@@ -214,12 +287,27 @@ class LakeLib
     shm::ShmArena &arena_;
     Doorbell doorbell_;
     RetryPolicy retry_;
+    PipelineConfig pipeline_;
     FailureObserver observer_;
+
+    /** Scratch encoder for the command being built (reset per call). */
+    Encoder cmd_enc_;
+    /**
+     * Pending batch: kBatchMagic, a count placeholder patched at
+     * flush, then the queued frames. Reset (capacity retained) after
+     * every flush.
+     */
+    Encoder batch_enc_;
+    std::size_t batch_pending_ = 0;
+
     std::uint32_t next_seq_ = 1;
     std::uint64_t calls_ = 0;
     std::uint64_t bytes_marshalled_ = 0;
     std::uint64_t faults_seen_ = 0;
     std::uint64_t retries_ = 0;
+    std::uint64_t doorbells_ = 0;
+    std::uint64_t batches_flushed_ = 0;
+    std::uint64_t commands_batched_ = 0;
 };
 
 } // namespace lake::remote

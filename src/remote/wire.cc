@@ -1,5 +1,7 @@
 #include "remote/wire.h"
 
+#include "base/logging.h"
+
 namespace lake::remote {
 
 const char *
@@ -19,6 +21,7 @@ apiName(ApiId id)
       case ApiId::CuCtxSynchronize:     return "cuCtxSynchronize";
       case ApiId::NvmlGetUtilization:   return "nvmlGetUtilization";
       case ApiId::HighLevelCall:        return "highLevelCall";
+      case ApiId::CuMemFreeAsync:       return "cuMemFreeAsync";
     }
     return "unknown";
 }
@@ -26,16 +29,33 @@ apiName(ApiId id)
 Encoder &
 Encoder::u32(std::uint32_t v)
 {
-    for (int i = 0; i < 4; ++i)
-        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    // Staged through a local array so the vector grows once per field
+    // (a bulk insert) instead of once per byte: the encoder is on the
+    // per-command fast path, where byte-at-a-time push_back dominated.
+    const std::uint8_t b[4] = {
+        static_cast<std::uint8_t>(v),
+        static_cast<std::uint8_t>(v >> 8),
+        static_cast<std::uint8_t>(v >> 16),
+        static_cast<std::uint8_t>(v >> 24),
+    };
+    buf_.insert(buf_.end(), b, b + sizeof(b));
     return *this;
 }
 
 Encoder &
 Encoder::u64(std::uint64_t v)
 {
-    for (int i = 0; i < 8; ++i)
-        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    const std::uint8_t b[8] = {
+        static_cast<std::uint8_t>(v),
+        static_cast<std::uint8_t>(v >> 8),
+        static_cast<std::uint8_t>(v >> 16),
+        static_cast<std::uint8_t>(v >> 24),
+        static_cast<std::uint8_t>(v >> 32),
+        static_cast<std::uint8_t>(v >> 40),
+        static_cast<std::uint8_t>(v >> 48),
+        static_cast<std::uint8_t>(v >> 56),
+    };
+    buf_.insert(buf_.end(), b, b + sizeof(b));
     return *this;
 }
 
@@ -64,6 +84,24 @@ Encoder &
 Encoder::str(const std::string &s)
 {
     return bytes(s.data(), s.size());
+}
+
+Encoder &
+Encoder::raw(const void *data, std::size_t n)
+{
+    if (n == 0)
+        return *this;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + n);
+    return *this;
+}
+
+void
+Encoder::patchU32(std::size_t at, std::uint32_t v)
+{
+    LAKE_ASSERT(at + 4 <= buf_.size(), "patchU32 past encoded bytes");
+    for (int i = 0; i < 4; ++i)
+        buf_[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
 
 bool
@@ -123,6 +161,16 @@ Decoder::bytes(std::size_t *n)
     const std::uint8_t *p = data_ + pos_;
     pos_ += static_cast<std::size_t>(len);
     *n = static_cast<std::size_t>(len);
+    return p;
+}
+
+const std::uint8_t *
+Decoder::raw(std::size_t n)
+{
+    if (!need(n))
+        return nullptr;
+    const std::uint8_t *p = data_ + pos_;
+    pos_ += n;
     return p;
 }
 

@@ -9,6 +9,12 @@
  * serialized into a command" (§4). The format is little-endian,
  * length-prefixed for variable fields, and versioned by the ApiId enum —
  * exactly enough structure for the stub/daemon pair, nothing more.
+ *
+ * Pipelined one-way traffic additionally uses a *batch* framing: one
+ * channel message carrying N commands behind a magic word, a command
+ * count, and a per-command u32 length prefix. The length prefixes mean
+ * a garbled command body costs exactly that command — the decoder can
+ * always find the next frame boundary.
  */
 
 #include <cstdint>
@@ -39,10 +45,25 @@ enum class ApiId : std::uint32_t
 
     // High-level APIs (§4.4) dispatch by registered name.
     HighLevelCall,
+
+    /**
+     * One-way cuMemFree, used by the pipelined fast path when
+     * PipelineConfig::defer_frees is set: the free rides the pending
+     * batch and a failure surfaces at the next synchronizing call
+     * instead of paying its own doorbell round trip.
+     */
+    CuMemFreeAsync,
 };
 
 /** Printable API name. */
 const char *apiName(ApiId id);
+
+/**
+ * First u32 of a multi-command batch message. Far outside the ApiId
+ * range, so a batch can never be misparsed as a single command (and
+ * vice versa).
+ */
+constexpr std::uint32_t kBatchMagic = 0xB47C4D01u;
 
 /** Serializes one command or response. */
 class Encoder
@@ -58,9 +79,27 @@ class Encoder
     Encoder &bytes(const void *data, std::size_t n);
     /** Appends a length-prefixed UTF-8 string. */
     Encoder &str(const std::string &s);
+    /** Appends raw bytes with no length prefix (batch frame bodies). */
+    Encoder &raw(const void *data, std::size_t n);
 
-    /** Takes the finished buffer. */
+    /** Takes the finished buffer (the encoder loses its capacity). */
     std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+    /**
+     * Clears the buffer but keeps its capacity: a scratch encoder that
+     * is reset between commands stops allocating once it has grown to
+     * the steady-state command size.
+     */
+    void reset() { buf_.clear(); }
+
+    /** Overwrites 4 already-encoded bytes at @p at (e.g. a count
+     *  placeholder patched once the final value is known). */
+    void patchU32(std::size_t at, std::uint32_t v);
+
+    /** The encoded bytes, without giving up ownership. */
+    const std::uint8_t *data() const { return buf_.data(); }
+    /** Mutable view, for in-place seq restamping on retries. */
+    std::uint8_t *data() { return buf_.data(); }
     /** Bytes encoded so far. */
     std::size_t size() const { return buf_.size(); }
 
@@ -77,6 +116,11 @@ class Decoder
         : data_(buf.data()), size_(buf.size())
     {}
 
+    /** Decodes a sub-span (one frame of a batch message). */
+    Decoder(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
     /** Reads a 32-bit value; 0 on underrun. */
     std::uint32_t u32();
     /** Reads a 64-bit value; 0 on underrun. */
@@ -90,6 +134,12 @@ class Decoder
     const std::uint8_t *bytes(std::size_t *n);
     /** Reads a length-prefixed string. */
     std::string str();
+    /**
+     * Consumes @p n raw bytes (a batch frame body whose u32 length was
+     * already read). @return pointer into the buffer; nullptr on
+     * underrun.
+     */
+    const std::uint8_t *raw(std::size_t n);
 
     /** False once any read ran past the end. */
     bool ok() const { return ok_; }

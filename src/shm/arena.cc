@@ -1,7 +1,5 @@
 #include "shm/arena.h"
 
-#include <limits>
-
 #include "base/logging.h"
 
 namespace lake::shm {
@@ -9,13 +7,30 @@ namespace lake::shm {
 ShmArena::ShmArena(std::size_t capacity) : region_(roundUp(capacity))
 {
     LAKE_ASSERT(capacity > 0, "arena capacity must be positive");
-    free_by_offset_.emplace(0, region_.size());
+    insertFree(0, region_.size());
 }
 
 std::size_t
 ShmArena::roundUp(std::size_t n)
 {
     return (n + kAlign - 1) / kAlign * kAlign;
+}
+
+void
+ShmArena::insertFree(ShmOffset offset, std::size_t size)
+{
+    auto [it, ok] = free_by_offset_.emplace(offset, size);
+    (void)it;
+    LAKE_ASSERT(ok, "free-block collision at shm offset %llu",
+                static_cast<unsigned long long>(offset));
+    free_by_size_.emplace(size, offset);
+}
+
+void
+ShmArena::eraseFree(ShmOffset offset, std::size_t size)
+{
+    free_by_offset_.erase(offset);
+    free_by_size_.erase({size, offset});
 }
 
 ShmOffset
@@ -26,26 +41,18 @@ ShmArena::alloc(std::size_t bytes)
     std::size_t need = roundUp(bytes);
     std::lock_guard<std::mutex> lock(mu_);
 
-    // Best fit: the smallest free block that satisfies the request.
-    auto best = free_by_offset_.end();
-    std::size_t best_size = std::numeric_limits<std::size_t>::max();
-    for (auto it = free_by_offset_.begin(); it != free_by_offset_.end();
-         ++it) {
-        if (it->second >= need && it->second < best_size) {
-            best = it;
-            best_size = it->second;
-            if (best_size == need)
-                break; // exact fit cannot be beaten
-        }
-    }
-    if (best == free_by_offset_.end())
+    // Best fit in O(log n): the (size, offset) ordering makes the
+    // first block at or past (need, 0) the smallest sufficient block,
+    // lowest offset among equal sizes — the same block the original
+    // linear scan over free_by_offset_ selected.
+    auto best = free_by_size_.lower_bound({need, 0});
+    if (best == free_by_size_.end())
         return kNullOffset;
 
-    ShmOffset offset = best->first;
-    std::size_t block = best->second;
-    free_by_offset_.erase(best);
+    auto [block, offset] = *best;
+    eraseFree(offset, block);
     if (block > need)
-        free_by_offset_.emplace(offset + need, block - need);
+        insertFree(offset + need, block - need);
 
     live_.emplace(offset, need);
     used_ += need;
@@ -63,25 +70,26 @@ ShmArena::free(ShmOffset offset)
     live_.erase(it);
     used_ -= size;
 
-    auto [ins, ok] = free_by_offset_.emplace(offset, size);
-    LAKE_ASSERT(ok, "double free at shm offset %llu",
-                static_cast<unsigned long long>(offset));
+    // Coalesce with both neighbours before inserting, so each index
+    // sees exactly one update for the merged block.
+    ShmOffset start = offset;
+    std::size_t len = size;
 
-    // Coalesce with the following block.
-    auto next = std::next(ins);
-    if (next != free_by_offset_.end() &&
-        ins->first + ins->second == next->first) {
-        ins->second += next->second;
-        free_by_offset_.erase(next);
+    auto next = free_by_offset_.lower_bound(offset);
+    if (next != free_by_offset_.end() && offset + size == next->first) {
+        len += next->second;
+        eraseFree(next->first, next->second);
     }
-    // Coalesce with the preceding block.
-    if (ins != free_by_offset_.begin()) {
-        auto prev = std::prev(ins);
-        if (prev->first + prev->second == ins->first) {
-            prev->second += ins->second;
-            free_by_offset_.erase(ins);
+    auto after = free_by_offset_.upper_bound(offset);
+    if (after != free_by_offset_.begin()) {
+        auto prev = std::prev(after);
+        if (prev->first + prev->second == offset) {
+            start = prev->first;
+            len += prev->second;
+            eraseFree(prev->first, prev->second);
         }
     }
+    insertFree(start, len);
 }
 
 bool
@@ -131,10 +139,8 @@ std::size_t
 ShmArena::largestFree() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    std::size_t best = 0;
-    for (const auto &[off, size] : free_by_offset_)
-        best = std::max(best, size);
-    return best;
+    // The size index keeps blocks sorted, so the answer is its tail.
+    return free_by_size_.empty() ? 0 : free_by_size_.rbegin()->first;
 }
 
 } // namespace lake::shm

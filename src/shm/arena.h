@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace lake::shm {
@@ -51,7 +53,11 @@ class ShmArena
     ShmArena &operator=(const ShmArena &) = delete;
 
     /**
-     * Allocates @p bytes using best-fit.
+     * Allocates @p bytes using best-fit: the smallest free block that
+     * satisfies the request, lowest offset among equals. Served from a
+     * size-ordered index in O(log n) — placement is bit-identical to
+     * the original linear scan over the offset map (the property test
+     * in shm_test.cc holds the two algorithms together).
      * @return offset of the new buffer, or kNullOffset when no free
      *         block is large enough.
      */
@@ -99,10 +105,22 @@ class ShmArena
     /** Rounds a size up to the allocation alignment. */
     static std::size_t roundUp(std::size_t n);
 
+    /** Inserts a free block into both indexes. */
+    void insertFree(ShmOffset offset, std::size_t size);
+    /** Removes a free block from both indexes. */
+    void eraseFree(ShmOffset offset, std::size_t size);
+
     mutable std::mutex mu_;
     std::vector<std::uint8_t> region_;
     /** Free blocks by offset, for neighbour coalescing. */
     std::map<ShmOffset, std::size_t> free_by_offset_;
+    /**
+     * The same free blocks ordered by (size, offset): lower_bound on
+     * (need, 0) lands on the best-fit block — smallest sufficient
+     * size, lowest offset among equal sizes — in O(log n), exactly the
+     * block the linear scan used to pick.
+     */
+    std::set<std::pair<std::size_t, ShmOffset>> free_by_size_;
     /**
      * Live allocation sizes (rounded) by offset. Ordered so
      * validRange can find the allocation containing an arbitrary

@@ -141,6 +141,148 @@ TEST_P(ShmArenaPropertyTest, RandomAllocFreeNeverCorrupts)
 INSTANTIATE_TEST_SUITE_P(Seeds, ShmArenaPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
+// ---------------------------------------------------------------------
+// Placement equivalence: the size-ordered free index must pick the
+// exact block the original linear scan picked
+// ---------------------------------------------------------------------
+
+/**
+ * The seed allocator, reimplemented verbatim as a reference model: a
+ * linear best-fit scan over an offset-ordered free list (first block
+ * wins ties, i.e. lowest offset among equal sizes), split on alloc,
+ * both-neighbour coalescing on free. ShmArena's O(log n) index must
+ * return bit-identical offsets against this for any traffic, or the
+ * layout — and every shm pointer a real workload derives from it —
+ * silently changes.
+ */
+class ReferenceLinearArena
+{
+  public:
+    explicit ReferenceLinearArena(std::size_t capacity)
+        : capacity_(roundUp(capacity))
+    {
+        free_.emplace(0, capacity_);
+    }
+
+    ShmOffset
+    alloc(std::size_t bytes)
+    {
+        if (bytes == 0)
+            bytes = 1;
+        std::size_t need = roundUp(bytes);
+        auto best = free_.end();
+        std::size_t best_size = ~std::size_t{0};
+        for (auto it = free_.begin(); it != free_.end(); ++it) {
+            if (it->second >= need && it->second < best_size) {
+                best = it;
+                best_size = it->second;
+                if (best_size == need)
+                    break;
+            }
+        }
+        if (best == free_.end())
+            return kNullOffset;
+        ShmOffset offset = best->first;
+        std::size_t block = best->second;
+        free_.erase(best);
+        if (block > need)
+            free_.emplace(offset + need, block - need);
+        live_.emplace(offset, need);
+        return offset;
+    }
+
+    void
+    free(ShmOffset offset)
+    {
+        auto it = live_.find(offset);
+        ASSERT_NE(it, live_.end());
+        auto [ins, ok] = free_.emplace(offset, it->second);
+        ASSERT_TRUE(ok);
+        live_.erase(it);
+        auto next = std::next(ins);
+        if (next != free_.end() && ins->first + ins->second == next->first) {
+            ins->second += next->second;
+            free_.erase(next);
+        }
+        if (ins != free_.begin()) {
+            auto prev = std::prev(ins);
+            if (prev->first + prev->second == ins->first) {
+                prev->second += ins->second;
+                free_.erase(ins);
+            }
+        }
+    }
+
+    std::size_t
+    largestFree() const
+    {
+        std::size_t best = 0;
+        for (const auto &[off, size] : free_)
+            best = std::max(best, size);
+        return best;
+    }
+
+  private:
+    static std::size_t
+    roundUp(std::size_t n)
+    {
+        return (n + ShmArena::kAlign - 1) / ShmArena::kAlign *
+               ShmArena::kAlign;
+    }
+
+    std::size_t capacity_;
+    std::map<ShmOffset, std::size_t> free_;
+    std::map<ShmOffset, std::size_t> live_;
+};
+
+class ShmArenaEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ShmArenaEquivalenceTest, IndexMatchesLinearBestFitExactly)
+{
+    ShmArena arena(1 << 18);
+    ReferenceLinearArena ref(1 << 18);
+    Rng rng(GetParam());
+    std::vector<ShmOffset> live;
+
+    for (int step = 0; step < 4000; ++step) {
+        bool do_alloc = live.empty() || rng.chance(0.55);
+        if (do_alloc) {
+            // Mix tiny, page-ish and huge requests so splits, exact
+            // fits and exhaustion all occur.
+            std::size_t size = rng.chance(0.1)
+                                   ? rng.uniformInt(1, 1 << 17)
+                                   : rng.uniformInt(1, 4096);
+            ShmOffset got = arena.alloc(size);
+            ShmOffset want = ref.alloc(size);
+            ASSERT_EQ(got, want) << "step " << step << " size " << size;
+            if (got != kNullOffset)
+                live.push_back(got);
+        } else {
+            std::size_t idx = rng.uniformInt(0, live.size() - 1);
+            ShmOffset off = live[idx];
+            arena.free(off);
+            ref.free(off);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        if (step % 64 == 0) {
+            ASSERT_EQ(arena.largestFree(), ref.largestFree());
+        }
+    }
+    for (ShmOffset off : live) {
+        arena.free(off);
+        ref.free(off);
+    }
+    EXPECT_EQ(arena.largestFree(), ref.largestFree());
+    EXPECT_EQ(arena.largestFree(), arena.capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShmArenaEquivalenceTest,
+                         ::testing::Values(2, 3, 5, 7, 11, 13));
+
 TEST(ShmArenaTest, ValidRangeTracksLiveAllocations)
 {
     ShmArena arena(1 << 16);
