@@ -121,6 +121,19 @@ class JsonWriter
         return *this;
     }
 
+    /**
+     * Splices pre-serialized JSON in as a value, verbatim. Lets a
+     * harness embed a document produced elsewhere (e.g. the
+     * obs::metricsJsonObject() block) without re-walking it.
+     */
+    JsonWriter &
+    rawValue(const std::string &json)
+    {
+        sep();
+        out_ += json;
+        return *this;
+    }
+
     /** The serialized document so far. */
     const std::string &str() const { return out_; }
 

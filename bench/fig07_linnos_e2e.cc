@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/obs.h"
 #include "storage/e2e.h"
 #include "storage/linnos.h"
 
@@ -104,5 +105,17 @@ main()
         "stress devices in dissimilar ways improve under both LinnOS "
         "and LAKE, and the ML benefit is preserved under GPU "
         "acceleration; LAKE gains on high-IOPS workloads from batching");
+
+    // Opt-in tracing: when LAKE_OBS_TRACE names a file, the Lake
+    // instances runE2e boots recorded the remoting lifecycle (the
+    // configure() env hook enables the tracer); dump the Chrome trace
+    // there. Reported on stderr so stdout stays byte-identical.
+    if (const char *trace_path = obs::envTracePath()) {
+        Status s = obs::writeChromeTrace(trace_path);
+        std::fprintf(stderr, "%s\n",
+                     s.isOk() ? (std::string("wrote trace ") + trace_path)
+                                    .c_str()
+                              : s.message().c_str());
+    }
     return 0;
 }

@@ -34,6 +34,8 @@
 #include "gpu/device.h"
 #include "gpu/kernels.h"
 #include "gpu/spec.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "remote/daemon.h"
 #include "remote/lakelib.h"
 #include "shm/arena.h"
@@ -201,6 +203,14 @@ runWorkload(bool pipelined, std::size_t max_batch, std::size_t bursts,
         out.batches = rig.lib.batchesFlushed();
         out.virt_elapsed = rig.clock.now() - virt0;
         out.host_sec = rep == 0 ? sec : std::min(out.host_sec, sec);
+
+        // When the metrics registry is live (the extra unmeasured
+        // observability rep only — measured runs keep it off), mirror
+        // both sides' counters before the rig dies.
+        if (obs::Metrics::global().enabled()) {
+            rig.lib.publishMetrics();
+            rig.daemon.publishMetrics();
+        }
     }
     return out;
 }
@@ -303,6 +313,18 @@ main(int argc, char **argv)
     json.key("host_speedup").value(speedup);
     json.key("doorbell_reduction").value(doorbell_ratio);
     json.key("virtual_time_reduction").value(virt_ratio);
+
+    // One extra, unmeasured repetition per mode with the metrics
+    // registry enabled populates the per-stage (rpc/send/dispatch/
+    // execute) per-API latency histograms. Every measured run above
+    // kept observability off, so the numbers it reports are identical
+    // to a build without the instrumentation.
+    obs::Metrics::global().reset();
+    obs::Metrics::global().setEnabled(true);
+    runWorkload(false, max_batch, smoke ? 4 : 20, burst_len, 1);
+    runWorkload(true, max_batch, smoke ? 4 : 20, burst_len, 1);
+    obs::Metrics::global().setEnabled(false);
+    json.key("metrics").rawValue(obs::metricsJsonObject());
     json.endObject();
 
     bool wrote = json.writeFile(out_path);

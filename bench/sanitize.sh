@@ -36,3 +36,9 @@ ctest --test-dir "$BUILD" --output-on-failure "$@"
 # drive the batched fast path end to end, so a wire/allocator bug
 # surfaces here even if no unit test names it.
 ctest --test-dir "$BUILD" --output-on-failure -L perf
+
+# The observability suite (ctest -L obs) exercises the tracer's
+# cross-thread ring merge and the lock-free metrics families — exactly
+# the code TSan/ASan should sweep even though the default-off path
+# makes it invisible to the rest of the suite.
+ctest --test-dir "$BUILD" --output-on-failure -L obs

@@ -70,6 +70,12 @@ MovingAverage::add(double x)
     if (buf_.size() > window_) {
         sum_ -= buf_.front();
         buf_.pop_front();
+        if (++evictions_ >= kRederivePeriod) {
+            evictions_ = 0;
+            sum_ = 0.0;
+            for (double v : buf_)
+                sum_ += v;
+        }
     }
     return value();
 }
@@ -87,6 +93,7 @@ MovingAverage::reset()
 {
     buf_.clear();
     sum_ = 0.0;
+    evictions_ = 0;
 }
 
 void
@@ -112,13 +119,27 @@ double
 BusyTracker::utilization(Nanos now, Nanos window) const
 {
     LAKE_ASSERT(window > 0, "utilization window must be positive");
+    max_window_ = std::max(max_window_, window);
     Nanos lo = now > window ? now - window : 0;
+    // Probe times are monotone in every caller, so a span that ended
+    // before now - (largest window ever asked for) cannot intersect
+    // this probe or any later one; drop such spans here rather than
+    // relying on an explicit compact() call nobody makes.
+    Nanos keep = now > max_window_ ? now - max_window_ : 0;
+    while (!spans_.empty() && spans_.front().end <= keep)
+        spans_.pop_front();
+    // Spans are start-ordered and never nest, so their ends are ordered
+    // too: binary-search past everything that ends at or before lo
+    // instead of rescanning the whole busy history each probe.
+    auto it = std::partition_point(
+        spans_.begin(), spans_.end(),
+        [lo](const Span &s) { return s.end <= lo; });
     Nanos busy = 0;
-    for (const Span &s : spans_) {
-        if (s.end <= lo || s.start >= now)
-            continue;
-        Nanos a = std::max(s.start, lo);
-        Nanos b = std::min(s.end, now);
+    for (; it != spans_.end(); ++it) {
+        if (it->start >= now)
+            break; // starts are ordered: nothing later intersects
+        Nanos a = std::max(it->start, lo);
+        Nanos b = std::min(it->end, now);
         busy += b - a;
     }
     Nanos span = now - lo;

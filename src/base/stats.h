@@ -61,7 +61,15 @@ class PercentileTracker
 {
   public:
     /** Adds one sample. */
-    void add(double x) { samples_.push_back(x); }
+    void
+    add(double x)
+    {
+        samples_.push_back(x);
+        // A sample appended after a percentile() call lands past the
+        // sorted prefix; the flag must drop or later queries would
+        // interpolate over partially-sorted data.
+        sorted_ = false;
+    }
 
     /**
      * Returns the p-th percentile (p in [0, 100]) by linear
@@ -105,9 +113,19 @@ class MovingAverage
     void reset();
 
   private:
+    /**
+     * Evictions between exact re-derivations of sum_. Incremental
+     * add/subtract accumulates float error (catastrophically so when a
+     * large outlier leaves the window); re-summing the — small — window
+     * every period bounds the drift to what at most kRederivePeriod
+     * updates can introduce, while keeping add() O(1) amortized.
+     */
+    static constexpr std::size_t kRederivePeriod = 1024;
+
     std::size_t window_;
     std::deque<double> buf_;
     double sum_ = 0.0;
+    std::size_t evictions_ = 0; //!< since the last re-derivation
 };
 
 /**
@@ -126,6 +144,14 @@ class BusyTracker
     /**
      * Percent of [now - window, now] that was busy, in [0, 100].
      * Spans only partially inside the window count partially.
+     *
+     * The probe also bounds memory: spans that ended before
+     * now - max(window ever probed) can never contribute to a later
+     * query (probe times are monotone in every caller), so they are
+     * compacted away here — the scan then starts at the first span
+     * still inside the window (binary search; spans are start-ordered
+     * and non-nesting, so ends are ordered too) instead of walking the
+     * whole busy history.
      */
     double utilization(Nanos now, Nanos window) const;
 
@@ -134,6 +160,9 @@ class BusyTracker
 
     /** Drops spans that ended before @p horizon to bound memory. */
     void compact(Nanos horizon);
+
+    /** Spans currently retained (memory-bound probe, for tests). */
+    std::size_t spanCount() const { return spans_.size(); }
 
     /** Clears all state. */
     void reset();
@@ -145,7 +174,15 @@ class BusyTracker
         Nanos end;
     };
 
-    std::deque<Span> spans_;
+    /**
+     * Mutable: utilization() is logically const (same value as an
+     * uncompacted scan) but physically drops spans no future probe can
+     * observe. Trackers are probed from one execution context at a
+     * time (device timelines, sim resources), like the rest of the
+     * class.
+     */
+    mutable std::deque<Span> spans_;
+    mutable Nanos max_window_ = 0; //!< largest window ever probed
     Nanos total_busy_ = 0;
 };
 

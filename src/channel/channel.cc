@@ -3,8 +3,40 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "obs/trace.h"
 
 namespace lake::channel {
+namespace {
+
+/** Emits one instant per fault class the injector realised. */
+void
+traceFaults(const FaultInjector::Outcome &out, bool kernel_to_user,
+            Nanos now, std::size_t bytes)
+{
+    auto &tr = obs::Tracer::global();
+    if (!tr.enabled())
+        return;
+    // Attribute the fault to the sending side so it lands on the same
+    // trace lane as the message it mangled.
+    obs::Side side = kernel_to_user ? obs::Side::Kernel : obs::Side::Daemon;
+    if (out.drop)
+        tr.instant(side, "fault", "fault.drop", now, obs::kNoId, "bytes",
+                   bytes);
+    if (out.truncated)
+        tr.instant(side, "fault", "fault.truncate", now, obs::kNoId,
+                   "bytes", bytes);
+    if (out.flipped)
+        tr.instant(side, "fault", "fault.bitflip", now, obs::kNoId,
+                   "bytes", bytes);
+    if (out.duplicate)
+        tr.instant(side, "fault", "fault.duplicate", now, obs::kNoId,
+                   "bytes", bytes);
+    if (out.extra_delay > 0)
+        tr.instant(side, "fault", "fault.delay", now, obs::kNoId,
+                   "extra_ns", out.extra_delay);
+}
+
+} // namespace
 
 const char *
 kindName(Kind k)
@@ -104,8 +136,11 @@ Channel::send(Dir dir, std::vector<std::uint8_t> payload)
     Nanos extra_delay = 0;
     bool duplicate = false;
     if (faults_ && faults_->armed()) {
+        std::size_t sent_bytes = payload.size();
         FaultInjector::Outcome out =
             faults_->apply(dir == Dir::KernelToUser, payload);
+        traceFaults(out, dir == Dir::KernelToUser, clock_.now(),
+                    sent_bytes);
         if (out.drop)
             return; // vanished in transit; the sender already paid
         extra_delay = out.extra_delay;

@@ -34,6 +34,7 @@ FaultInjector::apply(bool kernel_to_user, std::vector<std::uint8_t> &payload)
         ++truncated_;
         payload.resize(static_cast<std::size_t>(
             rng_.uniformInt(0, payload.size() - 1)));
+        out.truncated = true;
         return out;
     }
     if (!payload.empty() && rng_.chance(spec_.bitflip)) {
@@ -41,6 +42,7 @@ FaultInjector::apply(bool kernel_to_user, std::vector<std::uint8_t> &payload)
         std::uint64_t bit = rng_.uniformInt(0, payload.size() * 8 - 1);
         payload[static_cast<std::size_t>(bit / 8)] ^=
             static_cast<std::uint8_t>(1u << (bit % 8));
+        out.flipped = true;
         return out;
     }
     if (rng_.chance(spec_.duplicate)) {

@@ -60,6 +60,8 @@ class FaultInjector
     {
         bool drop = false;      //!< message never enqueued
         bool duplicate = false; //!< message enqueued twice
+        bool truncated = false; //!< payload was cut short in place
+        bool flipped = false;   //!< one payload bit was flipped
         Nanos extra_delay = 0;  //!< added to the delivery instant
     };
 

@@ -13,6 +13,13 @@ Lake::Lake(LakeConfig config)
       lib_(channel_, arena_, [this] { daemon_.processPending(); }),
       registries_(clock_), kernel_cpu_(clock_, config.cpu)
 {
+    obs::configure(config_.obs);
+    // Bind the tracer to this system's clock while tracing is live
+    // (whether the config or the LAKE_OBS_TRACE environment enabled
+    // it), so clock-less instrumentation sites get real timestamps.
+    bound_tracer_clock_ = obs::Tracer::global().enabled();
+    if (bound_tracer_clock_)
+        obs::Tracer::global().bindClock(&clock_);
     lib_.setRetryPolicy(config.retry);
     lib_.setPipeline(config.pipeline);
     // Latch degraded mode after degrade_threshold consecutive RPC
@@ -31,6 +38,24 @@ Lake::Lake(LakeConfig config)
                  consecutive_failures_, s.message().c_str());
         }
     });
+}
+
+Lake::~Lake()
+{
+    if (!bound_tracer_clock_)
+        return;
+    if (!config_.obs.trace_path.empty())
+        obs::writeChromeTrace(config_.obs.trace_path);
+    obs::Tracer::global().unbindClock();
+}
+
+void
+Lake::publishObs() const
+{
+    if (!obs::Metrics::global().enabled())
+        return;
+    lib_.publishMetrics();
+    daemon_.publishMetrics();
 }
 
 policy::UtilProbe

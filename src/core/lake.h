@@ -25,6 +25,7 @@
 #include "gpu/device.h"
 #include "gpu/spec.h"
 #include "ml/backends.h"
+#include "obs/obs.h"
 #include "policy/policy.h"
 #include "registry/manager.h"
 #include "remote/daemon.h"
@@ -58,6 +59,12 @@ struct LakeConfig
      * opts in).
      */
     remote::PipelineConfig pipeline;
+    /**
+     * Observability (tracing + metrics), default fully off. When
+     * obs.trace is set the Tracer is bound to this Lake's clock so
+     * clock-less instrumentation sites can timestamp their events.
+     */
+    obs::ObsConfig obs;
 };
 
 /** Remoting-health counters surfaced for tests and benches. */
@@ -81,6 +88,13 @@ class Lake
   public:
     /** Boots with the given configuration. */
     explicit Lake(LakeConfig config = LakeConfig{});
+
+    /**
+     * Unbinds the Tracer from this Lake's clock (if the config bound
+     * it) and, when the config names a trace_path, writes the Chrome
+     * trace there so a crashing bench still leaves its trace behind.
+     */
+    ~Lake();
 
     /** The system-wide virtual clock. */
     Clock &clock() { return clock_; }
@@ -151,6 +165,13 @@ class Lake
 
     /// @}
 
+    /**
+     * Mirrors both sides' remoting counters (lakeLib and lakeD) into
+     * the obs::Metrics registry. Call right before exporting metrics;
+     * a no-op while metrics are disabled.
+     */
+    void publishObs() const;
+
   private:
     LakeConfig config_;
     Clock clock_;
@@ -166,6 +187,8 @@ class Lake
     std::size_t consecutive_failures_ = 0;
     bool degraded_ = false;
     std::uint64_t fallbacks_ = 0;
+    /** True while the global Tracer is bound to this Lake's clock. */
+    bool bound_tracer_clock_ = false;
 };
 
 } // namespace lake::core

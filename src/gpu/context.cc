@@ -4,8 +4,28 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "obs/trace.h"
 
 namespace lake::gpu {
+namespace {
+
+/**
+ * Emits the engine reservation as a device-lane trace span. The span
+ * carries the engine's own timeline ([start, end) in virtual time),
+ * which may sit ahead of the caller's clock for async work.
+ */
+void
+traceEngineSpan(const char *name, const EngineSpan &span,
+                std::uint64_t stream, std::uint64_t bytes_or_grid)
+{
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.span(obs::Side::Gpu, "gpu", name, span.start,
+                span.end - span.start, obs::kNoId, "stream", stream,
+                "arg", bytes_or_grid);
+}
+
+} // namespace
 
 GpuContext::GpuContext(Device &device, Clock &clock)
     : device_(device), clock_(clock)
@@ -41,6 +61,7 @@ GpuContext::memcpyHtoD(DevicePtr dst, const void *src, std::size_t bytes)
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[0] = span.end;
     clock_.advanceTo(span.end);
+    traceEngineSpan("dma.htod", span, 0, bytes);
     return CuResult::Success;
 }
 
@@ -59,6 +80,7 @@ GpuContext::memcpyDtoH(void *dst, DevicePtr src, std::size_t bytes)
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[0] = span.end;
     clock_.advanceTo(span.end);
+    traceEngineSpan("dma.dtoh", span, 0, bytes);
     return CuResult::Success;
 }
 
@@ -77,6 +99,7 @@ GpuContext::memcpyHtoDAsync(DevicePtr dst, const void *src,
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[stream] = span.end;
+    traceEngineSpan("dma.htod_async", span, stream, bytes);
     return CuResult::Success;
 }
 
@@ -92,6 +115,7 @@ GpuContext::memcpyDtoHAsync(void *dst, DevicePtr src, std::size_t bytes,
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[stream] = span.end;
+    traceEngineSpan("dma.dtoh_async", span, stream, bytes);
     return CuResult::Success;
 }
 
@@ -117,6 +141,7 @@ GpuContext::launchKernel(const LaunchConfig &cfg, StreamId stream)
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCompute(at, duration);
     stream_ready_[stream] = span.end;
+    traceEngineSpan("kernel", span, stream, cfg.grid_x);
     return CuResult::Success;
 }
 

@@ -1,0 +1,292 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace lake::obs {
+namespace {
+
+/** Escapes a string for a JSON literal (names are ASCII literals). */
+std::string
+escape(const char *s)
+{
+    std::string out;
+    for (; s && *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += buf;
+}
+
+/** Virtual ns rendered as microseconds with ns precision. */
+void
+appendMicros(std::string &out, Nanos t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03u", t / 1000,
+                  static_cast<unsigned>(t % 1000));
+    out += buf;
+}
+
+const char *
+sideName(Side s)
+{
+    switch (s) {
+    case Side::Kernel:
+        return "kernel (lakeLib)";
+    case Side::Daemon:
+        return "daemon (lakeD)";
+    case Side::Runtime:
+        return "runtime (policy/registry/shm)";
+    case Side::Gpu:
+        return "device engines";
+    }
+    return "?";
+}
+
+void
+appendArgs(std::string &out, const TraceEvent &e)
+{
+    out += "\"args\":{";
+    bool first = true;
+    if (e.id != kNoId) {
+        out += "\"seq\":";
+        appendU64(out, e.id);
+        first = false;
+    }
+    if (e.arg0_name) {
+        if (!first)
+            out += ",";
+        out += "\"" + escape(e.arg0_name) + "\":";
+        appendU64(out, e.arg0);
+        first = false;
+    }
+    if (e.arg1_name) {
+        if (!first)
+            out += ",";
+        out += "\"" + escape(e.arg1_name) + "\":";
+        appendU64(out, e.arg1);
+    }
+    out += "}";
+}
+
+void
+appendHistogram(std::string &out, const Histogram &h)
+{
+    out += "{\"count\":";
+    appendU64(out, h.count());
+    out += ",\"sum\":";
+    appendU64(out, h.sum());
+    out += ",\"max\":";
+    appendU64(out, h.max());
+    out += ",\"buckets\":[";
+    bool first = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+        std::uint64_t n = h.bucketCount(i);
+        if (n == 0)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"lo\":";
+        appendU64(out, Histogram::bucketLo(i));
+        out += ",\"n\":";
+        appendU64(out, n);
+        out += "}";
+    }
+    out += "]}";
+}
+
+Status
+writeFile(const std::string &path, const std::string &body)
+{
+    std::ofstream f(path, std::ios::trunc);
+    if (!f)
+        return Status(Code::Internal, "cannot open " + path);
+    f << body;
+    f.close();
+    if (!f)
+        return Status(Code::Internal, "write failed: " + path);
+    return Status::ok();
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    out.reserve(events.size() * 128 + 1024);
+    out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    // One process-name metadata record per side present in the trace.
+    bool seen[5] = {};
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        auto pid = static_cast<unsigned>(e.side);
+        if (pid < 5 && !seen[pid]) {
+            seen[pid] = true;
+            if (!first)
+                out += ",";
+            first = false;
+            out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+            appendU64(out, pid);
+            out += ",\"tid\":0,\"args\":{\"name\":\"";
+            out += escape(sideName(e.side));
+            out += "\"}}";
+        }
+    }
+    for (const TraceEvent &e : events) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"name\":\"" + escape(e.name) + "\"";
+        out += ",\"cat\":\"" + escape(e.cat) + "\"";
+        if (e.instant) {
+            out += ",\"ph\":\"i\",\"s\":\"t\"";
+        } else {
+            out += ",\"ph\":\"X\",\"dur\":";
+            appendMicros(out, e.dur);
+        }
+        out += ",\"pid\":";
+        appendU64(out, static_cast<unsigned>(e.side));
+        out += ",\"tid\":";
+        appendU64(out, e.tid);
+        out += ",\"ts\":";
+        appendMicros(out, e.ts);
+        out += ",";
+        appendArgs(out, e);
+        out += "}";
+    }
+    out += "]}\n";
+    return out;
+}
+
+Status
+writeChromeTrace(const std::string &path)
+{
+    return writeFile(path, chromeTraceJson(Tracer::global().snapshot()));
+}
+
+std::string
+metricsJsonObject(const Metrics &m)
+{
+    std::string out = "{\"counters\":{";
+
+    struct NamedCounter
+    {
+        const char *name;
+        const Counter *c;
+    };
+    const NamedCounter fixed_counters[] = {
+        {"shm.allocs", &m.shm_allocs},
+        {"shm.frees", &m.shm_frees},
+        {"shm.alloc_failures", &m.shm_alloc_failures},
+        {"policy.decide_cpu", &m.policy_decide_cpu},
+        {"policy.decide_gpu", &m.policy_decide_gpu},
+        {"policy.fallback_overrides", &m.policy_fallback_overrides},
+        {"registry.capture_begins", &m.reg_capture_begins},
+        {"registry.features_captured", &m.reg_features_captured},
+        {"registry.commits", &m.reg_commits},
+        {"registry.scores", &m.reg_scores},
+    };
+    bool first = true;
+    for (const auto &[name, c] : fixed_counters) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + std::string(name) + "\":";
+        appendU64(out, c->get());
+    }
+    for (const std::string &name : m.counterNames()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + name + "\":";
+        appendU64(out, m.findCounter(name)->get());
+    }
+    out += "},\"gauges\":{";
+    out += "\"shm.used_bytes\":";
+    appendU64(out, m.shm_used_bytes.get());
+    out += ",\"shm.live_allocs\":";
+    appendU64(out, m.shm_live_allocs.get());
+    for (const std::string &name : m.gaugeNames()) {
+        out += ",\"" + name + "\":";
+        appendU64(out, m.findGauge(name)->get());
+    }
+    out += "},\"histograms\":{";
+
+    struct NamedHist
+    {
+        const char *name;
+        const Histogram *h;
+    };
+    const NamedHist hists[] = {
+        {"shm.alloc_bytes", &m.shm_alloc_bytes},
+        {"policy.util_permille", &m.policy_util_permille},
+        {"registry.fv_len", &m.reg_fv_len},
+    };
+    first = true;
+    for (const auto &[name, h] : hists) {
+        if (h->count() == 0)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + std::string(name) + "\":";
+        appendHistogram(out, *h);
+    }
+    out += "},\"stages\":{";
+    first = true;
+    for (std::size_t s = 0; s < static_cast<std::size_t>(Stage::kCount); ++s) {
+        const ApiHistograms &fam = m.stage(static_cast<Stage>(s));
+        bool any = false;
+        for (std::uint32_t a = 0; a < ApiHistograms::kMaxApi; ++a)
+            if (fam.at(a).count() > 0 && fam.nameAt(a))
+                any = true;
+        if (!any)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + std::string(stageName(static_cast<Stage>(s))) + "\":{";
+        bool first_api = true;
+        for (std::uint32_t a = 0; a < ApiHistograms::kMaxApi; ++a) {
+            if (fam.at(a).count() == 0 || !fam.nameAt(a))
+                continue;
+            if (!first_api)
+                out += ",";
+            first_api = false;
+            out += "\"" + escape(fam.nameAt(a)) + "\":";
+            appendHistogram(out, fam.at(a));
+        }
+        out += "}";
+    }
+    out += "}}";
+    return out;
+}
+
+Status
+writeMetricsJson(const std::string &path, const Metrics &m)
+{
+    return writeFile(path, metricsJsonObject(m) + "\n");
+}
+
+} // namespace lake::obs

@@ -1,0 +1,49 @@
+#ifndef LAKE_OBS_EXPORT_H
+#define LAKE_OBS_EXPORT_H
+
+/**
+ * @file
+ * Exporters for the trace recorder and metrics registry.
+ *
+ *  - Chrome trace-event JSON: loadable in Perfetto or chrome://tracing.
+ *    Each Side renders as its own process lane (kernel stub, daemon,
+ *    runtime, device), spans carry their command seq as both an "id"
+ *    and an arg so kernel-side and daemon-side halves of the same
+ *    command correlate visually.
+ *  - Metrics JSON: one object with counters, gauges, histograms and
+ *    the per-stage / per-ApiId latency families, shaped so bench
+ *    harnesses can splice it into BENCH_*.json next to the provenance
+ *    block.
+ */
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lake::obs {
+
+/** Renders @p events as a Chrome trace-event JSON document. */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events);
+
+/**
+ * Snapshots the global Tracer and writes the Chrome JSON to @p path.
+ */
+Status writeChromeTrace(const std::string &path);
+
+/**
+ * Serializes @p m as one JSON object (no trailing newline), suitable
+ * for embedding under a "metrics" key in a larger document. Empty
+ * histograms and stages are omitted.
+ */
+std::string metricsJsonObject(const Metrics &m = Metrics::global());
+
+/** Writes the metrics object (plus newline) to @p path. */
+Status writeMetricsJson(const std::string &path,
+                        const Metrics &m = Metrics::global());
+
+} // namespace lake::obs
+
+#endif // LAKE_OBS_EXPORT_H

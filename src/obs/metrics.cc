@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+namespace lake::obs {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+    case Stage::Rpc:
+        return "rpc";
+    case Stage::Send:
+        return "send";
+    case Stage::Dispatch:
+        return "dispatch";
+    case Stage::Execute:
+        return "execute";
+    case Stage::kCount:
+        break;
+    }
+    return "?";
+}
+
+Metrics &
+Metrics::global()
+{
+    static Metrics m;
+    return m;
+}
+
+Counter &
+Metrics::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(named_mu_);
+    return counters_[name];
+}
+
+Gauge &
+Metrics::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(named_mu_);
+    return gauges_[name];
+}
+
+std::vector<std::string>
+Metrics::counterNames() const
+{
+    std::lock_guard<std::mutex> lock(named_mu_);
+    std::vector<std::string> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        out.push_back(name);
+    return out;
+}
+
+std::vector<std::string>
+Metrics::gaugeNames() const
+{
+    std::lock_guard<std::mutex> lock(named_mu_);
+    std::vector<std::string> out;
+    out.reserve(gauges_.size());
+    for (const auto &[name, g] : gauges_)
+        out.push_back(name);
+    return out;
+}
+
+const Counter *
+Metrics::findCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(named_mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge *
+Metrics::findGauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(named_mu_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+}
+
+void
+Metrics::reset()
+{
+    shm_allocs.reset();
+    shm_frees.reset();
+    shm_alloc_failures.reset();
+    shm_used_bytes.reset();
+    shm_live_allocs.reset();
+    shm_alloc_bytes.reset();
+    policy_decide_cpu.reset();
+    policy_decide_gpu.reset();
+    policy_fallback_overrides.reset();
+    policy_util_permille.reset();
+    reg_capture_begins.reset();
+    reg_features_captured.reset();
+    reg_commits.reset();
+    reg_scores.reset();
+    reg_fv_len.reset();
+    for (auto &s : stages_)
+        s.reset();
+    std::lock_guard<std::mutex> lock(named_mu_);
+    for (auto &[name, c] : counters_)
+        c.reset();
+    for (auto &[name, g] : gauges_)
+        g.reset();
+}
+
+} // namespace lake::obs

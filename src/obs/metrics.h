@@ -1,0 +1,268 @@
+#ifndef LAKE_OBS_METRICS_H
+#define LAKE_OBS_METRICS_H
+
+/**
+ * @file
+ * Central metrics registry: counters, gauges and fixed-memory
+ * log-bucketed histograms.
+ *
+ * Two tiers with different lookup costs:
+ *
+ *  - Hot-path families are plain members (shm, policy, registry
+ *    counters and the per-ApiId stage histograms): instrumented sites
+ *    touch fixed storage with no name lookup and no allocation, gated
+ *    on a single relaxed load so the disabled path costs one branch.
+ *  - Name-keyed counters/gauges (`counter("remote.calls")`) back the
+ *    RemoteStats facade and anything a bench wants to publish ad hoc;
+ *    lookup allocates on first use only and callers are expected to
+ *    cache the returned reference if they are hot.
+ *
+ * Everything is fixed-memory after registration: a histogram is 64
+ * power-of-two buckets regardless of how many samples it absorbs.
+ */
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lake::obs {
+
+/** Monotonic counter. Relaxed atomics; exact under quiescence. */
+class Counter
+{
+  public:
+    void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+    /** Facade overwrite, for mirroring externally-owned counters. */
+    void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+    std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+    std::uint64_t get() const { return v_.load(std::memory_order_relaxed); }
+    void reset() { v_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/**
+ * Log-bucketed histogram over unsigned samples (typically nanoseconds
+ * or byte counts). Bucket i >= 1 holds values whose bit width is i,
+ * i.e. [2^(i-1), 2^i); bucket 0 holds only zero. 64 buckets cover the
+ * full uint64 range in fixed memory.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 64;
+
+    /** Bucket index for a value: its bit width, clamped. */
+    static int
+    bucketOf(std::uint64_t v)
+    {
+        return std::min<int>(std::bit_width(v), kBuckets - 1);
+    }
+
+    /** Smallest value that lands in bucket @p i. */
+    static std::uint64_t
+    bucketLo(int i)
+    {
+        return i == 0 ? 0 : 1ull << (i - 1);
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        counts_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        std::uint64_t prev = max_.load(std::memory_order_relaxed);
+        while (v > prev &&
+               !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed))
+            ;
+    }
+
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+    std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+    std::uint64_t
+    bucketCount(int i) const
+    {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> counts_[kBuckets]{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/** Remoting lifecycle stages with per-ApiId latency histograms. */
+enum class Stage : std::uint8_t
+{
+    Rpc = 0,      //!< kernel-side call issue -> response (or timeout)
+    Send,         //!< kernel-side marshal + channel send
+    Dispatch,     //!< daemon-side decode + dispatch
+    Execute,      //!< daemon-side API body execution
+    kCount,
+};
+
+/** Display name for a stage. */
+const char *stageName(Stage s);
+
+/**
+ * Latency histograms keyed by ApiId within one stage. Fixed array:
+ * the remoting wire has a small closed set of API ids. The API name
+ * is borrowed from the caller (a literal from wire.h's apiName) so
+ * this layer does not depend on remote/.
+ */
+class ApiHistograms
+{
+  public:
+    /** Largest ApiId value storable; larger ids share a spill slot. */
+    static constexpr std::uint32_t kMaxApi = 32;
+
+    /** Records @p v for @p api, remembering its display name. */
+    void
+    record(std::uint32_t api, const char *api_name, std::uint64_t v)
+    {
+        std::uint32_t slot = api < kMaxApi ? api : kMaxApi - 1;
+        names_[slot].store(api_name, std::memory_order_relaxed);
+        hist_[slot].record(v);
+    }
+
+    const Histogram &at(std::uint32_t slot) const { return hist_[slot]; }
+    const char *
+    nameAt(std::uint32_t slot) const
+    {
+        return names_[slot].load(std::memory_order_relaxed);
+    }
+
+    void
+    reset()
+    {
+        for (auto &h : hist_)
+            h.reset();
+    }
+
+  private:
+    Histogram hist_[kMaxApi];
+    std::atomic<const char *> names_[kMaxApi]{};
+};
+
+/**
+ * Process-wide metrics registry. Like the Tracer, disabled by default;
+ * instrumented sites check enabled() (one relaxed load) before
+ * touching any family.
+ */
+class Metrics
+{
+  public:
+    static Metrics &global();
+
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    // ---- hot-path families: fixed storage, no lookup ----
+
+    Counter shm_allocs;
+    Counter shm_frees;
+    Counter shm_alloc_failures;
+    Gauge shm_used_bytes;
+    Gauge shm_live_allocs;
+    Histogram shm_alloc_bytes;
+
+    Counter policy_decide_cpu;
+    Counter policy_decide_gpu;
+    Counter policy_fallback_overrides;
+    Histogram policy_util_permille; //!< utilization input, 0-1000
+
+    Counter reg_capture_begins;
+    Counter reg_features_captured;
+    Counter reg_commits;
+    Counter reg_scores;
+    Histogram reg_fv_len;
+
+    /** Per-ApiId latency histograms for one remoting stage. */
+    ApiHistograms &
+    stage(Stage s)
+    {
+        return stages_[static_cast<std::size_t>(s)];
+    }
+    const ApiHistograms &
+    stage(Stage s) const
+    {
+        return stages_[static_cast<std::size_t>(s)];
+    }
+
+    // ---- name-keyed registry (facade / ad hoc) ----
+
+    /**
+     * Returns the counter registered under @p name, creating it on
+     * first use. Allocation happens only then; hot callers cache the
+     * reference.
+     */
+    Counter &counter(const std::string &name);
+
+    /** Returns the gauge registered under @p name. */
+    Gauge &gauge(const std::string &name);
+
+    /** Registered counter names, sorted (for export). */
+    std::vector<std::string> counterNames() const;
+    /** Registered gauge names, sorted (for export). */
+    std::vector<std::string> gaugeNames() const;
+
+    /** Looks up a counter without creating it; nullptr when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    /** Looks up a gauge without creating it; nullptr when absent. */
+    const Gauge *findGauge(const std::string &name) const;
+
+    /** Zeroes every family and named entry (names stay registered). */
+    void reset();
+
+  private:
+    Metrics() = default;
+
+    std::atomic<bool> enabled_{false};
+    ApiHistograms stages_[static_cast<std::size_t>(Stage::kCount)];
+
+    mutable std::mutex named_mu_;
+    // node-based maps: references stay valid across inserts
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+};
+
+} // namespace lake::obs
+
+#endif // LAKE_OBS_METRICS_H

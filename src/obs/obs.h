@@ -1,0 +1,59 @@
+#ifndef LAKE_OBS_OBS_H
+#define LAKE_OBS_OBS_H
+
+/**
+ * @file
+ * Facade for the observability layer: one config knob that core::Lake
+ * (or a bench) applies to the process-wide Tracer and Metrics.
+ */
+
+#include <cstdlib>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lake::obs {
+
+/**
+ * Observability knobs, carried on core::LakeConfig. Everything
+ * defaults to off: the uninstrumented virtual-time outputs are the
+ * contract, and tracing/metrics only observe, never perturb.
+ */
+struct ObsConfig
+{
+    bool trace = false;   //!< record span/instant events
+    bool metrics = false; //!< maintain counters/gauges/histograms
+    /** When non-empty, Lake writes the Chrome trace here on teardown. */
+    std::string trace_path;
+};
+
+/**
+ * Trace path requested via the LAKE_OBS_TRACE environment variable;
+ * nullptr when unset or empty. Lets a bench opt into tracing without
+ * a command-line flag (its stdout must stay byte-identical).
+ */
+inline const char *
+envTracePath()
+{
+    const char *p = std::getenv("LAKE_OBS_TRACE");
+    return p && *p ? p : nullptr;
+}
+
+/**
+ * Applies @p cfg to the global Tracer and Metrics. The LAKE_OBS_TRACE
+ * environment opt-in also enables tracing, so harnesses whose Lake
+ * instances are constructed deep inside library code (e.g. the e2e
+ * storage rig) can be traced without plumbing a config through.
+ */
+inline void
+configure(const ObsConfig &cfg)
+{
+    Tracer::global().setEnabled(cfg.trace || envTracePath() != nullptr);
+    Metrics::global().setEnabled(cfg.metrics);
+}
+
+} // namespace lake::obs
+
+#endif // LAKE_OBS_OBS_H

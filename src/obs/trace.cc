@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace lake::obs {
+
+Tracer &
+Tracer::global()
+{
+    static Tracer t;
+    return t;
+}
+
+void
+Tracer::record(Side side, const char *cat, const char *name, Nanos ts,
+               Nanos dur, std::uint64_t id, const char *a0n, std::uint64_t a0,
+               const char *a1n, std::uint64_t a1, bool instant)
+{
+    Ring &ring = threadRing();
+    TraceEvent &e = ring.events[ring.next % kRingCapacity];
+    ++ring.next;
+    e.name = name;
+    e.cat = cat;
+    e.arg0_name = a0n;
+    e.arg1_name = a1n;
+    e.arg0 = a0;
+    e.arg1 = a1;
+    e.id = id;
+    e.ts = ts;
+    e.dur = dur;
+    e.order = order_.fetch_add(1, std::memory_order_relaxed);
+    e.tid = ring.tid;
+    e.side = side;
+    e.instant = instant;
+}
+
+Tracer::Ring &
+Tracer::threadRing()
+{
+    // The cached pointer stays valid for the thread's lifetime: rings
+    // are owned by the (never-destroyed) global Tracer and clear()
+    // resets their contents without freeing them.
+    thread_local Ring *ring = nullptr;
+    if (!ring) {
+        std::lock_guard<std::mutex> lock(rings_mu_);
+        rings_.push_back(
+            std::make_unique<Ring>(static_cast<std::uint32_t>(rings_.size())));
+        ring = rings_.back().get();
+    }
+    return *ring;
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    {
+        std::lock_guard<std::mutex> lock(rings_mu_);
+        for (const auto &ring : rings_) {
+            std::uint64_t n = std::min<std::uint64_t>(ring->next,
+                                                      kRingCapacity);
+            std::uint64_t first = ring->next - n;
+            for (std::uint64_t i = 0; i < n; ++i)
+                out.push_back(ring->events[(first + i) % kRingCapacity]);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.order < b.order;
+              });
+    return out;
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    std::uint64_t d = 0;
+    for (const auto &ring : rings_)
+        if (ring->next > kRingCapacity)
+            d += ring->next - kRingCapacity;
+    return d;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    for (auto &ring : rings_)
+        ring->next = 0;
+    order_.store(0, std::memory_order_relaxed);
+}
+
+} // namespace lake::obs

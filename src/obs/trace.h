@@ -1,0 +1,197 @@
+#ifndef LAKE_OBS_TRACE_H
+#define LAKE_OBS_TRACE_H
+
+/**
+ * @file
+ * Low-overhead trace recorder for the remoting lifecycle.
+ *
+ * Design constraints, in priority order:
+ *
+ *  1. The off path must be invisible: every record call starts with a
+ *     single relaxed atomic load and returns. No locks, no allocation,
+ *     no clock reads. With tracing off (the default) the virtual-time
+ *     bench outputs stay byte-identical to an uninstrumented build.
+ *  2. Events never advance virtual time. Call sites pass timestamps
+ *     they already computed (or the recorder reads the bound Clock
+ *     without charging anything); the recorder is an observer only.
+ *  3. No allocation per event. Event names, categories and argument
+ *     names must be string literals (const char* is stored, not
+ *     copied); payloads are scalars. Each thread writes into its own
+ *     fixed-capacity ring, registered once on first use.
+ *
+ * Cross-thread ordering: a global relaxed atomic counter stamps every
+ * event with a program-order sequence number; snapshot() merges the
+ * per-thread rings and sorts by it, so exported traces interleave
+ * threads in the order the events actually happened.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/time.h"
+
+namespace lake::obs {
+
+/**
+ * Which side of the kernel/daemon boundary an event belongs to. Maps
+ * to the "pid" lane in the Chrome trace export so the kernel stub,
+ * user daemon, runtime and device timelines render as separate tracks.
+ */
+enum class Side : std::uint8_t
+{
+    Kernel = 1,  //!< lakeLib, the in-kernel stub side
+    Daemon = 2,  //!< lakeD, the user-space service side
+    Runtime = 3, //!< core runtime: policy, registry, shm
+    Gpu = 4,     //!< device engine timelines
+};
+
+/** Sentinel for events with no correlation id. */
+inline constexpr std::uint64_t kNoId = ~0ull;
+
+/** One recorded event. All strings are borrowed literals. */
+struct TraceEvent
+{
+    const char *name;      //!< event name (literal)
+    const char *cat;       //!< category (literal), e.g. "remote"
+    const char *arg0_name; //!< nullptr when absent
+    const char *arg1_name; //!< nullptr when absent
+    std::uint64_t arg0;
+    std::uint64_t arg1;
+    std::uint64_t id;    //!< correlation id (command seq) or kNoId
+    Nanos ts;            //!< virtual-time start
+    Nanos dur;           //!< span length; 0 for instants
+    std::uint64_t order; //!< global program-order stamp
+    std::uint32_t tid;   //!< recorder thread lane (registration order)
+    Side side;
+    bool instant;
+};
+
+/**
+ * Process-wide trace recorder. Off by default; every record call is a
+ * single predictable branch until setEnabled(true).
+ */
+class Tracer
+{
+  public:
+    /** Events retained per thread; older events are overwritten. */
+    static constexpr std::size_t kRingCapacity = 8192;
+
+    /** The process-wide recorder instance. */
+    static Tracer &global();
+
+    /** Turns recording on or off. Off is the default. */
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /** True when events are being recorded. */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Binds the virtual clock that timestamps events from call sites
+     * that do not carry their own (ShmArena, policies). The pointer is
+     * borrowed; the owner must unbind before the clock dies. Records
+     * made with no clock bound use ts 0.
+     */
+    void
+    bindClock(const Clock *clock)
+    {
+        clock_.store(clock, std::memory_order_release);
+    }
+
+    /** Clears the bound clock. */
+    void unbindClock() { clock_.store(nullptr, std::memory_order_release); }
+
+    /** Current virtual time of the bound clock; 0 when none bound. */
+    Nanos
+    now() const
+    {
+        const Clock *c = clock_.load(std::memory_order_acquire);
+        return c ? c->now() : 0;
+    }
+
+    /**
+     * Records a completed span [begin, begin + dur). No-op when
+     * disabled. All strings must be literals.
+     */
+    void
+    span(Side side, const char *cat, const char *name, Nanos begin, Nanos dur,
+         std::uint64_t id = kNoId, const char *a0n = nullptr,
+         std::uint64_t a0 = 0, const char *a1n = nullptr, std::uint64_t a1 = 0)
+    {
+        if (!enabled_.load(std::memory_order_relaxed))
+            return;
+        record(side, cat, name, begin, dur, id, a0n, a0, a1n, a1, false);
+    }
+
+    /** Records a point-in-time event. No-op when disabled. */
+    void
+    instant(Side side, const char *cat, const char *name, Nanos ts,
+            std::uint64_t id = kNoId, const char *a0n = nullptr,
+            std::uint64_t a0 = 0, const char *a1n = nullptr,
+            std::uint64_t a1 = 0)
+    {
+        if (!enabled_.load(std::memory_order_relaxed))
+            return;
+        record(side, cat, name, ts, 0, id, a0n, a0, a1n, a1, true);
+    }
+
+    /**
+     * Copies out every retained event, merged across threads and
+     * sorted by program order.
+     */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Events lost to ring wrap-around since the last clear(). */
+    std::uint64_t dropped() const;
+
+    /**
+     * Discards all retained events and resets the order stamp. Call
+     * between runs, not concurrently with recording.
+     */
+    void clear();
+
+  private:
+    /** One thread's fixed-capacity event ring. */
+    struct Ring
+    {
+        explicit Ring(std::uint32_t tid) : tid(tid)
+        {
+            events.resize(kRingCapacity);
+        }
+
+        std::vector<TraceEvent> events;
+        std::uint64_t next = 0; //!< total events written (mod = slot)
+        std::uint32_t tid;
+    };
+
+    Tracer() = default;
+
+    void record(Side side, const char *cat, const char *name, Nanos ts,
+                Nanos dur, std::uint64_t id, const char *a0n,
+                std::uint64_t a0, const char *a1n, std::uint64_t a1,
+                bool instant);
+
+    /** Returns this thread's ring, registering it on first use. */
+    Ring &threadRing();
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<const Clock *> clock_{nullptr};
+    std::atomic<std::uint64_t> order_{0};
+
+    mutable std::mutex rings_mu_; //!< guards rings_ vector shape
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+} // namespace lake::obs
+
+#endif // LAKE_OBS_TRACE_H

@@ -3,8 +3,31 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lake::policy {
+namespace {
+
+/** Shared decision bookkeeping for every policy flavour. */
+void
+observeDecision(const char *policy, const PolicyInput &in, Engine out,
+                std::uint64_t util_permille, bool have_util)
+{
+    auto &m = obs::Metrics::global();
+    if (m.enabled()) {
+        (out == Engine::Gpu ? m.policy_decide_gpu : m.policy_decide_cpu).add();
+        if (have_util)
+            m.policy_util_permille.record(util_permille);
+    }
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.instant(obs::Side::Runtime, "policy", policy, in.now, obs::kNoId,
+                   out == Engine::Gpu ? "gpu" : "cpu", 1,
+                   have_util ? "util_permille" : nullptr, util_permille);
+}
+
+} // namespace
 
 const char *
 engineName(Engine e)
@@ -20,7 +43,9 @@ BatchThresholdPolicy::BatchThresholdPolicy(std::size_t batch_threshold)
 Engine
 BatchThresholdPolicy::decide(const PolicyInput &in)
 {
-    return in.batch_size >= batch_threshold_ ? Engine::Gpu : Engine::Cpu;
+    Engine out = in.batch_size >= batch_threshold_ ? Engine::Gpu : Engine::Cpu;
+    observeDecision("policy.batch_threshold", in, out, 0, false);
+    return out;
 }
 
 FallbackPolicy::FallbackPolicy(std::unique_ptr<ExecPolicy> inner,
@@ -42,6 +67,13 @@ FallbackPolicy::decide(const PolicyInput &in)
         ++overrides_;
         if (on_fallback_)
             on_fallback_();
+        auto &m = obs::Metrics::global();
+        if (m.enabled())
+            m.policy_fallback_overrides.add();
+        auto &tr = obs::Tracer::global();
+        if (tr.enabled())
+            tr.instant(obs::Side::Runtime, "policy", "policy.fallback_cpu",
+                       in.now, obs::kNoId, "overrides", overrides_);
         return Engine::Cpu;
     }
     return inner_->decide(in);
@@ -67,7 +99,12 @@ ContentionAwarePolicy::decide(const PolicyInput &in)
 
     bool uncontended = avg_.value() < cfg_.exec_threshold;
     bool profitable = in.batch_size >= cfg_.batch_threshold;
-    return (uncontended && profitable) ? Engine::Gpu : Engine::Cpu;
+    Engine out = (uncontended && profitable) ? Engine::Gpu : Engine::Cpu;
+    // The smoothed utilization is the input the paper's Fig. 3 policy
+    // acts on; export it in permille so the trace stays integer-only.
+    observeDecision("policy.contention_aware", in, out,
+                    static_cast<std::uint64_t>(avg_.value() * 10.0), true);
+    return out;
 }
 
 } // namespace lake::policy

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lake::registry {
 
@@ -42,6 +44,12 @@ Registry::beginFvCapture(Nanos ts)
     // simply overwritten by the next captureFeature call.
     open_begin_ = ts;
     capture_open_ = true;
+    auto &m = obs::Metrics::global();
+    if (m.enabled())
+        m.reg_capture_begins.add();
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.instant(obs::Side::Runtime, "registry", "fv.begin", ts);
 }
 
 void
@@ -51,6 +59,9 @@ Registry::captureFeature(std::uint64_t key, std::uint64_t value)
                 "capture of undeclared feature key in %s/%s",
                 sys_.c_str(), name_.c_str());
     open_values_.put(key, value);
+    auto &m = obs::Metrics::global();
+    if (m.enabled())
+        m.reg_features_captured.add();
 }
 
 void
@@ -66,6 +77,9 @@ Registry::captureFeatureIncr(std::uint64_t key, std::int64_t delta)
                 "capture of undeclared feature key in %s/%s",
                 sys_.c_str(), name_.c_str());
     open_values_.add(key, delta);
+    auto &m = obs::Metrics::global();
+    if (m.enabled())
+        m.reg_features_captured.add();
 }
 
 void
@@ -102,9 +116,20 @@ Registry::commitFvCapture(Nanos ts)
         fv.values.emplace(key, std::move(entries));
     });
 
+    std::size_t fv_len = fv.values.size();
     last_committed_ = fv;
     has_last_ = true;
     ring_.push(std::move(fv));
+
+    auto &m = obs::Metrics::global();
+    if (m.enabled()) {
+        m.reg_commits.add();
+        m.reg_fv_len.record(fv_len);
+    }
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.span(obs::Side::Runtime, "registry", "fv.capture", open_begin_,
+                ts - open_begin_, obs::kNoId, "features", fv_len);
 
     // Re-open immediately so incremental captures never race a closed
     // window; the paper's case study likewise begins the next capture
@@ -179,6 +204,14 @@ Registry::scoreFeatures(const std::vector<FeatureVector> &fvs, Nanos now)
         engine = policy::Engine::Cpu; // no GPU variant installed
 
     last_engine_ = engine;
+    auto &m = obs::Metrics::global();
+    if (m.enabled())
+        m.reg_scores.add();
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.instant(obs::Side::Runtime, "registry", "fv.score", now,
+                   obs::kNoId, "batch", fvs.size(),
+                   engine == policy::Engine::Gpu ? "gpu" : "cpu", 1);
     Classifier &fn = engine == policy::Engine::Gpu ? gpu_classifier_
                                                    : cpu_classifier_;
     std::vector<float> scores = fn(fvs);

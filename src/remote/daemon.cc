@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lake::remote {
 
@@ -76,9 +78,17 @@ void
 LakeDaemon::handleBatch(const std::vector<std::uint8_t> &buf)
 {
     ++batches_;
+    Nanos t0 = clock_.now();
     Decoder dec(buf);
     dec.u32(); // magic, verified by handleOne
     std::uint32_t count = dec.u32();
+    auto batchSpan = [&](std::uint32_t dispatched) {
+        auto &tr = obs::Tracer::global();
+        if (tr.enabled())
+            tr.span(obs::Side::Daemon, "remote", "batch.dispatch", t0,
+                    clock_.now() - t0, obs::kNoId, "commands", dispatched,
+                    "bytes", buf.size());
+    };
     for (std::uint32_t i = 0; i < count; ++i) {
         // Each frame is a u32-length-prefixed block; a corrupt *body*
         // still leaves the next prefix reachable, so it costs exactly
@@ -92,6 +102,12 @@ LakeDaemon::handleBatch(const std::vector<std::uint8_t> &buf)
             ++malformed_;
             warn("lakeD: batch framing truncated at command %u of %u",
                  i, count);
+            auto &tr = obs::Tracer::global();
+            if (tr.enabled())
+                tr.instant(obs::Side::Daemon, "remote",
+                           "batch.truncated", clock_.now(), obs::kNoId,
+                           "at", i, "declared", count);
+            batchSpan(i);
             return;
         }
         handleCommand(frame, len);
@@ -103,6 +119,7 @@ LakeDaemon::handleBatch(const std::vector<std::uint8_t> &buf)
         warn("lakeD: batch carries %zu bytes past its declared count",
              dec.remaining());
     }
+    batchSpan(count);
 }
 
 void
@@ -111,6 +128,8 @@ LakeDaemon::handleCommand(const std::uint8_t *data, std::size_t size)
     Decoder dec(data, size);
     CommandHead head = readHead(dec);
     ++handled_;
+    Nanos t0 = clock_.now();
+    auto api = static_cast<std::uint32_t>(head.id);
 
     if (!dec.ok()) {
         // Prologue truncated: without a trustworthy seq any answer
@@ -119,12 +138,29 @@ LakeDaemon::handleCommand(const std::uint8_t *data, std::size_t size)
         ++malformed_;
         warn("lakeD: dropping %zu-byte command with truncated prologue",
              size);
+        auto &tr = obs::Tracer::global();
+        if (tr.enabled())
+            tr.instant(obs::Side::Daemon, "remote", "cmd.malformed",
+                       clock_.now(), obs::kNoId, "bytes", size);
         return;
     }
 
+    auto dispatchSpan = [&] {
+        Nanos dur = clock_.now() - t0;
+        auto &tr = obs::Tracer::global();
+        if (tr.enabled())
+            tr.span(obs::Side::Daemon, "remote", apiName(head.id), t0,
+                    dur, head.seq, "api", api);
+        auto &m = obs::Metrics::global();
+        if (m.enabled())
+            m.stage(obs::Stage::Dispatch)
+                .record(api, apiName(head.id), dur);
+    };
+
     if (isOneWay(head.id)) {
         resp_enc_.reset(); // scratch only; one-way commands never reply
-        handleCuda(head.id, dec, resp_enc_);
+        handleCuda(head.id, head.seq, dec, resp_enc_);
+        dispatchSpan();
         return;
     }
 
@@ -144,15 +180,26 @@ LakeDaemon::handleCommand(const std::uint8_t *data, std::size_t size)
             resp.u32(static_cast<std::uint32_t>(CuResult::NotFound));
         } else {
             resp.u32(static_cast<std::uint32_t>(CuResult::Success));
+            Nanos exec_t0 = clock_.now();
             clock_.advance(it->second.cost);
             it->second.handler(dec, resp);
+            Nanos exec_dur = clock_.now() - exec_t0;
+            auto &tr = obs::Tracer::global();
+            if (tr.enabled())
+                tr.span(obs::Side::Daemon, "remote", "highlevel.execute",
+                        exec_t0, exec_dur, head.seq, "api", api);
+            auto &m = obs::Metrics::global();
+            if (m.enabled())
+                m.stage(obs::Stage::Execute)
+                    .record(api, apiName(head.id), exec_dur);
         }
     } else {
-        handleCuda(head.id, dec, resp);
+        handleCuda(head.id, head.seq, dec, resp);
     }
 
     chan_.send(channel::Channel::Dir::UserToKernel, resp.data(),
                resp.size());
+    dispatchSpan();
 }
 
 void
@@ -177,8 +224,10 @@ LakeDaemon::drainDeferred(CuResult r)
 }
 
 void
-LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
+LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
+                       Encoder &resp)
 {
+    Nanos exec_t0 = clock_.now();
     auto status = [&resp](CuResult r) {
         resp.u32(static_cast<std::uint32_t>(r));
     };
@@ -187,6 +236,11 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
     auto reject = [&] {
         ++malformed_;
         status(CuResult::InvalidValue);
+        auto &tr = obs::Tracer::global();
+        if (tr.enabled())
+            tr.instant(obs::Side::Daemon, "remote", "cmd.malformed",
+                       clock_.now(), seq, "api",
+                       static_cast<std::uint32_t>(id));
     };
 
     switch (id) {
@@ -363,6 +417,27 @@ LakeDaemon::handleCuda(ApiId id, Decoder &dec, Encoder &resp)
         status(CuResult::InvalidValue);
         break;
     }
+
+    // Execute stage: the API body alone, excluding response transport
+    // (which handleCommand's dispatch span covers).
+    Nanos exec_dur = clock_.now() - exec_t0;
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.span(obs::Side::Daemon, "remote", "cuda.execute", exec_t0,
+                exec_dur, seq, "api", static_cast<std::uint32_t>(id));
+    auto &m = obs::Metrics::global();
+    if (m.enabled())
+        m.stage(obs::Stage::Execute)
+            .record(static_cast<std::uint32_t>(id), apiName(id), exec_dur);
+}
+
+void
+LakeDaemon::publishMetrics() const
+{
+    obs::Metrics &m = obs::Metrics::global();
+    m.counter("daemon.commands_handled").set(handled_);
+    m.counter("daemon.batches_received").set(batches_);
+    m.counter("daemon.malformed_rejected").set(malformed_);
 }
 
 } // namespace lake::remote

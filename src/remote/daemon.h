@@ -83,6 +83,12 @@ class LakeDaemon
     std::uint64_t malformedRejected() const { return malformed_; }
 
     /**
+     * Mirrors the daemon counters into the obs::Metrics registry under
+     * "daemon.*" names; benches call it right before exporting.
+     */
+    void publishMetrics() const;
+
+    /**
      * Largest marshalled copy a command may request. A truncated or
      * corrupt length field must not translate into an arbitrary-size
      * daemon allocation; real lakeD bulk data travels via lakeShm, so
@@ -108,8 +114,12 @@ class LakeDaemon
     /** Executes one command and sends the response (if two-way). */
     void handleCommand(const std::uint8_t *data, std::size_t size);
 
-    /** Dispatches the CUDA driver API subset. */
-    void handleCuda(ApiId id, Decoder &dec, Encoder &resp);
+    /**
+     * Dispatches the CUDA driver API subset. @p seq is the command's
+     * sequence number, carried through for trace correlation only.
+     */
+    void handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
+                    Encoder &resp);
 
     /** Stores the first failure of a one-way command. */
     void recordDeferred(gpu::CuResult r);

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lake::remote {
 
@@ -85,6 +87,8 @@ LakeLib::begin(ApiId id)
 {
     cmd_enc_.reset();
     cmd_enc_.u32(static_cast<std::uint32_t>(id)).u32(next_seq_++);
+    cur_api_ = static_cast<std::uint32_t>(id);
+    cur_api_name_ = apiName(id);
     return cmd_enc_;
 }
 
@@ -92,6 +96,10 @@ void
 LakeLib::ring()
 {
     ++doorbells_;
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.instant(obs::Side::Kernel, "remote", "doorbell",
+                   chan_.clock().now());
     doorbell_();
 }
 
@@ -100,6 +108,9 @@ LakeLib::flush()
 {
     if (batch_pending_ == 0)
         return;
+    Nanos t0 = chan_.clock().now();
+    std::size_t count = batch_pending_;
+    std::size_t bytes = batch_enc_.size();
     // Patch the count placeholder (bytes [4, 8), after the magic),
     // ship the whole batch as one message, and ring one doorbell for
     // all of it — the coalescing that amortizes the §6 crossing cost.
@@ -110,6 +121,11 @@ LakeLib::flush()
     batch_pending_ = 0;
     batch_enc_.reset();
     ring();
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.span(obs::Side::Kernel, "remote", "batch.flush", t0,
+                chan_.clock().now() - t0, obs::kNoId, "commands", count,
+                "bytes", bytes);
 }
 
 void
@@ -120,9 +136,19 @@ LakeLib::post()
     // the caller only pays the send-side cost.
     ++calls_;
     if (!pipeline_.enabled) {
+        Nanos t0 = chan_.clock().now();
+        std::uint32_t seq = seqOf(cmd_enc_);
         chan_.send(channel::Channel::Dir::KernelToUser, cmd_enc_.data(),
                    cmd_enc_.size());
         ring();
+        Nanos dur = chan_.clock().now() - t0;
+        auto &tr = obs::Tracer::global();
+        if (tr.enabled())
+            tr.span(obs::Side::Kernel, "remote", cur_api_name_, t0, dur,
+                    seq, "api", cur_api_, "oneway", 1);
+        auto &m = obs::Metrics::global();
+        if (m.enabled())
+            m.stage(obs::Stage::Send).record(cur_api_, cur_api_name_, dur);
         return;
     }
     // Pipelined: append a length-prefixed frame to the pending batch;
@@ -135,6 +161,11 @@ LakeLib::post()
     batch_enc_.raw(cmd_enc_.data(), cmd_enc_.size());
     ++batch_pending_;
     ++commands_batched_;
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.instant(obs::Side::Kernel, "remote", "batch.queue",
+                   chan_.clock().now(), seqOf(cmd_enc_), "api", cur_api_,
+                   "pending", batch_pending_);
     if (batch_pending_ >= pipeline_.max_batch)
         flush();
 }
@@ -146,8 +177,16 @@ LakeLib::attempt(std::uint32_t seq)
     ++calls_;
     // The scratch command stays intact across the drain loop, so a
     // retry can resend it (with a restamped seq) without a copy.
+    Nanos send_t0 = chan_.clock().now();
     chan_.send(Dir::KernelToUser, cmd_enc_.data(), cmd_enc_.size());
     ring();
+    {
+        auto &m = obs::Metrics::global();
+        if (m.enabled())
+            m.stage(obs::Stage::Send)
+                .record(cur_api_, cur_api_name_,
+                        chan_.clock().now() - send_t0);
+    }
 
     // Drain until our echo appears: under faults the queue may hold
     // duplicates or responses whose matching command attempt timed out.
@@ -158,6 +197,10 @@ LakeLib::attempt(std::uint32_t seq)
             // Nothing will ever arrive — the command or its response
             // was lost. Model the caller blocking out its deadline.
             chan_.clock().advance(responseTimeout(cmd_enc_.size()));
+            auto &tr = obs::Tracer::global();
+            if (tr.enabled())
+                tr.instant(obs::Side::Kernel, "remote", "rpc.timeout",
+                           chan_.clock().now(), seq, "api", cur_api_);
             return Result<std::vector<std::uint8_t>>(
                 Status(Code::Unavailable,
                        detail::format("rpc seq %u: response timeout",
@@ -188,11 +231,31 @@ LakeLib::rpc(bool idempotent)
     std::uint32_t attempts =
         idempotent ? std::max<std::uint32_t>(1, retry_.max_attempts) : 1;
     Nanos backoff = retry_.backoff;
+    Nanos rpc_t0 = chan_.clock().now();
+
+    auto observeRpc = [&](std::uint32_t seq, std::uint32_t attempt_count,
+                          bool ok) {
+        Nanos dur = chan_.clock().now() - rpc_t0;
+        auto &tr = obs::Tracer::global();
+        if (tr.enabled())
+            tr.span(obs::Side::Kernel, "remote", cur_api_name_, rpc_t0,
+                    dur, seq, "api", cur_api_,
+                    ok ? "attempts" : "failed_attempts", attempt_count);
+        auto &m = obs::Metrics::global();
+        if (m.enabled())
+            m.stage(obs::Stage::Rpc).record(cur_api_, cur_api_name_, dur);
+    };
 
     Status last;
-    for (std::uint32_t a = 0; a < attempts; ++a) {
+    std::uint32_t a = 0;
+    for (; a < attempts; ++a) {
         if (a > 0) {
             ++retries_;
+            auto &tr = obs::Tracer::global();
+            if (tr.enabled())
+                tr.instant(obs::Side::Kernel, "remote", "rpc.retry",
+                           chan_.clock().now(), seqOf(cmd_enc_), "api",
+                           cur_api_, "attempt", a + 1);
             // Back off in virtual time, and stamp a fresh seq so a
             // late response to a previous attempt can never satisfy
             // this one.
@@ -201,16 +264,19 @@ LakeLib::rpc(bool idempotent)
                                          retry_.multiplier);
             cmd_enc_.patchU32(4, next_seq_++);
         }
-        Result<std::vector<std::uint8_t>> r = attempt(seqOf(cmd_enc_));
+        std::uint32_t seq = seqOf(cmd_enc_);
+        Result<std::vector<std::uint8_t>> r = attempt(seq);
         if (r.isOk()) {
             // Success is reported by the caller once the response body
             // also decodes; a seq-valid but garbled payload must count
             // as a transport failure, not a success.
+            observeRpc(seq, a + 1, true);
             return r;
         }
         ++faults_seen_;
         last = r.status();
     }
+    observeRpc(seqOf(cmd_enc_), a, false);
     observe(last);
     return Result<std::vector<std::uint8_t>>(std::move(last));
 }
@@ -448,6 +514,19 @@ LakeLib::highLevelCall(const std::string &name,
     std::vector<std::uint8_t> payload(resp.begin() + 8, resp.end());
     chan_.recycle(std::move(resp));
     return Result<std::vector<std::uint8_t>>(std::move(payload));
+}
+
+void
+LakeLib::publishMetrics() const
+{
+    obs::Metrics &m = obs::Metrics::global();
+    m.counter("remote.calls").set(calls_);
+    m.counter("remote.bytes_marshalled").set(bytes_marshalled_);
+    m.counter("remote.faults_seen").set(faults_seen_);
+    m.counter("remote.retries").set(retries_);
+    m.counter("remote.doorbells").set(doorbells_);
+    m.counter("remote.batches_flushed").set(batches_flushed_);
+    m.counter("remote.commands_batched").set(commands_batched_);
 }
 
 } // namespace lake::remote

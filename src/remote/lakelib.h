@@ -239,6 +239,13 @@ class LakeLib
      *  message. */
     std::uint64_t commandsBatched() const { return commands_batched_; }
 
+    /**
+     * Mirrors the counters above into the obs::Metrics registry under
+     * "remote.*" names (the RemoteStats facade). Cheap; benches call
+     * it right before exporting metrics.
+     */
+    void publishMetrics() const;
+
   private:
     /**
      * Starts a command in the reusable scratch encoder: resets it and
@@ -299,6 +306,11 @@ class LakeLib
      */
     Encoder batch_enc_;
     std::size_t batch_pending_ = 0;
+
+    /** ApiId of the command in the scratch encoder (set by begin()). */
+    std::uint32_t cur_api_ = 0;
+    /** Display name matching cur_api_ (borrowed literal). */
+    const char *cur_api_name_ = "?";
 
     std::uint32_t next_seq_ = 1;
     std::uint64_t calls_ = 0;

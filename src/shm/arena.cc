@@ -1,6 +1,8 @@
 #include "shm/arena.h"
 
 #include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace lake::shm {
 
@@ -39,30 +41,55 @@ ShmArena::alloc(std::size_t bytes)
     if (bytes == 0)
         bytes = 1;
     std::size_t need = roundUp(bytes);
-    std::lock_guard<std::mutex> lock(mu_);
+    ShmOffset result = kNullOffset;
+    std::size_t used_now = 0;
+    std::size_t live_now = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
 
-    // Best fit in O(log n): the (size, offset) ordering makes the
-    // first block at or past (need, 0) the smallest sufficient block,
-    // lowest offset among equal sizes — the same block the original
-    // linear scan over free_by_offset_ selected.
-    auto best = free_by_size_.lower_bound({need, 0});
-    if (best == free_by_size_.end())
-        return kNullOffset;
+        // Best fit in O(log n): the (size, offset) ordering makes the
+        // first block at or past (need, 0) the smallest sufficient
+        // block, lowest offset among equal sizes — the same block the
+        // original linear scan over free_by_offset_ selected.
+        auto best = free_by_size_.lower_bound({need, 0});
+        if (best != free_by_size_.end()) {
+            auto [block, offset] = *best;
+            eraseFree(offset, block);
+            if (block > need)
+                insertFree(offset + need, block - need);
 
-    auto [block, offset] = *best;
-    eraseFree(offset, block);
-    if (block > need)
-        insertFree(offset + need, block - need);
-
-    live_.emplace(offset, need);
-    used_ += need;
-    return offset;
+            live_.emplace(offset, need);
+            used_ += need;
+            result = offset;
+        }
+        used_now = used_;
+        live_now = live_.size();
+    }
+    // Observability outside the lock: metric updates and the trace
+    // instant must not extend the critical section.
+    auto &m = obs::Metrics::global();
+    if (m.enabled()) {
+        if (result == kNullOffset) {
+            m.shm_alloc_failures.add();
+        } else {
+            m.shm_allocs.add();
+            m.shm_alloc_bytes.record(need);
+            m.shm_used_bytes.set(used_now);
+            m.shm_live_allocs.set(live_now);
+        }
+    }
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.instant(obs::Side::Runtime, "shm",
+                   result == kNullOffset ? "shm.alloc_fail" : "shm.alloc",
+                   tr.now(), obs::kNoId, "bytes", need, "offset", result);
+    return result;
 }
 
 void
 ShmArena::free(ShmOffset offset)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     auto it = live_.find(offset);
     LAKE_ASSERT(it != live_.end(), "free of unknown shm offset %llu",
                 static_cast<unsigned long long>(offset));
@@ -90,6 +117,20 @@ ShmArena::free(ShmOffset offset)
         }
     }
     insertFree(start, len);
+    std::size_t used_now = used_;
+    std::size_t live_now = live_.size();
+    lock.unlock();
+
+    auto &m = obs::Metrics::global();
+    if (m.enabled()) {
+        m.shm_frees.add();
+        m.shm_used_bytes.set(used_now);
+        m.shm_live_allocs.set(live_now);
+    }
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.instant(obs::Side::Runtime, "shm", "shm.free", tr.now(),
+                   obs::kNoId, "bytes", size, "offset", offset);
 }
 
 bool

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <deque>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "base/lockfree_map.h"
 #include "base/ring_buffer.h"
@@ -122,6 +126,40 @@ TEST(PercentileTest, AddAfterQuery)
     EXPECT_DOUBLE_EQ(p.percentile(100.0), 20.0);
 }
 
+// Regression: add() used to leave sorted_ set after a percentile()
+// call, so later samples were appended to a vector still flagged
+// sorted and queries interpolated over partially-sorted data.
+TEST(PercentileTest, InterleavedAddQuery)
+{
+    PercentileTracker p;
+    p.add(50.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 50.0); // sorts, sets the flag
+    p.add(10.0);                                // lands past the sorted prefix
+    p.add(90.0);
+    EXPECT_DOUBLE_EQ(p.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50.0), 50.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100.0), 90.0);
+
+    // Interleave against an oracle that sorts from scratch every query.
+    PercentileTracker q;
+    std::vector<double> oracle;
+    for (int i = 0; i < 200; ++i) {
+        double v = static_cast<double>((i * 7919) % 199);
+        q.add(v);
+        oracle.push_back(v);
+        if (i % 17 == 0) {
+            std::vector<double> sorted = oracle;
+            std::sort(sorted.begin(), sorted.end());
+            double rank = 0.95 * static_cast<double>(sorted.size() - 1);
+            std::size_t lo = static_cast<std::size_t>(rank);
+            std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+            double frac = rank - static_cast<double>(lo);
+            double want = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+            EXPECT_DOUBLE_EQ(q.percentile(95.0), want) << "at i=" << i;
+        }
+    }
+}
+
 TEST(MovingAverageTest, Window)
 {
     MovingAverage m(3);
@@ -135,6 +173,29 @@ TEST(MovingAverageTest, Window)
     EXPECT_DOUBLE_EQ(m.value(), 6.0);
     m.add(12.0); // 3.0 falls out
     EXPECT_DOUBLE_EQ(m.value(), 9.0);
+}
+
+// Regression: the incremental sum_ accumulated float error; once a
+// large outlier left the window the cancellation wiped out the small
+// samples still in it. The tracker now periodically re-derives the sum
+// from the window, so a long add sequence must match a fresh average.
+TEST(MovingAverageTest, LongSequenceMatchesFreshWindowAverage)
+{
+    MovingAverage m(4);
+    m.add(1e16); // beyond 2^53: 1e16 + 1.0 rounds back to 1e16
+    std::deque<double> window = {1e16};
+    for (int i = 0; i < 2000; ++i) {
+        m.add(1.0);
+        window.push_back(1.0);
+        if (window.size() > 4)
+            window.pop_front();
+    }
+    double fresh = 0.0;
+    for (double v : window)
+        fresh += v;
+    fresh /= static_cast<double>(window.size());
+    EXPECT_DOUBLE_EQ(fresh, 1.0);
+    EXPECT_DOUBLE_EQ(m.value(), fresh);
 }
 
 TEST(BusyTrackerTest, WindowedUtilization)
@@ -167,6 +228,40 @@ TEST(BusyTrackerTest, CompactDropsOldSpans)
     b.compact(50);
     EXPECT_NEAR(b.utilization(110, 10), 100.0, 1e-9);
     EXPECT_EQ(b.totalBusy(), 20u); // total is cumulative
+}
+
+// Regression: spans_ grew without bound (compact() had no caller) and
+// every probe rescanned the full busy history. The probe path now
+// drops spans older than the largest window ever asked for; values
+// must match a naive full-history scan while memory stays bounded.
+TEST(BusyTrackerTest, ProbePathBoundsMemoryWithoutChangingValues)
+{
+    BusyTracker b;
+    std::vector<std::pair<Nanos, Nanos>> all; // naive reference
+    const Nanos period = 10;
+    const Nanos window = 1000;
+    for (Nanos i = 0; i < 100000; ++i) {
+        Nanos t = i * period;
+        b.addBusy(t, t + 5);
+        all.emplace_back(t, t + 5);
+        if (i % 97 == 0) {
+            Nanos now = t + period;
+            Nanos lo = now > window ? now - window : 0;
+            Nanos busy = 0;
+            for (auto [s, e] : all) {
+                if (e <= lo || s >= now)
+                    continue;
+                busy += std::min(e, now) - std::max(s, lo);
+            }
+            double want =
+                100.0 * static_cast<double>(busy) / static_cast<double>(now - lo);
+            EXPECT_DOUBLE_EQ(b.utilization(now, window), want) << "at i=" << i;
+        }
+    }
+    // 100k spans were added; retained: those inside the largest probe
+    // window plus whatever accumulated since the last probe (97 adds).
+    EXPECT_LE(b.spanCount(), window / period + 97 + 2);
+    EXPECT_EQ(b.totalBusy(), 100000u * 5u);
 }
 
 TEST(RateMeterTest, BucketsToRates)

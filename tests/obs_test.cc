@@ -1,0 +1,478 @@
+// Tests for the observability layer: tracer ordering and wrap-around,
+// histogram bucket math, exporter golden output, the zero-allocation
+// contract of the disabled hot path, and end-to-end kernel/daemon span
+// correlation through a booted Lake.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <new>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/lake.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+using namespace lake;
+
+// ---------------------------------------------------------------------
+// Global allocation counter for the zero-alloc test. Counting is off
+// by default, so every other test in this binary is unaffected.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::size_t> g_allocs{0};
+
+} // namespace
+
+// noinline keeps GCC from pairing an inlined free() with the new
+// expression at call sites and warning about mismatched allocators.
+__attribute__((noinline)) void *
+operator new(std::size_t n)
+{
+    if (g_count_allocs.load(std::memory_order_relaxed))
+        g_allocs.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(n ? n : 1);
+    if (!p)
+        throw std::bad_alloc();
+    return p;
+}
+
+__attribute__((noinline)) void *
+operator new[](std::size_t n)
+{
+    return ::operator new(n);
+}
+
+__attribute__((noinline)) void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+__attribute__((noinline)) void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+__attribute__((noinline)) void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+__attribute__((noinline)) void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace {
+
+/** Resets the process-wide tracer and metrics around each test. */
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::Tracer::global().setEnabled(false);
+        obs::Tracer::global().clear();
+        obs::Metrics::global().setEnabled(false);
+        obs::Metrics::global().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        obs::Tracer::global().setEnabled(false);
+        obs::Tracer::global().clear();
+        obs::Tracer::global().unbindClock();
+        obs::Metrics::global().setEnabled(false);
+        obs::Metrics::global().reset();
+    }
+};
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledRecorderRetainsNothing)
+{
+    auto &tr = obs::Tracer::global();
+    tr.span(obs::Side::Kernel, "t", "off", 10, 5);
+    tr.instant(obs::Side::Kernel, "t", "off", 10);
+    EXPECT_TRUE(tr.snapshot().empty());
+    EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST_F(ObsTest, SnapshotMergesThreadsInProgramOrder)
+{
+    auto &tr = obs::Tracer::global();
+    tr.setEnabled(true);
+
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kPerThread = 500;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([&tr, t] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i)
+                tr.instant(obs::Side::Runtime, "test", "tick", i, obs::kNoId,
+                           "thread", static_cast<std::uint64_t>(t), "i", i);
+        });
+    for (auto &th : ts)
+        th.join();
+
+    std::vector<obs::TraceEvent> ev = tr.snapshot();
+    ASSERT_EQ(ev.size(), kThreads * kPerThread);
+    EXPECT_EQ(tr.dropped(), 0u);
+
+    // Global program order is strictly increasing after the merge...
+    for (std::size_t i = 1; i < ev.size(); ++i)
+        EXPECT_LT(ev[i - 1].order, ev[i].order);
+
+    // ...and each thread's events appear in the order it recorded them.
+    std::uint64_t next_i[kThreads] = {};
+    std::set<std::uint32_t> tids;
+    for (const obs::TraceEvent &e : ev) {
+        auto t = static_cast<std::size_t>(e.arg0);
+        ASSERT_LT(t, static_cast<std::size_t>(kThreads));
+        EXPECT_EQ(e.arg1, next_i[t]++);
+        tids.insert(e.tid);
+    }
+    // Four recording threads means four distinct ring lanes.
+    EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(ObsTest, RingWrapKeepsNewestEventsAndCountsDropped)
+{
+    auto &tr = obs::Tracer::global();
+    tr.setEnabled(true);
+
+    const std::uint64_t total = obs::Tracer::kRingCapacity + 100;
+    for (std::uint64_t i = 0; i < total; ++i)
+        tr.instant(obs::Side::Kernel, "test", "tick", i, obs::kNoId, "i", i);
+
+    std::vector<obs::TraceEvent> ev = tr.snapshot();
+    ASSERT_EQ(ev.size(), obs::Tracer::kRingCapacity);
+    EXPECT_EQ(tr.dropped(), 100u);
+    // The oldest 100 events were overwritten; the newest survive in
+    // order.
+    EXPECT_EQ(ev.front().arg0, 100u);
+    EXPECT_EQ(ev.back().arg0, total - 1);
+
+    tr.clear();
+    EXPECT_TRUE(tr.snapshot().empty());
+    EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST_F(ObsTest, ClockBindingTimestampsWithoutAdvancing)
+{
+    auto &tr = obs::Tracer::global();
+    Clock clock;
+    clock.advance(1234);
+    EXPECT_EQ(tr.now(), 0u); // unbound: falls back to 0
+    tr.bindClock(&clock);
+    EXPECT_EQ(tr.now(), 1234u);
+    EXPECT_EQ(clock.now(), 1234u); // observing costs no virtual time
+    tr.unbindClock();
+    EXPECT_EQ(tr.now(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Zero-allocation contract of the disabled hot path
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, DisabledHotPathDoesNotAllocate)
+{
+    auto &tr = obs::Tracer::global();
+    auto &m = obs::Metrics::global();
+    ASSERT_FALSE(tr.enabled());
+    ASSERT_FALSE(m.enabled());
+
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        tr.span(obs::Side::Kernel, "hot", "rpc", i, 7, i, "bytes", 64);
+        tr.instant(obs::Side::Daemon, "hot", "doorbell", i);
+        // The instrumented-site idiom: one relaxed load, then nothing.
+        if (m.enabled())
+            m.shm_allocs.add();
+    }
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(g_allocs.load(std::memory_order_relaxed), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Histogram bucket math
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketBoundaries)
+{
+    // Bucket 0 holds only zero; bucket i >= 1 holds [2^(i-1), 2^i).
+    EXPECT_EQ(obs::Histogram::bucketOf(0), 0);
+    EXPECT_EQ(obs::Histogram::bucketOf(1), 1);
+    EXPECT_EQ(obs::Histogram::bucketOf(2), 2);
+    EXPECT_EQ(obs::Histogram::bucketOf(3), 2);
+    EXPECT_EQ(obs::Histogram::bucketOf(4), 3);
+    for (int i = 1; i < 63; ++i) {
+        std::uint64_t lo = 1ull << (i - 1);
+        EXPECT_EQ(obs::Histogram::bucketOf(lo), i) << "lo of bucket " << i;
+        EXPECT_EQ(obs::Histogram::bucketOf(2 * lo - 1), i)
+            << "hi of bucket " << i;
+        EXPECT_EQ(obs::Histogram::bucketLo(i), lo);
+    }
+    // The top bucket absorbs everything at and above 2^62.
+    EXPECT_EQ(obs::Histogram::bucketOf(~0ull), 63);
+    EXPECT_EQ(obs::Histogram::bucketOf(1ull << 63), 63);
+
+    obs::Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(1023); // bucket 10: [512, 1024)
+    h.record(1024); // bucket 11: [1024, 2048)
+    h.record(~0ull);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.max(), ~0ull);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(10), 1u);
+    EXPECT_EQ(h.bucketCount(11), 1u);
+    EXPECT_EQ(h.bucketCount(63), 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(10), 0u);
+}
+
+TEST_F(ObsTest, ApiHistogramsSpillOversizedIds)
+{
+    obs::ApiHistograms fam;
+    fam.record(3, "cuMemAlloc", 100);
+    fam.record(1000, "weird", 5); // out of range: spills to the last slot
+    EXPECT_EQ(fam.at(3).count(), 1u);
+    EXPECT_STREQ(fam.nameAt(3), "cuMemAlloc");
+    EXPECT_EQ(fam.at(obs::ApiHistograms::kMaxApi - 1).count(), 1u);
+    EXPECT_STREQ(fam.nameAt(obs::ApiHistograms::kMaxApi - 1), "weird");
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry facade
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, NamedCountersAndGauges)
+{
+    auto &m = obs::Metrics::global();
+    EXPECT_EQ(m.findCounter("x.absent"), nullptr);
+
+    m.counter("b.second").add(2);
+    m.counter("a.first").add(1);
+    m.gauge("g.depth").set(7);
+
+    ASSERT_NE(m.findCounter("a.first"), nullptr);
+    EXPECT_EQ(m.findCounter("a.first")->get(), 1u);
+    EXPECT_EQ(m.findCounter("b.second")->get(), 2u);
+    EXPECT_EQ(m.findGauge("g.depth")->get(), 7u);
+
+    // Names come back sorted for deterministic export.
+    std::vector<std::string> names = m.counterNames();
+    ASSERT_GE(names.size(), 2u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+    // reset() zeroes values but keeps registrations stable.
+    m.reset();
+    ASSERT_NE(m.findCounter("a.first"), nullptr);
+    EXPECT_EQ(m.findCounter("a.first")->get(), 0u);
+    EXPECT_EQ(m.findGauge("g.depth")->get(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceGolden)
+{
+    // Hand-built events pin the exporter's byte-exact output.
+    std::vector<obs::TraceEvent> ev;
+    obs::TraceEvent span{};
+    span.name = "cuMemAlloc";
+    span.cat = "remote";
+    span.arg0_name = "api";
+    span.arg0 = 3;
+    span.arg1_name = nullptr;
+    span.id = 42;
+    span.ts = 1500;
+    span.dur = 2001;
+    span.order = 0;
+    span.tid = 0;
+    span.side = obs::Side::Kernel;
+    span.instant = false;
+    ev.push_back(span);
+
+    obs::TraceEvent inst{};
+    inst.name = "doorbell";
+    inst.cat = "remote";
+    inst.id = obs::kNoId;
+    inst.ts = 1750;
+    inst.dur = 0;
+    inst.order = 1;
+    inst.tid = 2;
+    inst.side = obs::Side::Daemon;
+    inst.instant = true;
+    ev.push_back(inst);
+
+    const std::string expected =
+        "{\"displayTimeUnit\":\"ns\",\"traceEvents\":["
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"kernel (lakeLib)\"}},"
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+        "\"args\":{\"name\":\"daemon (lakeD)\"}},"
+        "{\"name\":\"cuMemAlloc\",\"cat\":\"remote\",\"ph\":\"X\","
+        "\"dur\":2.001,\"pid\":1,\"tid\":0,\"ts\":1.500,"
+        "\"args\":{\"seq\":42,\"api\":3}},"
+        "{\"name\":\"doorbell\",\"cat\":\"remote\",\"ph\":\"i\",\"s\":\"t\","
+        "\"pid\":2,\"tid\":2,\"ts\":1.750,\"args\":{}}"
+        "]}\n";
+    EXPECT_EQ(obs::chromeTraceJson(ev), expected);
+}
+
+TEST_F(ObsTest, MetricsJsonShape)
+{
+    auto &m = obs::Metrics::global();
+    m.reset();
+    m.shm_allocs.add(3);
+    m.shm_used_bytes.set(4096);
+    m.shm_alloc_bytes.record(1024);
+    m.stage(obs::Stage::Rpc).record(3, "cuMemAlloc", 56000);
+    m.counter("remote.calls").set(9);
+
+    std::string json = obs::metricsJsonObject(m);
+    EXPECT_NE(json.find("\"shm.allocs\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"shm.used_bytes\":4096"), std::string::npos);
+    EXPECT_NE(json.find("\"remote.calls\":9"), std::string::npos);
+    EXPECT_NE(json.find("\"shm.alloc_bytes\":{\"count\":1,\"sum\":1024,"
+                        "\"max\":1024,\"buckets\":[{\"lo\":1024,\"n\":1}]}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"rpc\":{\"cuMemAlloc\":{\"count\":1,\"sum\":56000,"
+                        "\"max\":56000,\"buckets\":[{\"lo\":32768,\"n\":1}]}"),
+              std::string::npos);
+    // Empty histogram families are omitted entirely.
+    EXPECT_EQ(json.find("policy.util_permille"), std::string::npos);
+    EXPECT_EQ(json.find("\"send\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End to end through a booted Lake
+// ---------------------------------------------------------------------
+
+TEST_F(ObsTest, DefaultBootLeavesObservabilityOff)
+{
+    core::Lake lake;
+    EXPECT_FALSE(obs::Tracer::global().enabled());
+    EXPECT_FALSE(obs::Metrics::global().enabled());
+    gpu::DevicePtr p = 0;
+    ASSERT_EQ(lake.lib().cuMemAlloc(&p, 256), gpu::CuResult::Success);
+    EXPECT_TRUE(obs::Tracer::global().snapshot().empty());
+    EXPECT_EQ(obs::Metrics::global().shm_allocs.get(), 0u);
+}
+
+TEST_F(ObsTest, KernelAndDaemonSpansShareCommandSeq)
+{
+    core::LakeConfig cfg;
+    cfg.obs.trace = true;
+    cfg.obs.metrics = true;
+    {
+        core::Lake lake(cfg);
+
+        shm::ShmOffset h = lake.arena().alloc(4096);
+        ASSERT_NE(h, shm::kNullOffset);
+        gpu::DevicePtr p = 0;
+        ASSERT_EQ(lake.lib().cuMemAlloc(&p, 4096), gpu::CuResult::Success);
+        ASSERT_EQ(lake.lib().cuMemcpyHtoDShm(p, h, 4096),
+                  gpu::CuResult::Success);
+        ASSERT_EQ(lake.lib().cuCtxSynchronize(), gpu::CuResult::Success);
+        lake.arena().free(h);
+        lake.publishObs();
+
+        std::vector<obs::TraceEvent> ev = obs::Tracer::global().snapshot();
+        ASSERT_FALSE(ev.empty());
+
+        // Every kernel-side RPC span has a daemon-side dispatch span
+        // carrying the same command seq.
+        std::set<std::uint64_t> kernel_seqs, daemon_seqs;
+        bool saw_shm = false, saw_gpu = false;
+        for (const obs::TraceEvent &e : ev) {
+            if (e.side == obs::Side::Kernel && e.id != obs::kNoId &&
+                !e.instant)
+                kernel_seqs.insert(e.id);
+            if (e.side == obs::Side::Daemon && e.id != obs::kNoId &&
+                !e.instant)
+                daemon_seqs.insert(e.id);
+            if (e.side == obs::Side::Runtime &&
+                std::string(e.name) == "shm.alloc")
+                saw_shm = true;
+            if (e.side == obs::Side::Gpu)
+                saw_gpu = true;
+        }
+        ASSERT_FALSE(kernel_seqs.empty());
+        for (std::uint64_t seq : kernel_seqs)
+            EXPECT_TRUE(daemon_seqs.count(seq)) << "unmatched seq " << seq;
+        EXPECT_TRUE(saw_shm);
+        EXPECT_TRUE(saw_gpu);
+
+        // Metrics saw both sides too.
+        auto &m = obs::Metrics::global();
+        EXPECT_GT(m.shm_allocs.get(), 0u);
+        std::uint64_t rpc_samples = 0;
+        for (std::uint32_t a = 0; a < obs::ApiHistograms::kMaxApi; ++a)
+            rpc_samples += m.stage(obs::Stage::Rpc).at(a).count();
+        EXPECT_GT(rpc_samples, 0u);
+        ASSERT_NE(m.findCounter("remote.calls"), nullptr);
+        EXPECT_GT(m.findCounter("remote.calls")->get(), 0u);
+        ASSERT_NE(m.findCounter("daemon.commands_handled"), nullptr);
+        EXPECT_GT(m.findCounter("daemon.commands_handled")->get(), 0u);
+
+        // Observation never advanced virtual time: every event was
+        // stamped at or before the clock's final reading (the sync at
+        // the end drained all engine work).
+        for (const obs::TraceEvent &e : ev)
+            EXPECT_LE(e.ts + e.dur, lake.clock().now());
+    }
+    // ~Lake unbinds the tracer's clock.
+    EXPECT_EQ(obs::Tracer::global().now(), 0u);
+}
+
+TEST_F(ObsTest, LakeWritesTraceFileOnTeardown)
+{
+    const std::string path = ::testing::TempDir() + "lake_obs_trace.json";
+    std::remove(path.c_str());
+    core::LakeConfig cfg;
+    cfg.obs.trace = true;
+    cfg.obs.trace_path = path;
+    {
+        core::Lake lake(cfg);
+        gpu::DevicePtr p = 0;
+        ASSERT_EQ(lake.lib().cuMemAlloc(&p, 128), gpu::CuResult::Success);
+    }
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string body((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(body.find("cuMemAlloc"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace
