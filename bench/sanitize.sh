@@ -42,3 +42,9 @@ ctest --test-dir "$BUILD" --output-on-failure -L perf
 # the code TSan/ASan should sweep even though the default-off path
 # makes it invisible to the rest of the suite.
 ctest --test-dir "$BUILD" --output-on-failure -L obs
+
+# The registry suite (ctest -L registry) hammers multi-threaded
+# capture-while-commit and concurrent ScoreServer submission — the
+# lock-free capture map plus the scoring service's two-lock flush path
+# are precisely what `bench/sanitize.sh thread` exists to sweep.
+ctest --test-dir "$BUILD" --output-on-failure -L registry

@@ -11,6 +11,7 @@
  */
 
 #include <cstddef>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -67,6 +68,7 @@ class RingBuffer
     {
         LAKE_ASSERT(!empty(), "pop from empty ring");
         T out = std::move(slots_[head_]);
+        resetSlot(head_);
         head_ = (head_ + 1) % slots_.size();
         --size_;
         return out;
@@ -93,10 +95,17 @@ class RingBuffer
     /** Oldest element; ring must not be empty. */
     const T &front() const { return at(0); }
 
-    /** Drops all elements. */
+    /**
+     * Drops all elements. Dropped slots are reset to a
+     * default-constructed T so their owned resources (a feature
+     * vector's heap maps, say) are released now, not whenever the slot
+     * is eventually overwritten.
+     */
     void
     clear()
     {
+        for (std::size_t i = 0; i < size_; ++i)
+            resetSlot((head_ + i) % slots_.size());
         head_ = 0;
         size_ = 0;
     }
@@ -113,6 +122,19 @@ class RingBuffer
     }
 
   private:
+    /**
+     * Releases the resources of a dead slot. A moved-from T is valid
+     * but unspecified — notably a moved-from unordered_map may keep
+     * its bucket array — so overwrite with a fresh T. Trivial types
+     * own nothing and skip the store.
+     */
+    void
+    resetSlot(std::size_t idx)
+    {
+        if constexpr (!std::is_trivially_destructible_v<T>)
+            slots_[idx] = T();
+    }
+
     std::vector<T> slots_;
     std::size_t head_ = 0;
     std::size_t size_ = 0;

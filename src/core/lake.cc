@@ -22,6 +22,11 @@ Lake::Lake(LakeConfig config)
         obs::Tracer::global().bindClock(&clock_);
     lib_.setRetryPolicy(config.retry);
     lib_.setPipeline(config.pipeline);
+    if (config_.scoring.enabled) {
+        Status s = registries_.enableScoring(config_.scoring);
+        LAKE_ASSERT(s.isOk(), "scoring service boot failed: %s",
+                    s.message().c_str());
+    }
     // Latch degraded mode after degrade_threshold consecutive RPC
     // failures; any success before that resets the streak.
     lib_.setFailureObserver([this](const Status &s) {
@@ -95,7 +100,7 @@ std::unique_ptr<policy::ExecPolicy>
 Lake::degradationGuard(std::unique_ptr<policy::ExecPolicy> inner)
 {
     return std::make_unique<policy::FallbackPolicy>(
-        std::move(inner), [this] { return degraded_; },
+        std::move(inner), [this] { return degraded_.load(); },
         [this] { ++fallbacks_; });
 }
 

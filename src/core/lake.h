@@ -18,6 +18,7 @@
  * @endcode
  */
 
+#include <atomic>
 #include <memory>
 
 #include "base/time.h"
@@ -65,6 +66,14 @@ struct LakeConfig
      * clock-less instrumentation sites can timestamp their events.
      */
     obs::ObsConfig obs;
+    /**
+     * Async batched scoring service (DESIGN.md §7), default off: with
+     * scoring.enabled false nothing is constructed and every
+     * score_features_async call degrades to synchronous inline
+     * scoring, so existing virtual-time numbers are unchanged unless
+     * a caller opts in.
+     */
+    registry::ScoringConfig scoring;
 };
 
 /** Remoting-health counters surfaced for tests and benches. */
@@ -185,8 +194,11 @@ class Lake
 
     /** Remoting failures since the last success. */
     std::size_t consecutive_failures_ = 0;
-    bool degraded_ = false;
-    std::uint64_t fallbacks_ = 0;
+    // Atomic because degradationGuard()'s predicate/notify run on
+    // whichever thread triggers a ScoreServer flush, racing the owner
+    // thread's failure observer and stats readers.
+    std::atomic<bool> degraded_{false};
+    std::atomic<std::uint64_t> fallbacks_{0};
     /** True while the global Tracer is bound to this Lake's clock. */
     bool bound_tracer_clock_ = false;
 };

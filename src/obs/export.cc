@@ -206,6 +206,10 @@ metricsJsonObject(const Metrics &m)
         {"registry.features_captured", &m.reg_features_captured},
         {"registry.commits", &m.reg_commits},
         {"registry.scores", &m.reg_scores},
+        {"registry.async_submits", &m.reg_async_submits},
+        {"registry.async_sheds", &m.reg_async_sheds},
+        {"registry.async_rejects", &m.reg_async_rejects},
+        {"registry.score_flushes", &m.reg_score_flushes},
     };
     bool first = true;
     for (const auto &[name, c] : fixed_counters) {
@@ -227,6 +231,8 @@ metricsJsonObject(const Metrics &m)
     appendU64(out, m.shm_used_bytes.get());
     out += ",\"shm.live_allocs\":";
     appendU64(out, m.shm_live_allocs.get());
+    out += ",\"registry.score_queue_depth\":";
+    appendU64(out, m.reg_score_queue_depth.get());
     for (const std::string &name : m.gaugeNames()) {
         out += ",\"" + name + "\":";
         appendU64(out, m.findGauge(name)->get());
@@ -242,6 +248,8 @@ metricsJsonObject(const Metrics &m)
         {"shm.alloc_bytes", &m.shm_alloc_bytes},
         {"policy.util_permille", &m.policy_util_permille},
         {"registry.fv_len", &m.reg_fv_len},
+        {"registry.score_batch", &m.reg_score_batch},
+        {"registry.score_queue_ns", &m.reg_score_queue_ns},
     };
     first = true;
     for (const auto &[name, h] : hists) {

@@ -97,6 +97,13 @@ Metrics::reset()
     reg_commits.reset();
     reg_scores.reset();
     reg_fv_len.reset();
+    reg_async_submits.reset();
+    reg_async_sheds.reset();
+    reg_async_rejects.reset();
+    reg_score_flushes.reset();
+    reg_score_queue_depth.reset();
+    reg_score_batch.reset();
+    reg_score_queue_ns.reset();
     for (auto &s : stages_)
         s.reset();
     std::lock_guard<std::mutex> lock(named_mu_);

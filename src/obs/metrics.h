@@ -214,6 +214,15 @@ class Metrics
     Counter reg_scores;
     Histogram reg_fv_len;
 
+    // Async scoring service (DESIGN.md §7).
+    Counter reg_async_submits;
+    Counter reg_async_sheds;
+    Counter reg_async_rejects;
+    Counter reg_score_flushes;
+    Gauge reg_score_queue_depth;    //!< pending vectors, all registries
+    Histogram reg_score_batch;      //!< coalesced vectors per flush
+    Histogram reg_score_queue_ns;   //!< submit -> scored, virtual ns
+
     /** Per-ApiId latency histograms for one remoting stage. */
     ApiHistograms &
     stage(Stage s)

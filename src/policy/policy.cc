@@ -64,7 +64,8 @@ FallbackPolicy::decide(const PolicyInput &in)
     // policy entirely — a ContentionAwarePolicy would otherwise issue
     // remoted NVML probes over the very path that is failing.
     if (degraded_()) {
-        ++overrides_;
+        std::uint64_t overrides =
+            overrides_.fetch_add(1, std::memory_order_relaxed) + 1;
         if (on_fallback_)
             on_fallback_();
         auto &m = obs::Metrics::global();
@@ -73,7 +74,7 @@ FallbackPolicy::decide(const PolicyInput &in)
         auto &tr = obs::Tracer::global();
         if (tr.enabled())
             tr.instant(obs::Side::Runtime, "policy", "policy.fallback_cpu",
-                       in.now, obs::kNoId, "overrides", overrides_);
+                       in.now, obs::kNoId, "overrides", overrides);
         return Engine::Cpu;
     }
     return inner_->decide(in);

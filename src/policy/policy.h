@@ -13,6 +13,7 @@
  * inference (registry::score_features) or any LAKE-accelerated call.
  */
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -131,8 +132,17 @@ class FallbackPolicy final : public ExecPolicy
     Engine decide(const PolicyInput &in) override;
     const char *name() const override { return "fallback"; }
 
-    /** Decisions forced to CPU while degraded. */
-    std::uint64_t overrides() const { return overrides_; }
+    /**
+     * Decisions forced to CPU while degraded. The counter is atomic so
+     * a ScoreServer flush (which consults the policy from whichever
+     * thread triggered the flush) can race a reader on the owner
+     * thread without undefined behaviour.
+     */
+    std::uint64_t
+    overrides() const
+    {
+        return overrides_.load(std::memory_order_relaxed);
+    }
     /** The wrapped policy. */
     ExecPolicy &inner() { return *inner_; }
 
@@ -140,7 +150,7 @@ class FallbackPolicy final : public ExecPolicy
     std::unique_ptr<ExecPolicy> inner_;
     Predicate degraded_;
     Notify on_fallback_;
-    std::uint64_t overrides_ = 0;
+    std::atomic<std::uint64_t> overrides_{0};
 };
 
 /**

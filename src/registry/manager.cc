@@ -4,6 +4,22 @@
 
 namespace lake::registry {
 
+std::uint64_t
+CaptureHandle::key(const std::string &feature) const
+{
+    LAKE_ASSERT(reg_ != nullptr, "key() on an unbound capture handle");
+    std::uint64_t k = featureKey(feature);
+    LAKE_ASSERT(reg_->schema().find(k) != nullptr,
+                "%s/%s: interning undeclared feature '%s'",
+                reg_->sys().c_str(), reg_->name().c_str(),
+                feature.c_str());
+    return k;
+}
+
+// scorer_ is declared last, so it destroys first: its final drain
+// still sees every registry alive.
+RegistryManager::~RegistryManager() = default;
+
 Status
 RegistryManager::createRegistry(const std::string &name,
                                 const std::string &sys, Schema schema,
@@ -28,14 +44,41 @@ RegistryManager::destroyRegistry(const std::string &name,
         return Status(Code::NotFound,
                       "no registry " + sys + "/" + name);
     }
+    if (scorer_)
+        scorer_->failPending(name, sys);
     registries_.erase(it);
     return Status::ok();
+}
+
+CaptureHandle
+RegistryManager::captureHandle(const std::string &name,
+                               const std::string &sys)
+{
+    return CaptureHandle(find(name, sys));
+}
+
+Status
+RegistryManager::enableScoring(ScoringConfig cfg)
+{
+    if (scorer_)
+        return Status(Code::AlreadyExists, "scoring service already enabled");
+    scorer_ = std::make_unique<ScoreServer>(*this, clock_, cfg);
+    return Status::ok();
+}
+
+void
+RegistryManager::disableScoring()
+{
+    scorer_.reset();
 }
 
 Registry *
 RegistryManager::find(const std::string &name, const std::string &sys)
 {
-    auto it = registries_.find(std::make_pair(name, sys));
+    // Reference-pair probe: the transparent comparator spares the hot
+    // paths (every async submit routes through here) a string copy.
+    auto it = registries_.find(
+        std::pair<const std::string &, const std::string &>(name, sys));
     return it == registries_.end() ? nullptr : it->second.get();
 }
 
@@ -94,11 +137,11 @@ delete_model(RegistryManager &m, const std::string &, const std::string &,
     return m.models().deleteModel(path);
 }
 
-void
+Status
 register_classifier(RegistryManager &m, const std::string &name,
                     const std::string &sys, Classifier fn, Arch arch)
 {
-    require(m, name, sys).registerClassifier(arch, std::move(fn));
+    return require(m, name, sys).registerClassifier(arch, std::move(fn));
 }
 
 void
@@ -115,6 +158,41 @@ score_features(RegistryManager &m, const std::string &name,
                const std::vector<FeatureVector> &fvs, Nanos now)
 {
     return require(m, name, sys).scoreFeatures(fvs, now);
+}
+
+Status
+score_features_async(RegistryManager &m, const std::string &name,
+                     const std::string &sys,
+                     std::vector<FeatureVector> fvs, Nanos deadline,
+                     ScoreCallback cb)
+{
+    if (ScoreServer *s = m.scorer())
+        return s->submit(name, sys, std::move(fvs), deadline,
+                         std::move(cb));
+
+    // Scoring service off (the default): degrade to synchronous inline
+    // scoring with the same admission errors the async path reports.
+    if (fvs.empty())
+        return Status(Code::InvalidArgument, "empty score batch");
+    Registry *reg = m.find(name, sys);
+    if (reg == nullptr)
+        return Status(Code::InvalidArgument,
+                      "no registry " + sys + "/" + name);
+    if (!reg->hasClassifier(Arch::Cpu))
+        return Status(Code::InvalidArgument,
+                      sys + "/" + name + " has no CPU classifier");
+
+    Nanos now = m.clock().now();
+    ScoreResult res;
+    res.enqueued = now;
+    res.scores = reg->scoreFeatures(fvs, now);
+    res.scored = m.clock().now();
+    res.engine = reg->lastEngine();
+    res.batch = fvs.size();
+    res.status = Status::ok();
+    if (cb)
+        cb(res);
+    return Status::ok();
 }
 
 std::vector<FeatureVector>
@@ -159,6 +237,13 @@ truncate_features(RegistryManager &m, const std::string &name,
                   const std::string &sys, std::optional<Nanos> ts)
 {
     require(m, name, sys).truncateFeatures(ts);
+}
+
+CaptureHandle
+capture_handle(RegistryManager &m, const std::string &name,
+               const std::string &sys)
+{
+    return m.captureHandle(name, sys);
 }
 
 } // namespace lake::registry

@@ -20,38 +20,137 @@
 #include "base/status.h"
 #include "registry/model_store.h"
 #include "registry/registry.h"
+#include "registry/scoreserver.h"
 
 namespace lake::registry {
 
 /**
- * Owner of all feature registries and the model store.
+ * A cached capture handle: the facade's `capture_feature(name, sys,
+ * "feature", v)` pays a map<pair<string,string>> lookup plus a
+ * featureKey() string hash on *every* hot-path capture. Instrumentation
+ * sites resolve the registry once, intern their feature names to
+ * schema keys once, and capture through this handle afterwards.
+ *
+ * Valid until the registry is destroyed; a default-constructed handle
+ * is inert (valid() == false) and must not be used to capture.
+ */
+class CaptureHandle
+{
+  public:
+    CaptureHandle() = default;
+
+    /** True when bound to a live registry. */
+    bool valid() const { return reg_ != nullptr; }
+
+    /**
+     * Interns a schema feature name to its numeric key; capture
+     * through the key overloads afterwards. Panics on a name the
+     * schema does not declare (same contract as captureFeature).
+     */
+    std::uint64_t key(const std::string &feature) const;
+
+    /// @name Capture, forwarded to the bound registry
+    /// @{
+    void beginFvCapture(Nanos ts) { reg_->beginFvCapture(ts); }
+    void captureFeature(std::uint64_t key, std::uint64_t value)
+    {
+        reg_->captureFeature(key, value);
+    }
+    void captureFeatureIncr(std::uint64_t key, std::int64_t delta)
+    {
+        reg_->captureFeatureIncr(key, delta);
+    }
+    void commitFvCapture(Nanos ts) { reg_->commitFvCapture(ts); }
+    /// @}
+
+    /** The bound registry (nullptr when invalid). */
+    Registry *registry() const { return reg_; }
+
+  private:
+    friend class RegistryManager;
+    explicit CaptureHandle(Registry *reg) : reg_(reg) {}
+
+    Registry *reg_ = nullptr;
+};
+
+/**
+ * Heterogeneous (name, sys) key order: lookups compare pairs of string
+ * *references* against the stored pair<string, string> keys, so the
+ * hot paths (find(), every async submit) build no temporary strings.
+ */
+struct RegistryKeyLess
+{
+    using is_transparent = void;
+
+    template <typename A, typename B>
+    bool operator()(const A &a, const B &b) const
+    {
+        if (a.first != b.first)
+            return a.first < b.first;
+        return a.second < b.second;
+    }
+};
+
+/**
+ * Owner of all feature registries, the model store, and (when enabled)
+ * the async scoring service.
  */
 class RegistryManager
 {
   public:
     /** @param clock clock charged for durable model operations */
-    explicit RegistryManager(Clock &clock) : models_(clock) {}
+    explicit RegistryManager(Clock &clock) : clock_(clock), models_(clock) {}
+
+    ~RegistryManager();
 
     /** create_registry(name, sys, schema, window). */
     Status createRegistry(const std::string &name, const std::string &sys,
                           Schema schema, std::size_t window);
 
-    /** destroy_registry(name, sys). */
+    /**
+     * destroy_registry(name, sys). Queued async score requests of the
+     * registry fail with Unavailable before it is torn down.
+     */
     Status destroyRegistry(const std::string &name, const std::string &sys);
 
     /** Looks up a registry; nullptr when absent. */
     Registry *find(const std::string &name, const std::string &sys);
 
+    /**
+     * Resolves a capture handle for hot-path instrumentation; an
+     * invalid handle when the registry does not exist.
+     */
+    CaptureHandle captureHandle(const std::string &name,
+                                const std::string &sys);
+
+    /**
+     * Brings up the async scoring service (DESIGN.md §7). Idempotent
+     * per lifetime: a second call while enabled is AlreadyExists.
+     */
+    Status enableScoring(ScoringConfig cfg);
+
+    /** Flushes and tears down the scoring service (no-op if off). */
+    void disableScoring();
+
+    /** The scoring service; nullptr while disabled (the default). */
+    ScoreServer *scorer() { return scorer_.get(); }
+
     /** Model lifecycle operations. */
     ModelStore &models() { return models_; }
+
+    /** The clock shared with the scoring service. */
+    Clock &clock() { return clock_; }
 
     /** Number of live registries. */
     std::size_t registryCount() const { return registries_.size(); }
 
   private:
-    std::map<std::pair<std::string, std::string>, std::unique_ptr<Registry>>
+    Clock &clock_;
+    std::map<std::pair<std::string, std::string>, std::unique_ptr<Registry>,
+             RegistryKeyLess>
         registries_;
     ModelStore models_;
+    std::unique_ptr<ScoreServer> scorer_;
 };
 
 /// @name Table 1 facade
@@ -75,8 +174,8 @@ Status load_model(RegistryManager &m, const std::string &name,
 Status delete_model(RegistryManager &m, const std::string &name,
                     const std::string &sys, const std::string &path);
 
-void register_classifier(RegistryManager &m, const std::string &name,
-                         const std::string &sys, Classifier fn, Arch arch);
+Status register_classifier(RegistryManager &m, const std::string &name,
+                           const std::string &sys, Classifier fn, Arch arch);
 void register_policy(RegistryManager &m, const std::string &name,
                      const std::string &sys,
                      std::unique_ptr<policy::ExecPolicy> p);
@@ -86,6 +185,21 @@ std::vector<float> score_features(RegistryManager &m,
                                   const std::string &sys,
                                   const std::vector<FeatureVector> &fvs,
                                   Nanos now);
+
+/**
+ * Non-blocking batched scoring (Table 1 extension, DESIGN.md §7).
+ *
+ * With the scoring service enabled, queues @p fvs for a coalesced
+ * flush and returns the admission status. With it disabled (the
+ * default), degrades to synchronous inline scoring: the callback runs
+ * before this returns, with batch == fvs.size(). Either way the
+ * callback fires at most once, and only after an Ok return.
+ */
+Status score_features_async(RegistryManager &m, const std::string &name,
+                            const std::string &sys,
+                            std::vector<FeatureVector> fvs, Nanos deadline,
+                            ScoreCallback cb);
+
 std::vector<FeatureVector> get_features(RegistryManager &m,
                                         const std::string &name,
                                         const std::string &sys,
@@ -103,6 +217,10 @@ void commit_fv_capture(RegistryManager &m, const std::string &name,
                        const std::string &sys, Nanos ts);
 void truncate_features(RegistryManager &m, const std::string &name,
                        const std::string &sys, std::optional<Nanos> ts);
+
+/** Resolves a CaptureHandle (invalid when the registry is absent). */
+CaptureHandle capture_handle(RegistryManager &m, const std::string &name,
+                             const std::string &sys);
 
 /// @}
 

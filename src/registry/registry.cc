@@ -42,6 +42,16 @@ Registry::beginFvCapture(Nanos ts)
     // paper's pend_ios are incrementally maintained counters whose
     // value must persist across vectors; point-in-time features are
     // simply overwritten by the next captureFeature call.
+    //
+    // begin-while-open is a forward re-stamp (see the header). A
+    // backwards re-stamp would commit a window claiming to start
+    // before features it already holds were captured — refuse it
+    // instead of quietly rewinding open_begin_.
+    LAKE_ASSERT(!capture_open_ || ts >= open_begin_,
+                "%s/%s: begin at %llu rewinds open capture begun at %llu",
+                sys_.c_str(), name_.c_str(),
+                static_cast<unsigned long long>(ts),
+                static_cast<unsigned long long>(open_begin_));
     open_begin_ = ts;
     capture_open_ = true;
     auto &m = obs::Metrics::global();
@@ -165,14 +175,32 @@ Registry::truncateFeatures(std::optional<Nanos> ts)
     }
 }
 
-void
+Status
 Registry::registerClassifier(Arch arch, Classifier fn)
 {
     switch (arch) {
-      case Arch::Cpu: cpu_classifier_ = std::move(fn); break;
-      case Arch::Gpu: gpu_classifier_ = std::move(fn); break;
-      case Arch::Xpu: xpu_classifier_ = std::move(fn); break;
+      case Arch::Cpu: cpu_classifier_ = std::move(fn); return Status::ok();
+      case Arch::Gpu: gpu_classifier_ = std::move(fn); return Status::ok();
+      case Arch::Xpu:
+        break;
     }
+    // No Engine::Xpu exists, so an Xpu classifier would be write-only:
+    // registered, never dispatchable. Tell the caller instead.
+    return Status(Code::InvalidArgument,
+                  sys_ + "/" + name_ +
+                      ": Arch::Xpu classifiers are not dispatchable "
+                      "(policy::Engine has no Xpu leg)");
+}
+
+bool
+Registry::hasClassifier(Arch arch) const
+{
+    switch (arch) {
+      case Arch::Cpu: return cpu_classifier_ != nullptr;
+      case Arch::Gpu: return gpu_classifier_ != nullptr;
+      case Arch::Xpu: return false;
+    }
+    return false;
 }
 
 void

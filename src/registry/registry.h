@@ -23,6 +23,7 @@
 
 #include "base/lockfree_map.h"
 #include "base/ring_buffer.h"
+#include "base/status.h"
 #include "base/time.h"
 #include "policy/policy.h"
 #include "registry/schema.h"
@@ -86,8 +87,21 @@ class Registry
     /// @name Capture (Table 1: begin/capture/capture_incr/commit)
     /// @{
 
-    /** Opens a new feature vector with begin timestamp @p ts. */
+    /**
+     * Opens a new feature vector with begin timestamp @p ts.
+     *
+     * Calling begin while a capture is already open is a *re-stamp*:
+     * the open window's begin moves forward to @p ts and every feature
+     * captured so far is kept (the case study re-arms its window on
+     * the submission path without an intervening commit). A re-stamp
+     * may never move time backwards — @p ts earlier than the open
+     * begin panics, since it would fabricate a window that pretends to
+     * predate its own features.
+     */
     void beginFvCapture(Nanos ts);
+
+    /** True while a capture window is open. */
+    bool captureOpen() const { return capture_open_; }
 
     /**
      * Sets feature @p key on the open vector. Callable from any thread
@@ -137,8 +151,18 @@ class Registry
     /// @name Inference dispatch (Table 1: register/score)
     /// @{
 
-    /** Installs the classifier for @p arch. */
-    void registerClassifier(Arch arch, Classifier fn);
+    /**
+     * Installs the classifier for @p arch.
+     *
+     * Only Cpu and Gpu are dispatchable: policy::Engine has no third
+     * leg, so an Arch::Xpu registration used to land in a write-only
+     * slot that scoreFeatures could never reach. It is now rejected
+     * with InvalidArgument instead of silently swallowed.
+     */
+    Status registerClassifier(Arch arch, Classifier fn);
+
+    /** True when a classifier is installed for @p arch. */
+    bool hasClassifier(Arch arch) const;
 
     /** Installs the execution policy (owned by the registry). */
     void registerPolicy(std::unique_ptr<policy::ExecPolicy> p);
@@ -175,7 +199,6 @@ class Registry
 
     Classifier cpu_classifier_;
     Classifier gpu_classifier_;
-    Classifier xpu_classifier_;
     std::unique_ptr<policy::ExecPolicy> policy_;
     policy::Engine last_engine_ = policy::Engine::Cpu;
 };

@@ -1,0 +1,323 @@
+#include "registry/scoreserver.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "base/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "registry/manager.h"
+
+namespace lake::registry {
+
+namespace {
+
+/** Parses a non-negative integer env var; @p fallback when unset/bad. */
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0')
+        return fallback;
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace
+
+void
+ScoringConfig::applyEnv()
+{
+    max_batch = envSize("LAKE_SCORE_MAX_BATCH", max_batch);
+    queue_capacity = envSize("LAKE_SCORE_QUEUE_CAP", queue_capacity);
+    max_delay =
+        static_cast<Nanos>(envSize("LAKE_SCORE_MAX_DELAY_US",
+                                   static_cast<std::size_t>(max_delay / 1000))) *
+        1000ull;
+    shed_oldest = envSize("LAKE_SCORE_SHED", shed_oldest ? 1 : 0) != 0;
+}
+
+ScoreServer::ScoreServer(RegistryManager &mgr, Clock &clock,
+                         ScoringConfig cfg)
+    : mgr_(mgr), clock_(clock), cfg_(cfg)
+{
+    LAKE_ASSERT(cfg_.max_batch > 0, "scoring max_batch must be positive");
+    LAKE_ASSERT(cfg_.queue_capacity > 0,
+                "scoring queue_capacity must be positive");
+}
+
+ScoreServer::~ScoreServer()
+{
+    flushAll(clock_.now());
+}
+
+Status
+ScoreServer::submit(const std::string &name, const std::string &sys,
+                    std::vector<FeatureVector> fvs, Nanos deadline,
+                    ScoreCallback cb)
+{
+    if (fvs.empty())
+        return Status(Code::InvalidArgument, "empty score batch");
+    Registry *reg = mgr_.find(name, sys);
+    if (reg == nullptr)
+        return Status(Code::InvalidArgument,
+                      "no registry " + sys + "/" + name);
+    if (!reg->hasClassifier(Arch::Cpu))
+        return Status(Code::InvalidArgument,
+                      sys + "/" + name + " has no CPU classifier");
+
+    const std::size_t n = fvs.size();
+    Nanos now = clock_.now();
+    if (deadline == 0)
+        deadline = now + cfg_.max_delay;
+
+    std::vector<Request> to_shed;
+    bool trigger = false;
+    std::size_t total_pending;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        Group &g = groups_[sys];
+        RegQueue &rq = g.queues[name];
+
+        if (rq.depth + n > cfg_.queue_capacity) {
+            if (!cfg_.shed_oldest || n > cfg_.queue_capacity) {
+                rejected_.fetch_add(1, std::memory_order_relaxed);
+                auto &m = obs::Metrics::global();
+                if (m.enabled())
+                    m.reg_async_rejects.add();
+                return Status(Code::ResourceExhausted,
+                              sys + "/" + name + " score queue full (" +
+                                  std::to_string(rq.depth) + " pending)");
+            }
+            while (rq.depth + n > cfg_.queue_capacity && !rq.q.empty()) {
+                Request victim = std::move(rq.q.front());
+                rq.q.pop_front();
+                std::size_t vn = victim.fvs.size();
+                rq.depth -= vn;
+                g.depth -= vn;
+                pending_ -= vn;
+                to_shed.push_back(std::move(victim));
+            }
+        }
+
+        rq.q.push_back(Request{reg, std::move(fvs), now, std::move(cb)});
+        rq.depth += n;
+        g.depth += n;
+        pending_ += n;
+        if (g.due == 0 || deadline < g.due)
+            g.due = deadline;
+        trigger = g.depth >= cfg_.max_batch;
+        total_pending = pending_;
+    }
+
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    auto &m = obs::Metrics::global();
+    if (m.enabled()) {
+        m.reg_async_submits.add();
+        m.reg_score_queue_depth.set(total_pending);
+    }
+
+    // Shed callbacks fire outside mu_ so they may re-submit.
+    if (!to_shed.empty()) {
+        shed_.fetch_add(to_shed.size(), std::memory_order_relaxed);
+        auto &tr = obs::Tracer::global();
+        for (Request &victim : to_shed) {
+            if (m.enabled())
+                m.reg_async_sheds.add();
+            if (tr.enabled())
+                tr.instant(obs::Side::Runtime, "registry", "score.shed",
+                           now, obs::kNoId, "vectors", victim.fvs.size());
+            if (victim.cb) {
+                ScoreResult res;
+                res.status = Status(Code::ResourceExhausted,
+                                    "shed by newer submission");
+                res.enqueued = victim.enqueued;
+                res.scored = now;
+                victim.cb(res);
+            }
+        }
+    }
+
+    if (trigger)
+        flushWhere(now, /*due_only=*/true);
+    return Status::ok();
+}
+
+std::vector<ScoreServer::Request>
+ScoreServer::drainGroupLocked(Group &g)
+{
+    // Name-ordered concatenation: deterministic regardless of which
+    // thread's submission triggered the flush.
+    std::vector<Request> out;
+    for (auto &[name, rq] : g.queues) {
+        for (Request &r : rq.q) {
+            pending_ -= r.fvs.size();
+            out.push_back(std::move(r));
+        }
+        rq.q.clear();
+        rq.depth = 0;
+    }
+    g.depth = 0;
+    g.due = 0;
+    return out;
+}
+
+std::size_t
+ScoreServer::flushWhere(Nanos now, bool due_only)
+{
+    std::lock_guard<std::mutex> flock(flush_mu_);
+    std::size_t batches = 0;
+    for (;;) {
+        std::string sys;
+        std::vector<Request> reqs;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            for (auto &[s, g] : groups_) {
+                if (g.depth == 0)
+                    continue;
+                if (due_only && g.due > now && g.depth < cfg_.max_batch)
+                    continue;
+                sys = s;
+                reqs = drainGroupLocked(g);
+                break;
+            }
+            if (reqs.empty()) {
+                updateDepthGauge(pending_);
+                return batches;
+            }
+            updateDepthGauge(pending_);
+        }
+        dispatch(sys, std::move(reqs), now);
+        ++batches;
+    }
+}
+
+std::size_t
+ScoreServer::poll(Nanos now)
+{
+    return flushWhere(now, /*due_only=*/true);
+}
+
+std::size_t
+ScoreServer::flushAll(Nanos now)
+{
+    return flushWhere(now, /*due_only=*/false);
+}
+
+void
+ScoreServer::dispatch(const std::string &sys, std::vector<Request> reqs,
+                      Nanos now)
+{
+    (void)sys;
+    std::size_t total = 0;
+    for (const Request &r : reqs)
+        total += r.fvs.size();
+    std::vector<FeatureVector> batch;
+    batch.reserve(total);
+    // Elements are moved out individually, so r.fvs.size() stays
+    // valid for the scatter offsets below.
+    for (Request &r : reqs)
+        for (FeatureVector &fv : r.fvs)
+            batch.push_back(std::move(fv));
+
+    // The first name-ordered registry dispatches for the whole
+    // subsystem: registries under one subsystem share classifier
+    // semantics (the per-device registries of the case study), so its
+    // policy — FallbackPolicy guard included — sees the *coalesced*
+    // depth as PolicyInput::batch_size. The classifier's compute lands
+    // on the ThreadPool-parallel GEMM/kNN substrate, which is where a
+    // big batch beats per-call dispatch.
+    Registry *rep = reqs.front().reg;
+    Nanos start = std::max(now, clock_.now());
+    std::vector<float> scores = rep->scoreFeatures(batch, start);
+    Nanos scored = std::max(start, clock_.now());
+
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    auto &m = obs::Metrics::global();
+    if (m.enabled()) {
+        m.reg_score_flushes.add();
+        m.reg_score_batch.record(batch.size());
+        for (const Request &r : reqs)
+            m.reg_score_queue_ns.record(scored - r.enqueued);
+    }
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.span(obs::Side::Runtime, "registry", "score.flush", start,
+                scored - start, obs::kNoId, "batch", batch.size(),
+                "requests", reqs.size());
+
+    ScoreResult res;
+    res.status = Status::ok();
+    res.scored = scored;
+    res.engine = rep->lastEngine();
+    res.batch = batch.size();
+    std::size_t off = 0;
+    for (Request &r : reqs) {
+        std::size_t rn = r.fvs.size();
+        if (r.cb) {
+            res.enqueued = r.enqueued;
+            res.scores.assign(scores.begin() + off,
+                              scores.begin() + off + rn);
+            r.cb(res);
+        }
+        off += rn;
+    }
+}
+
+void
+ScoreServer::failPending(const std::string &name, const std::string &sys)
+{
+    // Taken in flush order (flush_mu_ then mu_) so no concurrent flush
+    // still holds this registry's requests when the callbacks fire.
+    std::lock_guard<std::mutex> flock(flush_mu_);
+    std::deque<Request> orphaned;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto git = groups_.find(sys);
+        if (git == groups_.end())
+            return;
+        auto qit = git->second.queues.find(name);
+        if (qit == git->second.queues.end())
+            return;
+        orphaned = std::move(qit->second.q);
+        for (const Request &r : orphaned) {
+            git->second.depth -= r.fvs.size();
+            pending_ -= r.fvs.size();
+        }
+        git->second.queues.erase(qit);
+        if (git->second.depth == 0)
+            git->second.due = 0;
+        updateDepthGauge(pending_);
+    }
+    Nanos now = clock_.now();
+    for (Request &r : orphaned) {
+        if (!r.cb)
+            continue;
+        ScoreResult res;
+        res.status = Status(Code::Unavailable,
+                            "registry " + sys + "/" + name + " destroyed");
+        res.enqueued = r.enqueued;
+        res.scored = now;
+        r.cb(res);
+    }
+}
+
+std::size_t
+ScoreServer::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+}
+
+void
+ScoreServer::updateDepthGauge(std::size_t total) const
+{
+    auto &m = obs::Metrics::global();
+    if (m.enabled())
+        m.reg_score_queue_depth.set(total);
+}
+
+} // namespace lake::registry

@@ -52,6 +52,12 @@ struct DeviceState
     bool flush_scheduled = false;
     Nanos next_commit_ts = 1;
     registry::Registry *reg = nullptr;
+    /** Cached capture handle + interned keys: the completion and
+     *  submission paths fire per I/O, so they must not re-hash feature
+     *  names or re-walk the manager's registry map. */
+    registry::CaptureHandle cap;
+    std::array<std::uint64_t, kLinnosHistory> lat_keys{};
+    std::uint64_t pend_key = 0;
 };
 
 /** Builds the 31-feature matrix from registry feature vectors. */
@@ -131,6 +137,12 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
                         st.toString().c_str());
             devs[d].reg =
                 lake.registries().find(devs[d].dev->name(), kSys);
+            devs[d].cap =
+                lake.registries().captureHandle(devs[d].dev->name(),
+                                                kSys);
+            for (std::size_t h = 0; h < kLinnosHistory; ++h)
+                devs[d].lat_keys[h] = devs[d].cap.key(kLatFeature[h]);
+            devs[d].pend_key = devs[d].cap.key("pend_ios");
             // Fig. 3 plumbing with the ISSUE-2 guard: once remoting
             // degrades, every decision comes back Engine::Cpu.
             devs[d].reg->registerPolicy(lake.degradationGuard(
@@ -180,11 +192,11 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
         for (std::size_t i = kLinnosHistory - 1; i > 0; --i)
             ds.history[i] = ds.history[i - 1];
         ds.history[0] = lat_us;
-        if (ds.reg) {
+        if (ds.cap.valid()) {
             for (std::size_t h = 0; h < kLinnosHistory; ++h)
-                ds.reg->captureFeature(kLatFeature[h], ds.history[h]);
-            ds.reg->captureFeature(
-                "pend_ios",
+                ds.cap.captureFeature(ds.lat_keys[h], ds.history[h]);
+            ds.cap.captureFeature(
+                ds.pend_key,
                 static_cast<std::uint64_t>(ds.dev->pending()));
         }
     };
@@ -203,15 +215,15 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
         DeviceState &ds = devs[d];
         ds.dev->submit(io, [&, d](Nanos) {
             DeviceState &s = devs[d];
-            if (s.reg) {
-                s.reg->captureFeature(
-                    "pend_ios",
+            if (s.cap.valid()) {
+                s.cap.captureFeature(
+                    s.pend_key,
                     static_cast<std::uint64_t>(s.dev->pending()));
             }
         });
-        if (ds.reg) {
-            ds.reg->captureFeature(
-                "pend_ios",
+        if (ds.cap.valid()) {
+            ds.cap.captureFeature(
+                ds.pend_key,
                 static_cast<std::uint64_t>(ds.dev->pending()));
         }
     };
@@ -361,8 +373,8 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
                     }
                     // Listing 4: the arriving I/O becomes a feature
                     // vector; flush on batch size or quantum.
-                    ds.reg->captureFeature(
-                        "pend_ios",
+                    ds.cap.captureFeature(
+                        ds.pend_key,
                         static_cast<std::uint64_t>(ds.dev->pending()));
                     Nanos ts = std::max(simr.now(), ds.next_commit_ts);
                     ds.next_commit_ts = ts + 1;

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <deque>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -302,6 +303,41 @@ TEST(RingBufferTest, Snapshot)
     ASSERT_EQ(snap.size(), 4u);
     EXPECT_EQ(snap.front(), 2);
     EXPECT_EQ(snap.back(), 5);
+}
+
+TEST(RingBufferTest, ClearReleasesSlotResources)
+{
+    // Regression: clear() used to reset head/size only, leaving every
+    // dead slot's T alive — a cleared registry ring kept all its
+    // feature vectors' heap maps allocated until overwrite. Count live
+    // allocations through weak_ptr expiry.
+    RingBuffer<std::shared_ptr<int>> r(4);
+    std::vector<std::weak_ptr<int>> live;
+    for (int i = 0; i < 4; ++i) {
+        auto sp = std::make_shared<int>(i);
+        live.push_back(sp);
+        r.push(std::move(sp));
+    }
+    for (const auto &w : live)
+        EXPECT_FALSE(w.expired());
+
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    for (const auto &w : live)
+        EXPECT_TRUE(w.expired());
+}
+
+TEST(RingBufferTest, PopReleasesSlotResources)
+{
+    RingBuffer<std::shared_ptr<int>> r(2);
+    auto sp = std::make_shared<int>(1);
+    std::weak_ptr<int> w = sp;
+    r.push(std::move(sp));
+
+    std::shared_ptr<int> out = r.pop();
+    EXPECT_FALSE(w.expired()); // alive through the returned value only
+    out.reset();
+    EXPECT_TRUE(w.expired()); // the ring slot holds no residue
 }
 
 class RingBufferCapacityTest : public ::testing::TestWithParam<std::size_t>

@@ -1,7 +1,9 @@
-// Tests for the in-kernel feature registry (Table 1 semantics).
+// Tests for the in-kernel feature registry (Table 1 semantics) and the
+// async batched scoring service (DESIGN.md §7).
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <thread>
 
@@ -9,6 +11,7 @@
 #include "registry/manager.h"
 #include "registry/registry.h"
 #include "registry/schema.h"
+#include "registry/scoreserver.h"
 
 namespace lake::registry {
 namespace {
@@ -233,6 +236,57 @@ TEST(RegistryScoreTest, EmptyBatchIsNoop)
     EXPECT_TRUE(reg.scoreFeatures({}, 0).empty());
 }
 
+TEST(RegistryScoreTest, XpuClassifierIsRejected)
+{
+    // Regression: Arch::Xpu used to land in a write-only member that
+    // no scoreFeatures dispatch could ever reach.
+    Registry reg("r", "s", Schema().add("x"), 8);
+    Status st = reg.registerClassifier(
+        Arch::Xpu, [](const std::vector<FeatureVector> &fvs) {
+            return std::vector<float>(fvs.size(), 0.0f);
+        });
+    EXPECT_EQ(st.code(), Code::InvalidArgument);
+    EXPECT_FALSE(reg.hasClassifier(Arch::Xpu));
+    EXPECT_FALSE(reg.hasClassifier(Arch::Cpu));
+
+    EXPECT_TRUE(reg.registerClassifier(
+                       Arch::Cpu,
+                       [](const std::vector<FeatureVector> &fvs) {
+                           return std::vector<float>(fvs.size(), 0.0f);
+                       })
+                    .isOk());
+    EXPECT_TRUE(reg.hasClassifier(Arch::Cpu));
+    EXPECT_FALSE(reg.hasClassifier(Arch::Gpu));
+}
+
+TEST(RegistryCaptureTest, ForwardRestampKeepsFeatures)
+{
+    // begin-while-open is a forward re-stamp: the window start moves,
+    // captured features survive.
+    Registry reg("r", "s", Schema().add("x"), 8);
+    reg.beginFvCapture(10);
+    reg.captureFeature("x", 7);
+    EXPECT_TRUE(reg.captureOpen());
+    reg.beginFvCapture(20);
+    reg.commitFvCapture(30);
+
+    auto fvs = reg.getFeatures();
+    ASSERT_EQ(fvs.size(), 1u);
+    EXPECT_EQ(fvs[0].ts_begin, 20u);
+    EXPECT_EQ(fvs[0].ts_end, 30u);
+    EXPECT_EQ(fvs[0].get("x"), 7u);
+}
+
+TEST(RegistryCaptureDeathTest, RewindingRestampPanics)
+{
+    // Regression: a begin while open used to silently rewind
+    // open_begin_, fabricating a window predating its own features.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Registry reg("r", "s", Schema().add("x"), 8);
+    reg.beginFvCapture(100);
+    EXPECT_DEATH(reg.beginFvCapture(50), "rewinds open capture");
+}
+
 TEST(RegistryConcurrencyTest, CaptureFromManyThreads)
 {
     // §5.3: capture calls may come from arbitrary kernel threads while
@@ -252,6 +306,346 @@ TEST(RegistryConcurrencyTest, CaptureFromManyThreads)
     reg.commitFvCapture(1);
     EXPECT_EQ(reg.getFeatures()[0].get("ctr"),
               static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(RegistryConcurrencyTest, CaptureWhileCommit)
+{
+    // Capture threads keep hammering the open window while the owner
+    // commits vector after vector; incremental counters must never
+    // lose an increment across the commit boundary.
+    Registry reg("r", "s", Schema().add("ctr"), 4);
+    reg.beginFvCapture(0);
+
+    constexpr int kThreads = 4;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> incrs{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            std::uint64_t mine = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                reg.captureFeatureIncr("ctr", 1);
+                ++mine;
+            }
+            incrs.fetch_add(mine);
+        });
+    }
+    for (Nanos ts = 1; ts <= 200; ++ts)
+        reg.commitFvCapture(ts);
+    stop.store(true);
+    for (auto &t : threads)
+        t.join();
+    reg.commitFvCapture(1000);
+
+    // The final committed vector holds every increment ever made: the
+    // counter is incrementally maintained and persists across commits.
+    auto fvs = reg.getFeatures();
+    ASSERT_FALSE(fvs.empty());
+    EXPECT_EQ(fvs.back().get("ctr"), incrs.load());
+}
+
+/** Fixture wiring two same-subsystem registries into a ScoreServer. */
+class ScoreServerTest : public ::testing::Test
+{
+  protected:
+    ScoreServerTest() : mgr_(clock_) {}
+
+    /** Creates a registry with an echo classifier (score = x). */
+    void
+    addRegistry(const std::string &name, const std::string &sys,
+                std::vector<std::size_t> *batches)
+    {
+        ASSERT_TRUE(
+            mgr_.createRegistry(name, sys, Schema().add("x"), 64).isOk());
+        Registry *reg = mgr_.find(name, sys);
+        ASSERT_TRUE(reg->registerClassifier(
+                           Arch::Cpu,
+                           [batches](const std::vector<FeatureVector>
+                                         &fvs) {
+                               if (batches)
+                                   batches->push_back(fvs.size());
+                               std::vector<float> out;
+                               for (const FeatureVector &fv : fvs)
+                                   out.push_back(static_cast<float>(
+                                       fv.get("x")));
+                               return out;
+                           })
+                        .isOk());
+    }
+
+    /** One-feature vectors carrying the given x values. */
+    static std::vector<FeatureVector>
+    fvsWith(std::initializer_list<std::uint64_t> xs)
+    {
+        std::vector<FeatureVector> out;
+        for (std::uint64_t x : xs) {
+            FeatureVector fv;
+            fv.values[featureKey("x")] = {x};
+            out.push_back(std::move(fv));
+        }
+        return out;
+    }
+
+    Clock clock_;
+    RegistryManager mgr_;
+};
+
+TEST_F(ScoreServerTest, SyncInlineFallbackWhenDisabled)
+{
+    addRegistry("a", "blk", nullptr);
+    ASSERT_EQ(mgr_.scorer(), nullptr);
+
+    int fired = 0;
+    Status st = score_features_async(
+        mgr_, "a", "blk", fvsWith({4, 9}), 0, [&](const ScoreResult &r) {
+            ++fired;
+            EXPECT_TRUE(r.status.isOk());
+            ASSERT_EQ(r.scores.size(), 2u);
+            EXPECT_FLOAT_EQ(r.scores[0], 4.0f);
+            EXPECT_FLOAT_EQ(r.scores[1], 9.0f);
+            EXPECT_EQ(r.batch, 2u);
+        });
+    EXPECT_TRUE(st.isOk());
+    // Disabled mode degrades to synchronous inline scoring.
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ScoreServerTest, CoalescesAcrossRegistriesAtMaxBatch)
+{
+    std::vector<std::size_t> a_batches, b_batches;
+    addRegistry("a", "blk", &a_batches);
+    addRegistry("b", "blk", &b_batches);
+
+    ScoringConfig cfg;
+    cfg.max_batch = 4;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+    ASSERT_NE(s, nullptr);
+
+    int fired_a = 0, fired_b = 0;
+    ASSERT_TRUE(s->submit("b", "blk", fvsWith({30, 40}), 0,
+                          [&](const ScoreResult &r) {
+                              ++fired_b;
+                              ASSERT_EQ(r.scores.size(), 2u);
+                              EXPECT_FLOAT_EQ(r.scores[0], 30.0f);
+                              EXPECT_FLOAT_EQ(r.scores[1], 40.0f);
+                              EXPECT_EQ(r.batch, 4u);
+                          })
+                    .isOk());
+    EXPECT_EQ(fired_b, 0); // below max_batch: queued, not scored
+    EXPECT_EQ(s->pending(), 2u);
+
+    // Reaching max_batch flushes inline on the submitting call; the
+    // coalesced batch dispatches through the first name-ordered
+    // registry ("a") and scatters per-request score slices back.
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({10, 20}), 0,
+                          [&](const ScoreResult &r) {
+                              ++fired_a;
+                              ASSERT_EQ(r.scores.size(), 2u);
+                              EXPECT_FLOAT_EQ(r.scores[0], 10.0f);
+                              EXPECT_FLOAT_EQ(r.scores[1], 20.0f);
+                          })
+                    .isOk());
+    EXPECT_EQ(fired_a, 1);
+    EXPECT_EQ(fired_b, 1);
+    EXPECT_EQ(s->pending(), 0u);
+    ASSERT_EQ(a_batches.size(), 1u);
+    EXPECT_EQ(a_batches[0], 4u);
+    EXPECT_TRUE(b_batches.empty());
+    EXPECT_EQ(s->flushes(), 1u);
+}
+
+TEST_F(ScoreServerTest, DeadlineFlushViaPoll)
+{
+    addRegistry("a", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.max_batch = 32;
+    cfg.max_delay = 50_us;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    int fired = 0;
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({1}), 0,
+                          [&](const ScoreResult &r) {
+                              ++fired;
+                              EXPECT_TRUE(r.status.isOk());
+                              EXPECT_EQ(r.enqueued, 0u);
+                              EXPECT_GE(r.scored, 50_us);
+                          })
+                    .isOk());
+
+    // Virtual time has not reached the deadline: nothing flushes.
+    EXPECT_EQ(s->poll(clock_.now()), 0u);
+    EXPECT_EQ(fired, 0);
+
+    clock_.advance(50_us);
+    EXPECT_EQ(s->poll(clock_.now()), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s->pending(), 0u);
+}
+
+TEST_F(ScoreServerTest, AdmissionErrors)
+{
+    addRegistry("a", "blk", nullptr);
+    ASSERT_TRUE(
+        mgr_.createRegistry("bare", "blk", Schema().add("x"), 8).isOk());
+    ScoringConfig cfg;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    auto never = [](const ScoreResult &) { FAIL(); };
+    EXPECT_EQ(s->submit("a", "blk", {}, 0, never).code(),
+              Code::InvalidArgument);
+    EXPECT_EQ(s->submit("nope", "blk", fvsWith({1}), 0, never).code(),
+              Code::InvalidArgument);
+    // A registry without a CPU classifier can never score a flush.
+    EXPECT_EQ(s->submit("bare", "blk", fvsWith({1}), 0, never).code(),
+              Code::InvalidArgument);
+}
+
+TEST_F(ScoreServerTest, BackpressureRejectsWhenFull)
+{
+    addRegistry("a", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.queue_capacity = 4;
+    cfg.max_batch = 100;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    int fired = 0;
+    auto count = [&](const ScoreResult &) { ++fired; };
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({1, 2, 3, 4}), 0, count)
+                    .isOk());
+    EXPECT_EQ(s->submit("a", "blk", fvsWith({5}), 0, count).code(),
+              Code::ResourceExhausted);
+    EXPECT_EQ(s->rejected(), 1u);
+    EXPECT_EQ(s->pending(), 4u);
+
+    // The queued work is intact and flushes normally.
+    EXPECT_EQ(s->flushAll(clock_.now()), 1u);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST_F(ScoreServerTest, ShedOldestMakesRoom)
+{
+    addRegistry("a", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.queue_capacity = 4;
+    cfg.max_batch = 100;
+    cfg.shed_oldest = true;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    int shed_cb = 0, ok_cb = 0;
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({1, 2, 3, 4}), 0,
+                          [&](const ScoreResult &r) {
+                              ++shed_cb;
+                              EXPECT_EQ(r.status.code(),
+                                        Code::ResourceExhausted);
+                              EXPECT_TRUE(r.scores.empty());
+                          })
+                    .isOk());
+    // Over capacity: the oldest request is dropped to make room, its
+    // callback observing ResourceExhausted.
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({5}), 0,
+                          [&](const ScoreResult &r) {
+                              ++ok_cb;
+                              EXPECT_TRUE(r.status.isOk());
+                              ASSERT_EQ(r.scores.size(), 1u);
+                              EXPECT_FLOAT_EQ(r.scores[0], 5.0f);
+                          })
+                    .isOk());
+    EXPECT_EQ(shed_cb, 1);
+    EXPECT_EQ(s->shed(), 1u);
+    EXPECT_EQ(s->pending(), 1u);
+
+    EXPECT_EQ(s->flushAll(clock_.now()), 1u);
+    EXPECT_EQ(ok_cb, 1);
+}
+
+TEST_F(ScoreServerTest, DestroyRegistryFailsPending)
+{
+    addRegistry("a", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.max_batch = 32;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    int fired = 0;
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({1, 2}), 0,
+                          [&](const ScoreResult &r) {
+                              ++fired;
+                              EXPECT_EQ(r.status.code(),
+                                        Code::Unavailable);
+                              EXPECT_TRUE(r.scores.empty());
+                          })
+                    .isOk());
+    ASSERT_TRUE(mgr_.destroyRegistry("a", "blk").isOk());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(s->pending(), 0u);
+    // Nothing left to flush.
+    EXPECT_EQ(s->flushAll(clock_.now()), 0u);
+}
+
+TEST_F(ScoreServerTest, ConcurrentSubmitIsSafe)
+{
+    addRegistry("a", "blk", nullptr);
+    addRegistry("b", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.max_batch = 8;
+    cfg.queue_capacity = 4096;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    constexpr int kThreads = 4, kIters = 64;
+    std::atomic<std::uint64_t> scored{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            const std::string name = (t % 2) ? "a" : "b";
+            for (int i = 0; i < kIters; ++i) {
+                Status st = s->submit(
+                    name, "blk", fvsWith({static_cast<std::uint64_t>(i)}),
+                    0, [&](const ScoreResult &r) {
+                        scored.fetch_add(r.scores.size());
+                    });
+                ASSERT_TRUE(st.isOk());
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    s->flushAll(clock_.now());
+
+    EXPECT_EQ(scored.load(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(s->pending(), 0u);
+    EXPECT_EQ(s->submitted(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(ManagerTest, CaptureHandleBindsAndInternKeys)
+{
+    Clock clock;
+    RegistryManager mgr(clock);
+    ASSERT_TRUE(
+        mgr.createRegistry("sda1", "bio", Schema().add("pend_ios"), 8)
+            .isOk());
+
+    CaptureHandle cap = capture_handle(mgr, "sda1", "bio");
+    ASSERT_TRUE(cap.valid());
+    std::uint64_t k = cap.key("pend_ios");
+    EXPECT_EQ(k, featureKey("pend_ios"));
+
+    cap.beginFvCapture(0);
+    cap.captureFeature(k, 7);
+    cap.captureFeatureIncr(k, 2);
+    cap.commitFvCapture(5);
+    auto fvs = get_features(mgr, "sda1", "bio", std::nullopt);
+    ASSERT_EQ(fvs.size(), 1u);
+    EXPECT_EQ(fvs[0].get("pend_ios"), 9u);
+
+    EXPECT_FALSE(capture_handle(mgr, "nope", "bio").valid());
 }
 
 TEST(ManagerTest, LifecycleAndFacade)
