@@ -26,6 +26,7 @@ RegistryManager::createRegistry(const std::string &name,
                                 std::size_t window)
 {
     auto key = std::make_pair(name, sys);
+    std::lock_guard<std::mutex> lock(reg_mu_);
     if (registries_.count(key)) {
         return Status(Code::AlreadyExists,
                       "registry " + sys + "/" + name + " exists");
@@ -39,14 +40,24 @@ Status
 RegistryManager::destroyRegistry(const std::string &name,
                                  const std::string &sys)
 {
-    auto it = registries_.find(std::make_pair(name, sys));
-    if (it == registries_.end()) {
-        return Status(Code::NotFound,
-                      "no registry " + sys + "/" + name);
+    // Unlink under reg_mu_ first: a submit() racing this holds reg_mu_
+    // across lookup + enqueue, so it either enqueued before we got the
+    // lock (failPending below fails it) or finds nothing. The object
+    // stays alive in `doomed` until failPending has waited out any
+    // in-flight flush still dispatching through it.
+    std::unique_ptr<Registry> doomed;
+    {
+        std::lock_guard<std::mutex> lock(reg_mu_);
+        auto it = registries_.find(std::make_pair(name, sys));
+        if (it == registries_.end()) {
+            return Status(Code::NotFound,
+                          "no registry " + sys + "/" + name);
+        }
+        doomed = std::move(it->second);
+        registries_.erase(it);
     }
     if (scorer_)
         scorer_->failPending(name, sys);
-    registries_.erase(it);
     return Status::ok();
 }
 
@@ -74,6 +85,13 @@ RegistryManager::disableScoring()
 
 Registry *
 RegistryManager::find(const std::string &name, const std::string &sys)
+{
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    return findLocked(name, sys);
+}
+
+Registry *
+RegistryManager::findLocked(const std::string &name, const std::string &sys)
 {
     // Reference-pair probe: the transparent comparator spares the hot
     // paths (every async submit routes through here) a string copy.
@@ -157,7 +175,13 @@ score_features(RegistryManager &m, const std::string &name,
                const std::string &sys,
                const std::vector<FeatureVector> &fvs, Nanos now)
 {
-    return require(m, name, sys).scoreFeatures(fvs, now);
+    Registry &reg = require(m, name, sys);
+    // With the async service up, serialize against its flushes: sync
+    // and async scoring share the registry's policy and classifier
+    // state, which the flush lock alone protects.
+    if (ScoreServer *s = m.scorer())
+        return s->scoreSync(reg, fvs, now);
+    return reg.scoreFeatures(fvs, now);
 }
 
 Status

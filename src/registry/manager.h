@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -108,12 +109,20 @@ class RegistryManager
                           Schema schema, std::size_t window);
 
     /**
-     * destroy_registry(name, sys). Queued async score requests of the
-     * registry fail with Unavailable before it is torn down.
+     * destroy_registry(name, sys). The registry is first unlinked from
+     * the table (new submissions see InvalidArgument), then its queued
+     * async score requests fail with Unavailable — waiting out any
+     * in-flight flush — and only then is the object freed.
      */
     Status destroyRegistry(const std::string &name, const std::string &sys);
 
-    /** Looks up a registry; nullptr when absent. */
+    /**
+     * Looks up a registry; nullptr when absent. Safe against a
+     * concurrent destroyRegistry(), but the returned pointer is only
+     * guaranteed live while no other thread may destroy it — async
+     * submission holds the registry lock across lookup *and* enqueue
+     * for exactly that reason (see lockRegistries()).
+     */
     Registry *find(const std::string &name, const std::string &sys);
 
     /**
@@ -142,10 +151,32 @@ class RegistryManager
     Clock &clock() { return clock_; }
 
     /** Number of live registries. */
-    std::size_t registryCount() const { return registries_.size(); }
+    std::size_t registryCount() const
+    {
+        std::lock_guard<std::mutex> lock(reg_mu_);
+        return registries_.size();
+    }
 
   private:
+    friend class ScoreServer;
+
+    /**
+     * Locks the registry table. ScoreServer::submit holds this across
+     * findLocked() + enqueue so a racing destroyRegistry() — which
+     * unlinks the registry under the same lock before failing its
+     * queue — can never leave a dangling pointer in a queue.
+     */
+    std::unique_lock<std::mutex> lockRegistries()
+    {
+        return std::unique_lock<std::mutex>(reg_mu_);
+    }
+
+    /** find() body; caller holds reg_mu_ via lockRegistries(). */
+    Registry *findLocked(const std::string &name, const std::string &sys);
+
     Clock &clock_;
+    /** Guards registries_ (reads and lifecycle). */
+    mutable std::mutex reg_mu_;
     std::map<std::pair<std::string, std::string>, std::unique_ptr<Registry>,
              RegistryKeyLess>
         registries_;

@@ -26,6 +26,28 @@ envSize(const char *name, std::size_t fallback)
     return static_cast<std::size_t>(parsed);
 }
 
+/**
+ * The server whose flush lock this thread currently holds (callbacks
+ * run under it). Lets a re-entrant submit() skip the inline flush
+ * trigger — re-locking the non-recursive flush mutex would deadlock —
+ * and lets scoreSync() called from a callback dispatch directly.
+ */
+thread_local const void *tls_flushing = nullptr;
+
+/** Marks this thread as flushing @p s for the enclosing scope. */
+class FlushScope
+{
+  public:
+    explicit FlushScope(const void *s) : prev_(tls_flushing)
+    {
+        tls_flushing = s;
+    }
+    ~FlushScope() { tls_flushing = prev_; }
+
+  private:
+    const void *prev_;
+};
+
 } // namespace
 
 void
@@ -61,13 +83,6 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
 {
     if (fvs.empty())
         return Status(Code::InvalidArgument, "empty score batch");
-    Registry *reg = mgr_.find(name, sys);
-    if (reg == nullptr)
-        return Status(Code::InvalidArgument,
-                      "no registry " + sys + "/" + name);
-    if (!reg->hasClassifier(Arch::Cpu))
-        return Status(Code::InvalidArgument,
-                      sys + "/" + name + " has no CPU classifier");
 
     const std::size_t n = fvs.size();
     Nanos now = clock_.now();
@@ -78,6 +93,19 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
     bool trigger = false;
     std::size_t total_pending;
     {
+        // The registry lock spans lookup *and* enqueue, so a racing
+        // destroyRegistry() either runs entirely before (lookup fails)
+        // or entirely after (failPending drains this request) — the
+        // pointer can never dangle in the queue.
+        std::unique_lock<std::mutex> rlock = mgr_.lockRegistries();
+        Registry *reg = mgr_.findLocked(name, sys);
+        if (reg == nullptr)
+            return Status(Code::InvalidArgument,
+                          "no registry " + sys + "/" + name);
+        if (!reg->hasClassifier(Arch::Cpu))
+            return Status(Code::InvalidArgument,
+                          sys + "/" + name + " has no CPU classifier");
+
         std::lock_guard<std::mutex> lock(mu_);
         Group &g = groups_[sys];
         RegQueue &rq = g.queues[name];
@@ -101,9 +129,14 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
                 pending_ -= vn;
                 to_shed.push_back(std::move(victim));
             }
+            // The victims may have established g.due; recompute the
+            // earliest deadline from the survivors so poll() does not
+            // flush the remaining queue against a dead deadline.
+            g.due = minDueLocked(g);
         }
 
-        rq.q.push_back(Request{reg, std::move(fvs), now, std::move(cb)});
+        rq.q.push_back(
+            Request{reg, std::move(fvs), now, deadline, std::move(cb)});
         rq.depth += n;
         g.depth += n;
         pending_ += n;
@@ -141,7 +174,11 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
         }
     }
 
-    if (trigger)
+    // A submit() from a score callback runs with flush_mu_ already
+    // held by this thread: skip the inline trigger — the flushWhere
+    // loop that invoked the callback re-scans the groups after its
+    // dispatch returns and picks the new work up itself.
+    if (trigger && tls_flushing != this)
         flushWhere(now, /*due_only=*/true);
     return Status::ok();
 }
@@ -165,10 +202,24 @@ ScoreServer::drainGroupLocked(Group &g)
     return out;
 }
 
+Nanos
+ScoreServer::minDueLocked(const Group &g)
+{
+    Nanos due = 0;
+    for (const auto &[name, rq] : g.queues)
+        for (const Request &r : rq.q)
+            if (due == 0 || r.deadline < due)
+                due = r.deadline;
+    return due;
+}
+
 std::size_t
 ScoreServer::flushWhere(Nanos now, bool due_only)
 {
+    LAKE_ASSERT(tls_flushing != this,
+                "poll()/flushAll() re-entered from a score callback");
     std::lock_guard<std::mutex> flock(flush_mu_);
+    FlushScope in_flush(this);
     std::size_t batches = 0;
     for (;;) {
         std::string sys;
@@ -270,9 +321,12 @@ ScoreServer::dispatch(const std::string &sys, std::vector<Request> reqs,
 void
 ScoreServer::failPending(const std::string &name, const std::string &sys)
 {
+    LAKE_ASSERT(tls_flushing != this,
+                "destroy_registry re-entered from a score callback");
     // Taken in flush order (flush_mu_ then mu_) so no concurrent flush
     // still holds this registry's requests when the callbacks fire.
     std::lock_guard<std::mutex> flock(flush_mu_);
+    FlushScope in_flush(this);
     std::deque<Request> orphaned;
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -288,8 +342,9 @@ ScoreServer::failPending(const std::string &name, const std::string &sys)
             pending_ -= r.fvs.size();
         }
         git->second.queues.erase(qit);
-        if (git->second.depth == 0)
-            git->second.due = 0;
+        // The erased queue may have carried the earliest deadline;
+        // recompute from the surviving registries of the group.
+        git->second.due = minDueLocked(git->second);
         updateDepthGauge(pending_);
     }
     Nanos now = clock_.now();
@@ -303,6 +358,19 @@ ScoreServer::failPending(const std::string &name, const std::string &sys)
         res.scored = now;
         r.cb(res);
     }
+}
+
+std::vector<float>
+ScoreServer::scoreSync(Registry &reg, const std::vector<FeatureVector> &fvs,
+                       Nanos now)
+{
+    // A score callback already runs under this thread's flush lock —
+    // dispatch is serialized by construction, so score directly rather
+    // than self-deadlocking on the re-lock.
+    if (tls_flushing == this)
+        return reg.scoreFeatures(fvs, now);
+    std::lock_guard<std::mutex> flock(flush_mu_);
+    return reg.scoreFeatures(fvs, now);
 }
 
 std::size_t

@@ -40,9 +40,18 @@
  *    drive every other virtual-time component.
  *  - Callbacks run on the flushing thread, under the flush lock:
  *    per-registry FIFO order, registries of one flush in name order.
- *    A callback may submit() but must not call poll()/flushAll().
+ *    A callback may submit() — a re-entrant submission that reaches
+ *    max_batch does not flush inline; the flush loop already running
+ *    on this thread picks it up before returning. A callback must not
+ *    call poll()/flushAll()/destroy_registry (asserted: re-locking the
+ *    non-recursive flush lock would deadlock).
+ *  - Synchronous scoring coexists with the service: the Table 1
+ *    `score_features` facade routes through scoreSync(), which takes
+ *    the same flush lock, so registry policies and classifiers never
+ *    see concurrent dispatch from the mixed sync/async paths either.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -163,9 +172,22 @@ class ScoreServer
 
     /**
      * Fails every queued request of one registry with Unavailable —
-     * the manager calls this before destroying the registry.
+     * the manager calls this after unlinking the registry from the
+     * table (so no new submission can enqueue behind the drain) but
+     * before freeing it (so an in-flight flush finishes first).
      */
     void failPending(const std::string &name, const std::string &sys);
+
+    /**
+     * Synchronous scoring serialized against async flushes: takes the
+     * flush lock (unless already held by this thread's flush, i.e.
+     * called from a score callback) and dispatches @p fvs through
+     * @p reg. The `score_features` facade routes here while the
+     * service is enabled so sync and async dispatch never race.
+     */
+    std::vector<float> scoreSync(Registry &reg,
+                                 const std::vector<FeatureVector> &fvs,
+                                 Nanos now);
 
     /// @name Introspection (exact under quiescence)
     /// @{
@@ -187,6 +209,9 @@ class ScoreServer
         Registry *reg;
         std::vector<FeatureVector> fvs;
         Nanos enqueued;
+        /** Absolute flush deadline, kept so shedding/teardown can
+         *  recompute the group's earliest deadline from survivors. */
+        Nanos deadline;
         ScoreCallback cb;
     };
 
@@ -212,6 +237,9 @@ class ScoreServer
 
     /** Pops every pending request of @p g, oldest-deadline bookkeeping reset. */
     std::vector<Request> drainGroupLocked(Group &g);
+
+    /** Earliest deadline among @p g's surviving requests; 0 if none. */
+    static Nanos minDueLocked(const Group &g);
 
     /** Dispatches one coalesced batch; caller holds flush_mu_ only. */
     void dispatch(const std::string &sys, std::vector<Request> reqs,

@@ -587,6 +587,222 @@ TEST_F(ScoreServerTest, DestroyRegistryFailsPending)
     EXPECT_EQ(s->flushAll(clock_.now()), 0u);
 }
 
+// Regression: a callback's re-entrant submit() that brings the group
+// to max_batch used to re-lock the non-recursive flush mutex on the
+// same thread (deadlock). It must instead defer to the flush loop
+// already running, which drains the new work before returning.
+TEST_F(ScoreServerTest, ReentrantSubmitFlushesInOngoingLoop)
+{
+    std::vector<std::size_t> batches;
+    addRegistry("a", "blk", &batches);
+    ScoringConfig cfg;
+    cfg.max_batch = 2;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    int inner_fired = 0;
+    auto inner = [&](const ScoreResult &r) {
+        ++inner_fired;
+        EXPECT_TRUE(r.status.isOk());
+        ASSERT_EQ(r.scores.size(), 2u);
+        EXPECT_FLOAT_EQ(r.scores[0], 7.0f);
+        EXPECT_FLOAT_EQ(r.scores[1], 8.0f);
+    };
+    int outer_fired = 0;
+    auto outer = [&](const ScoreResult &r) {
+        ++outer_fired;
+        EXPECT_TRUE(r.status.isOk());
+        // Re-entrant max_batch-deep submit from inside the dispatch.
+        EXPECT_TRUE(s->submit("a", "blk", fvsWith({7, 8}), 0, inner)
+                        .isOk());
+        // Sync scoring from a callback dispatches directly (the flush
+        // lock is already held by this thread), not deadlocking.
+        std::vector<float> sync =
+            score_features(mgr_, "a", "blk", fvsWith({42}), r.scored);
+        ASSERT_EQ(sync.size(), 1u);
+        EXPECT_FLOAT_EQ(sync[0], 42.0f);
+    };
+
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({1, 2}), 0, outer).isOk());
+    EXPECT_EQ(outer_fired, 1);
+    EXPECT_EQ(inner_fired, 1); // drained by the same flushWhere loop
+    EXPECT_EQ(s->pending(), 0u);
+    EXPECT_EQ(s->flushes(), 2u);
+    // Two async batches plus the inline sync dispatch.
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[0], 2u);
+}
+
+// Regression: shedding the requests that established the group's
+// earliest deadline used to leave the stale (earlier) deadline in
+// place, so poll() flushed the survivors prematurely.
+TEST_F(ScoreServerTest, ShedRecomputesGroupDeadline)
+{
+    addRegistry("a", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.queue_capacity = 2;
+    cfg.max_batch = 100;
+    cfg.shed_oldest = true;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    int shed_cb = 0, ok_cb = 0;
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({1}), 10_us,
+                          [&](const ScoreResult &) { ++shed_cb; })
+                    .isOk());
+    // Over capacity: sheds the 10_us request; only the 100_us one
+    // remains, so the group is due at 100_us, not 10_us.
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({2, 3}), 100_us,
+                          [&](const ScoreResult &r) {
+                              ++ok_cb;
+                              EXPECT_TRUE(r.status.isOk());
+                          })
+                    .isOk());
+    EXPECT_EQ(shed_cb, 1);
+
+    clock_.advance(10_us);
+    EXPECT_EQ(s->poll(clock_.now()), 0u); // stale deadline must not fire
+    EXPECT_EQ(ok_cb, 0);
+
+    clock_.advance(90_us);
+    EXPECT_EQ(s->poll(clock_.now()), 1u);
+    EXPECT_EQ(ok_cb, 1);
+}
+
+// Same stale-deadline shape on the teardown path: destroying the
+// registry whose requests carried the group's earliest deadline must
+// not leave the survivors due at the dead registry's deadline.
+TEST_F(ScoreServerTest, FailPendingRecomputesGroupDeadline)
+{
+    addRegistry("a", "blk", nullptr);
+    addRegistry("b", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.max_batch = 100;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    int a_cb = 0, b_cb = 0;
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({1}), 10_us,
+                          [&](const ScoreResult &r) {
+                              ++a_cb;
+                              EXPECT_EQ(r.status.code(),
+                                        Code::Unavailable);
+                          })
+                    .isOk());
+    ASSERT_TRUE(s->submit("b", "blk", fvsWith({2}), 100_us,
+                          [&](const ScoreResult &) { ++b_cb; })
+                    .isOk());
+    ASSERT_TRUE(mgr_.destroyRegistry("a", "blk").isOk());
+    EXPECT_EQ(a_cb, 1);
+
+    clock_.advance(10_us);
+    EXPECT_EQ(s->poll(clock_.now()), 0u);
+    EXPECT_EQ(b_cb, 0);
+    clock_.advance(90_us);
+    EXPECT_EQ(s->poll(clock_.now()), 1u);
+    EXPECT_EQ(b_cb, 1);
+}
+
+// Regression (TSan): destroyRegistry() racing submit() used to read
+// the registry table unsynchronized and could free a registry that a
+// submit had just resolved, leaving a dangling pointer in the queue.
+// Destroy is now atomic with submission: every Ok-admitted request's
+// callback fires exactly once (scored or Unavailable), never on a
+// freed registry.
+TEST_F(ScoreServerTest, DestroyRacesSubmitSafely)
+{
+    // Classifier registration is a caller-serialized setup operation,
+    // so each round wires its registry before the threads start; the
+    // race under test is destroy-vs-submit, exercised once per round.
+    constexpr int kRounds = 40, kSubmitters = 3, kIters = 32;
+    for (int round = 0; round < kRounds; ++round) {
+        RegistryManager mgr(clock_);
+        ASSERT_TRUE(
+            mgr.createRegistry("r", "blk", Schema().add("x"), 64).isOk());
+        ASSERT_TRUE(mgr.find("r", "blk")
+                        ->registerClassifier(
+                            Arch::Cpu,
+                            [](const std::vector<FeatureVector> &fvs) {
+                                return std::vector<float>(fvs.size(),
+                                                          1.0f);
+                            })
+                        .isOk());
+        ScoringConfig cfg;
+        cfg.max_batch = 4;
+        cfg.queue_capacity = 4096;
+        ASSERT_TRUE(mgr.enableScoring(cfg).isOk());
+        ScoreServer *s = mgr.scorer();
+
+        std::atomic<std::uint64_t> admitted{0}, fired{0};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kSubmitters; ++t) {
+            threads.emplace_back([&] {
+                for (int i = 0; i < kIters; ++i) {
+                    Status st = s->submit(
+                        "r", "blk",
+                        fvsWith({static_cast<std::uint64_t>(i)}), 0,
+                        [&](const ScoreResult &) {
+                            fired.fetch_add(1);
+                        });
+                    if (st.isOk())
+                        admitted.fetch_add(1);
+                }
+            });
+        }
+        threads.emplace_back(
+            [&] { ASSERT_TRUE(mgr.destroyRegistry("r", "blk").isOk()); });
+        for (auto &t : threads)
+            t.join();
+        s->flushAll(clock_.now());
+
+        // Every Ok-admitted request's callback fired exactly once —
+        // scored or Unavailable, never lost to a freed registry.
+        EXPECT_EQ(fired.load(), admitted.load());
+        EXPECT_EQ(s->pending(), 0u);
+    }
+}
+
+// Regression (TSan): facade sync scoring used to bypass the flush
+// lock, racing an async flush through the same registry's policy and
+// last-engine state. It now serializes against flushes.
+TEST_F(ScoreServerTest, SyncScoreSerializesWithAsyncFlush)
+{
+    addRegistry("a", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.max_batch = 4;
+    cfg.queue_capacity = 4096;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    constexpr int kIters = 200;
+    std::atomic<std::uint64_t> scored{0};
+    std::thread async_thread([&] {
+        for (int i = 0; i < kIters; ++i) {
+            ASSERT_TRUE(
+                s->submit("a", "blk",
+                          fvsWith({static_cast<std::uint64_t>(i)}), 0,
+                          [&](const ScoreResult &r) {
+                              scored.fetch_add(r.scores.size());
+                          })
+                    .isOk());
+        }
+    });
+    std::thread sync_thread([&] {
+        for (int i = 0; i < kIters; ++i) {
+            std::vector<float> out = score_features(
+                mgr_, "a", "blk",
+                fvsWith({static_cast<std::uint64_t>(i)}), clock_.now());
+            ASSERT_EQ(out.size(), 1u);
+            EXPECT_FLOAT_EQ(out[0], static_cast<float>(i));
+        }
+    });
+    async_thread.join();
+    sync_thread.join();
+    s->flushAll(clock_.now());
+    EXPECT_EQ(scored.load(), static_cast<std::uint64_t>(kIters));
+    EXPECT_EQ(s->pending(), 0u);
+}
+
 TEST_F(ScoreServerTest, ConcurrentSubmitIsSafe)
 {
     addRegistry("a", "blk", nullptr);
