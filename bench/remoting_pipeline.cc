@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include <sys/socket.h>
@@ -38,6 +39,7 @@
 #include "obs/metrics.h"
 #include "remote/daemon.h"
 #include "remote/lakelib.h"
+#include "remote/streampool.h"
 #include "shm/arena.h"
 
 using namespace lake;
@@ -153,10 +155,16 @@ struct RunResult
  * one-way commands (3 in 4 noop launches, 1 in 4 async 64-byte lakeShm
  * HtoD copies) closed by one cuStreamSynchronize. Returns counters
  * from the last repetition and the best host time across @p reps.
+ *
+ * With @p streams > 0 the burst additionally runs through a
+ * StreamOrchestrator: the copy share stages from pooled shm slots and
+ * the whole burst round-robins across the orchestrator's streams, the
+ * combined pipelining+streaming fast path of DESIGN.md §10.
  */
 RunResult
 runWorkload(bool pipelined, std::size_t max_batch, std::size_t bursts,
-            std::size_t burst_len, std::size_t reps)
+            std::size_t burst_len, std::size_t reps,
+            std::uint32_t streams = 0)
 {
     RunResult out;
     for (std::size_t rep = 0; rep < reps; ++rep) {
@@ -166,6 +174,17 @@ runWorkload(bool pipelined, std::size_t max_batch, std::size_t bursts,
             p.enabled = true;
             p.max_batch = max_batch;
             rig.lib.setPipeline(p);
+        }
+        std::unique_ptr<remote::StreamOrchestrator> orch;
+        if (streams > 0) {
+            remote::StreamingConfig sc;
+            sc.enabled = true;
+            sc.streams = streams;
+            sc.pool_buffers = 4;
+            sc.class_bytes = 64;
+            sc.size_classes = 1;
+            orch = std::make_unique<remote::StreamOrchestrator>(
+                rig.lib, rig.clock, sc);
         }
 
         // Setup (untimed): a device buffer and a staging shm buffer
@@ -188,12 +207,33 @@ runWorkload(bool pipelined, std::size_t max_batch, std::size_t bursts,
         double t0 = now();
         for (std::size_t b = 0; b < bursts; ++b) {
             for (std::size_t i = 0; i < burst_len; ++i) {
-                if (i % 4 == 3)
-                    rig.lib.cuMemcpyHtoDShmAsync(dev, stage, 64, 0);
-                else
-                    rig.lib.cuLaunchKernel(launch, 0);
+                gpu::StreamId s = orch ? orch->nextStream() : 0;
+                if (i % 4 == 3) {
+                    if (orch) {
+                        remote::StreamOrchestrator::Buffer *buf =
+                            orch->acquire(64);
+                        if (buf != nullptr) {
+                            std::memset(rig.arena.at(buf->shm), 0x5a,
+                                        64);
+                            orch->stageIn(buf, dev, 64, s);
+                        } else {
+                            rig.lib.cuMemcpyHtoDShmAsync(dev, stage,
+                                                         64, s);
+                        }
+                    } else {
+                        rig.lib.cuMemcpyHtoDShmAsync(dev, stage, 64,
+                                                     s);
+                    }
+                } else {
+                    rig.lib.cuLaunchKernel(launch, s);
+                }
             }
-            rig.lib.cuStreamSynchronize(0);
+            if (orch) {
+                for (std::uint32_t k = 0; k < streams; ++k)
+                    orch->syncStream(orch->streamAt(k));
+            } else {
+                rig.lib.cuStreamSynchronize(0);
+            }
         }
         double sec = now() - t0;
 
@@ -210,6 +250,8 @@ runWorkload(bool pipelined, std::size_t max_batch, std::size_t bursts,
         if (obs::Metrics::global().enabled()) {
             rig.lib.publishMetrics();
             rig.daemon.publishMetrics();
+            if (orch)
+                orch->publishMetrics();
         }
     }
     return out;
@@ -276,11 +318,14 @@ main(int argc, char **argv)
 
     RunResult un = runWorkload(false, max_batch, bursts, burst_len, reps);
     RunResult ba = runWorkload(true, max_batch, bursts, burst_len, reps);
-    if (un.commands == 0 || ba.commands == 0)
+    RunResult st =
+        runWorkload(true, max_batch, bursts, burst_len, reps, 4);
+    if (un.commands == 0 || ba.commands == 0 || st.commands == 0)
         return 1;
 
     printRun("unbatched", un);
     printRun("batched", ba);
+    printRun("pipe+stream", st);
 
     double speedup = (static_cast<double>(ba.commands) / ba.host_sec) /
                      (static_cast<double>(un.commands) / un.host_sec);
@@ -288,9 +333,12 @@ main(int argc, char **argv)
                             static_cast<double>(ba.doorbells);
     double virt_ratio = static_cast<double>(un.virt_elapsed) /
                         static_cast<double>(ba.virt_elapsed);
+    double stream_virt_ratio = static_cast<double>(un.virt_elapsed) /
+                               static_cast<double>(st.virt_elapsed);
     std::printf("\nhost speedup %.2fx   doorbell reduction %.1fx   "
-                "virtual-time reduction %.2fx\n",
-                speedup, doorbell_ratio, virt_ratio);
+                "virtual-time reduction %.2fx (pipe+stream %.2fx)\n",
+                speedup, doorbell_ratio, virt_ratio,
+                stream_virt_ratio);
 
     bench::JsonWriter json;
     json.beginObject();
@@ -310,9 +358,11 @@ main(int argc, char **argv)
     json.endObject();
     jsonRun(json, "unbatched", un);
     jsonRun(json, "batched", ba);
+    jsonRun(json, "pipelined_streamed", st);
     json.key("host_speedup").value(speedup);
     json.key("doorbell_reduction").value(doorbell_ratio);
     json.key("virtual_time_reduction").value(virt_ratio);
+    json.key("streamed_virtual_time_reduction").value(stream_virt_ratio);
 
     // One extra, unmeasured repetition per mode with the metrics
     // registry enabled populates the per-stage (rpc/send/dispatch/
@@ -323,6 +373,7 @@ main(int argc, char **argv)
     obs::Metrics::global().setEnabled(true);
     runWorkload(false, max_batch, smoke ? 4 : 20, burst_len, 1);
     runWorkload(true, max_batch, smoke ? 4 : 20, burst_len, 1);
+    runWorkload(true, max_batch, smoke ? 4 : 20, burst_len, 1, 4);
     obs::Metrics::global().setEnabled(false);
     json.key("metrics").rawValue(obs::metricsJsonObject());
     json.endObject();

@@ -48,3 +48,10 @@ ctest --test-dir "$BUILD" --output-on-failure -L obs
 # lock-free capture map plus the scoring service's two-lock flush path
 # are precisely what `bench/sanitize.sh thread` exists to sweep.
 ctest --test-dir "$BUILD" --output-on-failure -L registry
+
+# The streaming-DMA suite (ctest -L dma) drives the buffer pool's
+# recycle/credit paths, the fault-injected sync that must release
+# credits without leaking, and the dma_streaming smoke bench — the
+# carve-out arithmetic and retire-on-failure path are what ASan/UBSan
+# should sweep here.
+ctest --test-dir "$BUILD" --output-on-failure -L dma

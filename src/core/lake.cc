@@ -27,6 +27,9 @@ Lake::Lake(LakeConfig config)
         LAKE_ASSERT(s.isOk(), "scoring service boot failed: %s",
                     s.message().c_str());
     }
+    if (config_.streaming.enabled)
+        streaming_ = std::make_unique<remote::StreamOrchestrator>(
+            lib_, clock_, config_.streaming);
     // Latch degraded mode after degrade_threshold consecutive RPC
     // failures; any success before that resets the streak.
     lib_.setFailureObserver([this](const Status &s) {
@@ -61,6 +64,8 @@ Lake::publishObs() const
         return;
     lib_.publishMetrics();
     daemon_.publishMetrics();
+    if (streaming_)
+        streaming_->publishMetrics();
 }
 
 policy::UtilProbe

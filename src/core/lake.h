@@ -31,6 +31,7 @@
 #include "registry/manager.h"
 #include "remote/daemon.h"
 #include "remote/lakelib.h"
+#include "remote/streampool.h"
 #include "shm/arena.h"
 
 namespace lake::core {
@@ -74,6 +75,13 @@ struct LakeConfig
      * a caller opts in.
      */
     registry::ScoringConfig scoring;
+    /**
+     * Streaming DMA orchestration (DESIGN.md §10), default off: with
+     * streaming.enabled false no orchestrator is constructed, no pool
+     * is carved from the arena, and every data-path number is
+     * unchanged unless a caller opts in.
+     */
+    remote::StreamingConfig streaming;
 };
 
 /** Remoting-health counters surfaced for tests and benches. */
@@ -121,6 +129,11 @@ class Lake
     registry::RegistryManager &registries() { return registries_; }
     /** Kernel-context CPU compute model. */
     ml::KernelCpu &kernelCpu() { return kernel_cpu_; }
+    /**
+     * The streaming DMA orchestrator, or nullptr when
+     * config.streaming.enabled is false (the default).
+     */
+    remote::StreamOrchestrator *streaming() { return streaming_.get(); }
     /** Configuration in force. */
     const LakeConfig &config() const { return config_; }
 
@@ -191,6 +204,12 @@ class Lake
     remote::LakeLib lib_;
     registry::RegistryManager registries_;
     ml::KernelCpu kernel_cpu_;
+    /**
+     * Declared after lib_ so it is destroyed first: the destructor
+     * drains in-flight streams through lib_ and frees the pool's
+     * arena carve-out.
+     */
+    std::unique_ptr<remote::StreamOrchestrator> streaming_;
 
     /** Remoting failures since the last success. */
     std::size_t consecutive_failures_ = 0;

@@ -20,6 +20,13 @@ constexpr std::size_t kCtlTagOff = 48;  // 16 bytes (in or out)
 constexpr std::size_t kCtlOkOff = 64;   // 1 byte result
 constexpr std::size_t kCtlBytes = 80;
 
+/**
+ * Streaming-mode slot layout: the control block occupies [0, kCtlSlot)
+ * and extent data starts at kCtlSlot, so one coalesced copy moves both
+ * (the scatter-gather win applied to the cipher path).
+ */
+constexpr std::size_t kCtlSlot = 128;
+
 void
 check(CuResult r, const char *what)
 {
@@ -66,6 +73,28 @@ aesGcmCost(const gpu::Device &dev, const gpu::LaunchConfig &cfg)
 }
 
 } // namespace
+
+void
+CipherEngine::encryptBatch(ExtentOp *ops, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        encryptExtent(ops[i].iv, ops[i].in, ops[i].len, ops[i].out,
+                      ops[i].tag);
+        ops[i].ok = true;
+    }
+}
+
+bool
+CipherEngine::decryptBatch(ExtentOp *ops, std::size_t n)
+{
+    bool all = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        ops[i].ok = decryptExtent(ops[i].iv, ops[i].in, ops[i].len,
+                                  ops[i].tag, ops[i].out);
+        all = all && ops[i].ok;
+    }
+    return all;
+}
 
 void
 registerCryptoKernels()
@@ -158,6 +187,7 @@ LakeGpuCipher::LakeGpuCipher(const std::uint8_t *key,
     auto *ctl = static_cast<std::uint8_t *>(arena_.at(h_ctl_));
     std::memset(ctl, 0, kCtlBytes);
     std::memcpy(ctl + kCtlKeyOff, key, key_bytes);
+    std::memcpy(key_, key, key_bytes);
     check(lib_.cuMemcpyHtoDShm(d_ctl_, h_ctl_, kCtlBytes), "upload key");
 }
 
@@ -165,8 +195,29 @@ LakeGpuCipher::~LakeGpuCipher()
 {
     lib_.cuMemFree(d_ctl_);
     lib_.cuMemFree(d_buf_);
+    for (gpu::DevicePtr d : d_slab_)
+        lib_.cuMemFree(d);
     arena_.free(h_buf_);
     arena_.free(h_ctl_);
+}
+
+void
+LakeGpuCipher::enableStreaming(remote::StreamOrchestrator *orch)
+{
+    if (orch == orch_)
+        return;
+    for (gpu::DevicePtr d : d_slab_)
+        lib_.cuMemFree(d);
+    d_slab_.clear();
+    orch_ = orch;
+    if (orch_ == nullptr)
+        return;
+    // One [ctl|data] slab per stream, allocated here and never again:
+    // the steady-state batch path performs zero cuMemAlloc/Free calls.
+    d_slab_.resize(orch_->streams(), 0);
+    for (std::size_t k = 0; k < d_slab_.size(); ++k)
+        check(lib_.cuMemAlloc(&d_slab_[k], kCtlSlot + max_extent_),
+              "cuMemAlloc(slab)");
 }
 
 bool
@@ -209,6 +260,119 @@ LakeGpuCipher::run(bool encrypt, const std::uint8_t iv[kGcmIvBytes],
     if (!encrypt && !ok)
         std::memset(out, 0, len);
     return ok;
+}
+
+bool
+LakeGpuCipher::runBatch(bool encrypt, ExtentOp *ops, std::size_t n)
+{
+    // Depth-1 software pipeline per stream: position i uses stream
+    // i % K, and before reusing a stream we sync it and complete the
+    // extent that was in flight there. With K streams, extent i+1's
+    // coalesced upload overlaps extent i's kernel and extent i-1's
+    // download on the modeled engine timelines.
+    std::uint32_t streams = orch_->streams();
+    struct Pending
+    {
+        std::size_t idx = 0;
+        remote::StreamOrchestrator::Buffer *buf = nullptr;
+    };
+    std::vector<Pending> pend(streams);
+    bool all = true;
+
+    // Reads the retired slot (read-after-sync window: always called
+    // right after syncStream, before any further acquire).
+    auto complete = [&](Pending &p, gpu::CuResult sync_r) {
+        ExtentOp &op = ops[p.idx];
+        auto *slot = static_cast<std::uint8_t *>(arena_.at(p.buf->shm));
+        if (sync_r != CuResult::Success) {
+            op.ok = false;
+            std::memset(op.out, 0, op.len);
+        } else {
+            std::memcpy(op.out, slot + kCtlSlot, op.len);
+            if (encrypt)
+                std::memcpy(op.tag, slot + kCtlTagOff, kGcmTagBytes);
+            op.ok = slot[kCtlOkOff] == 1;
+            if (!encrypt && !op.ok)
+                std::memset(op.out, 0, op.len);
+        }
+        all = all && op.ok;
+        p.buf = nullptr;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t k = static_cast<std::uint32_t>(i % streams);
+        gpu::StreamId s = orch_->streamAt(k);
+        if (pend[k].buf != nullptr)
+            complete(pend[k], orch_->syncStream(s));
+
+        ExtentOp &op = ops[i];
+        LAKE_ASSERT(op.len > 0 && op.len <= max_extent_,
+                    "extent %zu outside 1..%zu", op.len, max_extent_);
+        auto *buf = orch_->acquire(kCtlSlot + op.len);
+        if (buf == nullptr) {
+            // Slot bigger than the pool's largest class: this extent
+            // takes the classic serial path (h_ctl_/h_buf_ still fit).
+            if (encrypt) {
+                run(true, op.iv, op.in, op.len, op.out, op.tag);
+                op.ok = true;
+            } else {
+                op.ok = run(false, op.iv, op.in, op.len, op.out, op.tag);
+                all = all && op.ok;
+            }
+            continue;
+        }
+
+        auto *slot = static_cast<std::uint8_t *>(arena_.at(buf->shm));
+        std::memset(slot, 0, kCtlSlot);
+        std::memcpy(slot + kCtlKeyOff, key_, key_bytes_);
+        std::memcpy(slot + kCtlIvOff, op.iv, kGcmIvBytes);
+        slot[kCtlEncOff] = encrypt ? 1 : 0;
+        if (!encrypt)
+            std::memcpy(slot + kCtlTagOff, op.tag, kGcmTagBytes);
+        std::memcpy(slot + kCtlSlot, op.in, op.len);
+
+        // ONE coalesced HtoD moves ctl + data; the serial path pays
+        // two transfers (and two transfer overheads) per extent.
+        Status st = orch_->stageIn(buf, d_slab_[k], kCtlSlot + op.len, s);
+        LAKE_ASSERT(st.isOk(), "stageIn: %s", st.toString().c_str());
+
+        gpu::LaunchConfig cfg;
+        cfg.kernel = "aes_gcm";
+        cfg.grid_x = static_cast<std::uint32_t>((op.len + 4095) / 4096);
+        cfg.block_x = 256;
+        cfg.arg(d_slab_[k]).arg(d_slab_[k] + kCtlSlot)
+            .arg(static_cast<std::uint64_t>(op.len), nullptr)
+            .arg(static_cast<std::uint64_t>(key_bytes_), nullptr);
+        check(lib_.cuLaunchKernel(cfg, s), "launch aes_gcm");
+
+        st = orch_->stageOut(buf, d_slab_[k], kCtlSlot + op.len, s);
+        LAKE_ASSERT(st.isOk(), "stageOut: %s", st.toString().c_str());
+        pend[k] = {i, buf};
+    }
+
+    for (std::uint32_t k = 0; k < streams; ++k)
+        if (pend[k].buf != nullptr)
+            complete(pend[k], orch_->syncStream(orch_->streamAt(k)));
+    return all;
+}
+
+void
+LakeGpuCipher::encryptBatch(ExtentOp *ops, std::size_t n)
+{
+    if (orch_ == nullptr || n <= 1) {
+        CipherEngine::encryptBatch(ops, n);
+        return;
+    }
+    bool ok = runBatch(true, ops, n);
+    LAKE_ASSERT(ok, "GPU batch encrypt failed (degraded transport?)");
+}
+
+bool
+LakeGpuCipher::decryptBatch(ExtentOp *ops, std::size_t n)
+{
+    if (orch_ == nullptr || n <= 1)
+        return CipherEngine::decryptBatch(ops, n);
+    return runBatch(false, ops, n);
 }
 
 void

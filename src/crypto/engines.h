@@ -26,8 +26,25 @@
 #include "crypto/gcm.h"
 #include "gpu/spec.h"
 #include "remote/lakelib.h"
+#include "remote/streampool.h"
 
 namespace lake::crypto {
+
+/**
+ * One extent of a batch transform (the scatterlist entry of the Linux
+ * crypto API's batched submission path).
+ */
+struct ExtentOp
+{
+    const std::uint8_t *iv = nullptr; //!< kGcmIvBytes bytes
+    const std::uint8_t *in = nullptr; //!< plaintext (encrypt) / ciphertext
+    std::size_t len = 0;
+    std::uint8_t *out = nullptr;
+    /** Tag: output for encrypt, expected value for decrypt. */
+    std::uint8_t tag[kGcmTagBytes] = {};
+    /** Per-extent result (decrypt: tag verification). */
+    bool ok = false;
+};
 
 /** Interface eCryptfs programs against (a Linux crypto API cipher). */
 class CipherEngine
@@ -46,6 +63,23 @@ class CipherEngine
                                const std::uint8_t *cipher, std::size_t len,
                                const std::uint8_t tag[kGcmTagBytes],
                                std::uint8_t *plain) = 0;
+
+    /**
+     * True when the engine has a genuinely pipelined batch path.
+     * eCryptfs only takes its batched submission route for such
+     * engines, so engines using the default per-extent loops keep
+     * their exact serial virtual-time trajectory.
+     */
+    virtual bool batched() const { return false; }
+
+    /** Encrypts a batch; default is the serial per-extent loop. */
+    virtual void encryptBatch(ExtentOp *ops, std::size_t n);
+
+    /**
+     * Decrypts a batch (default: serial loop).
+     * @return true iff every extent authenticated (per-op ok is set).
+     */
+    virtual bool decryptBatch(ExtentOp *ops, std::size_t n);
 
     /** Engine name as the figures label it. */
     virtual const char *name() const = 0;
@@ -133,11 +167,29 @@ class LakeGpuCipher final : public CipherEngine
                        std::uint8_t *plain) override;
     const char *name() const override { return "LAKE"; }
 
+    /**
+     * Opts into streaming DMA orchestration (DESIGN.md §10): batch
+     * transforms then software-pipeline extents depth-1 across the
+     * orchestrator's streams — each extent's [ctl|data] block rides
+     * one coalesced HtoD from a pooled lakeShm slot into a per-stream
+     * device slab, so extent i+1's upload overlaps extent i's
+     * "aes_gcm" and extent i-1's download. Allocates one device slab
+     * per stream here (never per extent). Pass nullptr to revert.
+     */
+    void enableStreaming(remote::StreamOrchestrator *orch);
+
+    bool batched() const override { return orch_ != nullptr; }
+    void encryptBatch(ExtentOp *ops, std::size_t n) override;
+    bool decryptBatch(ExtentOp *ops, std::size_t n) override;
+
   private:
     /** Shared transform: ships one extent through the GPU. */
     bool run(bool encrypt, const std::uint8_t iv[kGcmIvBytes],
              const std::uint8_t *in, std::size_t len, std::uint8_t *out,
              std::uint8_t tag[kGcmTagBytes]);
+
+    /** Pipelined batch transform over the orchestrator's streams. */
+    bool runBatch(bool encrypt, ExtentOp *ops, std::size_t n);
 
     remote::LakeLib &lib_;
     shm::ShmArena &arena_;
@@ -147,6 +199,10 @@ class LakeGpuCipher final : public CipherEngine
     gpu::DevicePtr d_buf_ = 0;  //!< extent data
     shm::ShmOffset h_buf_ = shm::kNullOffset;
     shm::ShmOffset h_ctl_ = shm::kNullOffset;
+    remote::StreamOrchestrator *orch_ = nullptr;
+    /** Per-stream [ctl|data] device slabs (streaming mode only). */
+    std::vector<gpu::DevicePtr> d_slab_;
+    std::uint8_t key_[32] = {};
 };
 
 /**

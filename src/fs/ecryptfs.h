@@ -102,6 +102,21 @@ class ECryptFs
     /** Modeled disk streaming time for @p bytes. */
     Nanos diskTime(std::size_t bytes, bool write) const;
 
+    /**
+     * Extents per capture group on the batched (streaming-cipher)
+     * paths: the double-buffering grain — group i's crypto overlaps
+     * the lower FS streaming group i+1 (read) or flushing group i-1
+     * (write).
+     */
+    static constexpr std::size_t kBatchExtents = 32;
+
+    /** writeFile body for engines with a pipelined batch path. */
+    Status writeFileBatched(File &file, const std::uint8_t *data,
+                            std::size_t size);
+
+    /** readFile body for engines with a pipelined batch path. */
+    Result<std::vector<std::uint8_t>> readFileBatched(const File &file);
+
     crypto::CipherEngine &cipher_;
     Clock &clock_;
     LowerFsModel lower_;

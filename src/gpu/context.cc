@@ -44,7 +44,51 @@ CuResult
 GpuContext::memFree(DevicePtr ptr)
 {
     chargeCall();
+    owner_.erase(ptr);
     return device_.memFree(ptr);
+}
+
+void
+GpuContext::noteOwner(DevicePtr ptr, StreamId stream)
+{
+    DevicePtr base = device_.baseOf(ptr);
+    if (base != 0)
+        owner_[base] = stream;
+}
+
+void
+GpuContext::runDueFrees()
+{
+    Nanos now = clock_.now();
+    for (std::size_t i = 0; i < pending_frees_.size();) {
+        if (pending_frees_[i].due <= now) {
+            owner_.erase(pending_frees_[i].ptr);
+            device_.memFree(pending_frees_[i].ptr);
+            pending_frees_[i] = pending_frees_.back();
+            pending_frees_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+CuResult
+GpuContext::memFreeAsync(DevicePtr ptr)
+{
+    chargeCall();
+    if (device_.baseOf(ptr) != ptr)
+        return CuResult::InvalidValue;
+    // Order the free after the owning stream's queued work: freeing at
+    // dispatch time would let a buffer pool recycle the allocation
+    // while a copy is still in flight on its stream.
+    auto own = owner_.find(ptr);
+    Nanos due = own == owner_.end() ? 0 : streamReadyAt(own->second);
+    if (due <= clock_.now()) {
+        owner_.erase(ptr);
+        return device_.memFree(ptr);
+    }
+    pending_frees_.push_back({ptr, due});
+    return CuResult::Success;
 }
 
 CuResult
@@ -96,6 +140,7 @@ GpuContext::memcpyHtoDAsync(DevicePtr dst, const void *src,
     // must not mutate the source until synchronize, same contract as
     // cudaMemcpyAsync with pinned memory.
     std::memcpy(d, src, bytes);
+    noteOwner(dst, stream);
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[stream] = span.end;
@@ -112,6 +157,7 @@ GpuContext::memcpyDtoHAsync(void *dst, DevicePtr src, std::size_t bytes,
     if (!d || !dst)
         return CuResult::InvalidValue;
     std::memcpy(dst, d, bytes);
+    noteOwner(src, stream);
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[stream] = span.end;
@@ -136,6 +182,10 @@ GpuContext::launchKernel(const LaunchConfig &cfg, StreamId stream)
         return res;
 
     device_.countLaunch();
+    // Pointer-like args pin their allocations to this stream so a
+    // later memFreeAsync orders behind the launch.
+    for (std::uint64_t a : cfg.args)
+        noteOwner(a, stream);
     Nanos duration =
         device_.spec().launch_overhead + entry->cost(device_, cfg);
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
@@ -149,7 +199,12 @@ CuResult
 GpuContext::streamSynchronize(StreamId stream)
 {
     chargeCall();
+    // streamReadyAt is a pure lookup (0 for unknown ids): a sync on a
+    // never-used stream must not insert into stream_ready_, or random
+    // probe ids would grow the map without bound.
     clock_.advanceTo(streamReadyAt(stream));
+    if (!pending_frees_.empty())
+        runDueFrees();
     return CuResult::Success;
 }
 
@@ -159,6 +214,8 @@ GpuContext::ctxSynchronize()
     chargeCall();
     for (const auto &[id, ready] : stream_ready_)
         clock_.advanceTo(ready);
+    if (!pending_frees_.empty())
+        runDueFrees();
     return CuResult::Success;
 }
 

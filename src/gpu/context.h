@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "base/time.h"
 #include "gpu/device.h"
@@ -54,6 +55,19 @@ class GpuContext
     /** cuMemFree. */
     CuResult memFree(DevicePtr ptr);
 
+    /**
+     * cuMemFreeAsync: the free is ordered *after* the owning stream's
+     * queued work. An allocation still referenced by an in-flight copy
+     * or launch stays live until that stream's streamReadyAt passes —
+     * freeing it at dispatch time would recycle a pooled buffer while
+     * its transfer is mid-flight (a virtual-time use-after-free).
+     * Unknown pointers fail immediately with InvalidValue.
+     */
+    CuResult memFreeAsync(DevicePtr ptr);
+
+    /** Deferred frees queued behind busy streams (test visibility). */
+    std::size_t pendingFrees() const { return pending_frees_.size(); }
+
     /** cuMemcpyHtoD (synchronous: returns with the copy complete). */
     CuResult memcpyHtoD(DevicePtr dst, const void *src, std::size_t bytes);
     /** cuMemcpyDtoH (synchronous). */
@@ -77,8 +91,12 @@ class GpuContext
      */
     CuResult launchKernel(const LaunchConfig &cfg, StreamId stream = 0);
 
-    /** cuStreamSynchronize: blocks (in virtual time) until the stream
-     *  drains. */
+    /**
+     * cuStreamSynchronize: blocks (in virtual time) until the stream
+     * drains. Synchronizing a never-used StreamId is a guaranteed
+     * no-op: it returns Success without inserting a timeline entry, so
+     * probing random stream ids cannot grow stream_ready_.
+     */
     CuResult streamSynchronize(StreamId stream);
 
     /** cuCtxSynchronize: drains every stream. */
@@ -89,13 +107,42 @@ class GpuContext
     /** Completion time of the last operation queued on @p stream. */
     Nanos streamReadyAt(StreamId stream) const;
 
+    /**
+     * Streams with a timeline entry. Synchronization never adds one
+     * (only queued work does), so this stays bounded by the streams
+     * actually used — the satellite-2 memory-growth guarantee.
+     */
+    std::size_t trackedStreams() const { return stream_ready_.size(); }
+
   private:
-    /** Charges the fixed driver-call cost. */
-    void chargeCall() { clock_.advance(kDriverCallCost); }
+    /** Charges the fixed driver-call cost and runs any due frees. */
+    void
+    chargeCall()
+    {
+        clock_.advance(kDriverCallCost);
+        if (!pending_frees_.empty())
+            runDueFrees();
+    }
+
+    /** Records @p stream as the owner of the allocation under @p ptr. */
+    void noteOwner(DevicePtr ptr, StreamId stream);
+
+    /** Executes queued async frees whose owning stream has drained. */
+    void runDueFrees();
+
+    /** An async free waiting for its owning stream to drain. */
+    struct PendingFree
+    {
+        DevicePtr ptr;
+        Nanos due; //!< owning stream's streamReadyAt at queue time
+    };
 
     Device &device_;
     Clock &clock_;
     std::unordered_map<StreamId, Nanos> stream_ready_;
+    /** Last stream that touched each allocation (keyed by base). */
+    std::unordered_map<DevicePtr, StreamId> owner_;
+    std::vector<PendingFree> pending_frees_;
 };
 
 } // namespace lake::gpu

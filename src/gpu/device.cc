@@ -117,6 +117,16 @@ Device::resolve(DevicePtr ptr, std::size_t bytes) const
     return const_cast<Device *>(this)->resolve(ptr, bytes);
 }
 
+DevicePtr
+Device::baseOf(DevicePtr ptr) const
+{
+    auto it = allocs_.upper_bound(ptr);
+    if (it == allocs_.begin())
+        return 0;
+    --it;
+    return ptr - it->first < it->second.size() ? it->first : 0;
+}
+
 Nanos
 Device::transferTime(std::size_t bytes) const
 {

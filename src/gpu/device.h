@@ -88,6 +88,13 @@ class Device
     /** Const overload of resolve. */
     const void *resolve(DevicePtr ptr, std::size_t bytes) const;
 
+    /**
+     * Base pointer of the live allocation containing @p ptr (possibly
+     * interior); 0 when no allocation covers it. Lets the context
+     * attribute per-stream work to whole allocations.
+     */
+    DevicePtr baseOf(DevicePtr ptr) const;
+
     /** Bytes currently allocated. */
     std::size_t memUsed() const { return mem_used_; }
 

@@ -108,6 +108,9 @@ LakeMlp::tryClassify(const Matrix &x)
                 "batch %zu outside 1..%zu", batch, max_batch_);
     LAKE_ASSERT(x.cols() == input_w_, "bad input width");
 
+    if (orch_ != nullptr && !sync_copy_ && batch > 1)
+        return tryClassifyStreamed(x);
+
     std::size_t in_bytes = batch * input_w_ * sizeof(float);
     std::size_t out_bytes = batch * output_w_ * sizeof(float);
 
@@ -159,6 +162,105 @@ LakeMlp::tryClassify(const Matrix &x)
             if (row[c] > row[best])
                 best = static_cast<int>(c);
         labels[r] = best;
+    }
+    return labels;
+}
+
+Result<std::vector<int>>
+LakeMlp::tryClassifyStreamed(const Matrix &x)
+{
+    std::size_t batch = x.rows();
+    std::size_t in_row = input_w_ * sizeof(float);
+    std::size_t out_row = output_w_ * sizeof(float);
+
+    std::size_t chunks = std::min<std::size_t>(orch_->streams(), batch);
+    std::size_t rows_per = (batch + chunks - 1) / chunks;
+
+    // One pooled slot serves a chunk's input AND output: the gathered
+    // rows upload first and the logits land in the same slot after the
+    // forward pass (the commands execute in posted order daemon-side,
+    // so the overwrite is sequenced after the HtoD).
+    struct Chunk
+    {
+        std::size_t r0, rows;
+        remote::StreamOrchestrator::Buffer *buf;
+        gpu::StreamId stream;
+    };
+    std::vector<Chunk> staged;
+    staged.reserve(chunks);
+    std::vector<const void *> srcs(rows_per);
+    std::vector<std::size_t> lens(rows_per, in_row);
+
+    for (std::size_t c = 0; c < chunks; ++c) {
+        std::size_t r0 = c * rows_per;
+        if (r0 >= batch)
+            break;
+        std::size_t rows = std::min(rows_per, batch - r0);
+        gpu::StreamId s = orch_->streamAt(c);
+
+        auto *buf = orch_->acquire(rows * std::max(in_row, out_row));
+        if (buf == nullptr) {
+            // Chunk exceeds the largest size class (only possible on
+            // the first, largest chunk: nothing staged yet). The
+            // classic single-stream path still fits in h_in_/h_out_.
+            LAKE_ASSERT(staged.empty(), "pool refused a smaller chunk");
+            orch_->drain();
+            remote::StreamOrchestrator *orch = orch_;
+            orch_ = nullptr;
+            Result<std::vector<int>> r = tryClassify(x);
+            orch_ = orch;
+            return r;
+        }
+        for (std::size_t i = 0; i < rows; ++i)
+            srcs[i] = x.data() + (r0 + i) * input_w_;
+        Status st = orch_->gatherIn(buf, d_in_ + r0 * in_row, srcs.data(),
+                                    lens.data(), rows, s);
+        LAKE_ASSERT(st.isOk(), "gatherIn: %s", st.toString().c_str());
+
+        gpu::LaunchConfig cfg;
+        cfg.kernel = "mlp_forward";
+        cfg.grid_x = static_cast<std::uint32_t>((rows + 255) / 256);
+        cfg.block_x = 256;
+        cfg.arg(d_model_).arg(d_in_ + r0 * in_row)
+            .arg(d_out_ + r0 * out_row)
+            .arg(static_cast<std::uint64_t>(rows), nullptr);
+        if (Status s2 = cuStatus(lib_.cuLaunchKernel(cfg, s),
+                                 "launch mlp_forward");
+            !s2.isOk()) {
+            orch_->drain();
+            return s2;
+        }
+        st = orch_->stageOut(buf, d_out_ + r0 * out_row, rows * out_row, s);
+        LAKE_ASSERT(st.isOk(), "stageOut: %s", st.toString().c_str());
+        staged.push_back({r0, rows, buf, s});
+    }
+
+    // Drain every chunk's stream before reading any logits; credits
+    // come back even when a sync fails, so a transport fault cannot
+    // leak pool buffers.
+    gpu::CuResult first = gpu::CuResult::Success;
+    for (const Chunk &c : staged) {
+        gpu::CuResult r = orch_->syncStream(c.stream);
+        if (first == gpu::CuResult::Success)
+            first = r;
+    }
+    if (Status s = cuStatus(first, "stream sync"); !s.isOk())
+        return s;
+
+    // Read-after-sync window: the retired slots stay untouched until
+    // the next acquire, which this call no longer performs.
+    std::vector<int> labels(batch);
+    for (const Chunk &c : staged) {
+        const float *logits =
+            static_cast<const float *>(arena_.at(c.buf->shm));
+        for (std::size_t r = 0; r < c.rows; ++r) {
+            const float *row = logits + r * output_w_;
+            int best = 0;
+            for (std::uint32_t col = 1; col < output_w_; ++col)
+                if (row[col] > row[best])
+                    best = static_cast<int>(col);
+            labels[c.r0 + r] = best;
+        }
     }
     return labels;
 }

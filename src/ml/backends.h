@@ -27,6 +27,7 @@
 #include "ml/mlp.h"
 #include "remote/daemon.h"
 #include "remote/lakelib.h"
+#include "remote/streampool.h"
 #include "shm/arena.h"
 
 namespace lake::ml {
@@ -115,13 +116,32 @@ class LakeMlp
      */
     Result<std::vector<int>> tryClassify(const Matrix &x);
 
+    /**
+     * Opts into streaming DMA orchestration (DESIGN.md §10): each
+     * batch is split into per-stream chunks whose feature rows are
+     * gathered into pooled lakeShm buffers and round-robined across
+     * the orchestrator's streams, so chunk i+1's upload overlaps chunk
+     * i's forward pass. Steady state performs zero arena alloc/free
+     * and zero cuMemAlloc/cuMemFree calls. Pass nullptr to revert to
+     * the classic single-stream path. Ignored in sync_copy mode (the
+     * "LAKE (sync.)" bar pays copies inline by definition).
+     */
+    void enableStreaming(remote::StreamOrchestrator *orch)
+    {
+        orch_ = orch;
+    }
+
   private:
+    /** Multi-stream chunked classify (enableStreaming path). */
+    Result<std::vector<int>> tryClassifyStreamed(const Matrix &x);
+
     remote::LakeLib &lib_;
     shm::ShmArena &arena_;
     std::uint32_t input_w_;
     std::uint32_t output_w_;
     bool sync_copy_;
     std::size_t max_batch_;
+    remote::StreamOrchestrator *orch_ = nullptr;
     gpu::DevicePtr d_model_ = 0;
     gpu::DevicePtr d_in_ = 0;
     gpu::DevicePtr d_out_ = 0;

@@ -199,6 +199,12 @@ metricsJsonObject(const Metrics &m)
         {"shm.allocs", &m.shm_allocs},
         {"shm.frees", &m.shm_frees},
         {"shm.alloc_failures", &m.shm_alloc_failures},
+        {"dma.acquires", &m.dma_acquires},
+        {"dma.releases", &m.dma_releases},
+        {"dma.credit_stalls", &m.dma_credit_stalls},
+        {"dma.sheds", &m.dma_sheds},
+        {"dma.gathers", &m.dma_gathers},
+        {"dma.gathered_vectors", &m.dma_gathered_vectors},
         {"policy.decide_cpu", &m.policy_decide_cpu},
         {"policy.decide_gpu", &m.policy_decide_gpu},
         {"policy.fallback_overrides", &m.policy_fallback_overrides},
@@ -231,6 +237,12 @@ metricsJsonObject(const Metrics &m)
     appendU64(out, m.shm_used_bytes.get());
     out += ",\"shm.live_allocs\":";
     appendU64(out, m.shm_live_allocs.get());
+    out += ",\"shm.arena_highwater\":";
+    appendU64(out, m.shm_highwater_bytes.get());
+    out += ",\"dma.pool_free\":";
+    appendU64(out, m.dma_pool_free.get());
+    out += ",\"dma.pool_buffers\":";
+    appendU64(out, m.dma_pool_buffers.get());
     out += ",\"registry.score_queue_depth\":";
     appendU64(out, m.reg_score_queue_depth.get());
     for (const std::string &name : m.gaugeNames()) {
@@ -246,6 +258,8 @@ metricsJsonObject(const Metrics &m)
     };
     const NamedHist hists[] = {
         {"shm.alloc_bytes", &m.shm_alloc_bytes},
+        {"dma.credit_stall_ns", &m.dma_credit_stall_ns},
+        {"dma.overlap_permille", &m.dma_overlap_permille},
         {"policy.util_permille", &m.policy_util_permille},
         {"registry.fv_len", &m.reg_fv_len},
         {"registry.score_batch", &m.reg_score_batch},

@@ -87,7 +87,18 @@ Metrics::reset()
     shm_alloc_failures.reset();
     shm_used_bytes.reset();
     shm_live_allocs.reset();
+    shm_highwater_bytes.reset();
     shm_alloc_bytes.reset();
+    dma_acquires.reset();
+    dma_releases.reset();
+    dma_credit_stalls.reset();
+    dma_sheds.reset();
+    dma_gathers.reset();
+    dma_gathered_vectors.reset();
+    dma_pool_free.reset();
+    dma_pool_buffers.reset();
+    dma_credit_stall_ns.reset();
+    dma_overlap_permille.reset();
     policy_decide_cpu.reset();
     policy_decide_gpu.reset();
     policy_fallback_overrides.reset();

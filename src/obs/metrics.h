@@ -201,7 +201,20 @@ class Metrics
     Counter shm_alloc_failures;
     Gauge shm_used_bytes;
     Gauge shm_live_allocs;
+    Gauge shm_highwater_bytes; //!< arena_highwater: peak bytes handed out
     Histogram shm_alloc_bytes;
+
+    // Streaming DMA orchestration (DESIGN.md §10).
+    Counter dma_acquires;
+    Counter dma_releases;
+    Counter dma_credit_stalls;
+    Counter dma_sheds;
+    Counter dma_gathers;
+    Counter dma_gathered_vectors;
+    Gauge dma_pool_free;            //!< pool occupancy: free buffers
+    Gauge dma_pool_buffers;         //!< pool size (all classes)
+    Histogram dma_credit_stall_ns;  //!< virtual ns blocked per stall
+    Histogram dma_overlap_permille; //!< non-blocked share per sync window
 
     Counter policy_decide_cpu;
     Counter policy_decide_gpu;

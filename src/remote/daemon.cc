@@ -275,7 +275,10 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
             recordDeferred(CuResult::InvalidValue);
             break;
         }
-        recordDeferred(ctx_.memFree(ptr));
+        // memFreeAsync (not memFree): the free must order after the
+        // owning stream's in-flight work, or a pooled buffer could be
+        // recycled while its copy is mid-flight.
+        recordDeferred(ctx_.memFreeAsync(ptr));
         break;
       }
       case ApiId::CuMemcpyHtoD: {

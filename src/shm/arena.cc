@@ -44,6 +44,7 @@ ShmArena::alloc(std::size_t bytes)
     ShmOffset result = kNullOffset;
     std::size_t used_now = 0;
     std::size_t live_now = 0;
+    std::size_t high_now = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
 
@@ -60,10 +61,13 @@ ShmArena::alloc(std::size_t bytes)
 
             live_.emplace(offset, need);
             used_ += need;
+            if (used_ > highwater_)
+                highwater_ = used_;
             result = offset;
         }
         used_now = used_;
         live_now = live_.size();
+        high_now = highwater_;
     }
     // Observability outside the lock: metric updates and the trace
     // instant must not extend the critical section.
@@ -76,6 +80,7 @@ ShmArena::alloc(std::size_t bytes)
             m.shm_alloc_bytes.record(need);
             m.shm_used_bytes.set(used_now);
             m.shm_live_allocs.set(live_now);
+            m.shm_highwater_bytes.set(high_now);
         }
     }
     auto &tr = obs::Tracer::global();
@@ -167,6 +172,13 @@ ShmArena::used() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return used_;
+}
+
+std::size_t
+ShmArena::highwater() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return highwater_;
 }
 
 std::size_t

@@ -96,6 +96,13 @@ class ShmArena
     std::size_t capacity() const { return region_.size(); }
     /** Bytes currently handed out (after alignment rounding). */
     std::size_t used() const;
+    /**
+     * Peak of used() over the arena's lifetime. A recycling carve-out
+     * (the streaming buffer pool) must hold this flat across
+     * acquire/release cycles: growth here means the free index failed
+     * to coalesce and the same logical buffers landed at new offsets.
+     */
+    std::size_t highwater() const;
     /** Number of live allocations. */
     std::size_t liveAllocs() const;
     /** Size of the largest free block (fragmentation probe). */
@@ -128,6 +135,7 @@ class ShmArena
      */
     std::map<ShmOffset, std::size_t> live_;
     std::size_t used_ = 0;
+    std::size_t highwater_ = 0;
 };
 
 } // namespace lake::shm

@@ -13,6 +13,7 @@
 #include "channel/fault.h"
 #include "core/lake.h"
 #include "ml/backends.h"
+#include "remote/streampool.h"
 #include "remote/wire.h"
 #include "storage/e2e.h"
 #include "storage/linnos.h"
@@ -300,6 +301,94 @@ TEST(DegradedModeTest, NvmlProbeReturnsLastReadingOnFailure)
     lake.channel().installFaults(spec);
     // The probe must not assert; it repeats the last good reading.
     EXPECT_EQ(probe(lake.clock().now()), healthy);
+}
+
+// ---------------------------------------------------------------------
+// Streaming DMA pool under channel faults (DESIGN.md §10)
+// ---------------------------------------------------------------------
+
+TEST(StreamPoolFaultTest, FaultedSyncReleasesCreditsAndLatchesDegraded)
+{
+    core::Lake lake;
+    remote::StreamingConfig sc;
+    sc.enabled = true;
+    sc.streams = 2;
+    sc.pool_buffers = 2;
+    sc.class_bytes = 4096;
+    sc.size_classes = 1;
+    remote::StreamOrchestrator orch(lake.lib(), lake.clock(), sc);
+
+    gpu::DevicePtr dev = 0;
+    ASSERT_EQ(lake.lib().cuMemAlloc(&dev, 4096), CuResult::Success);
+
+    // Stage every credit as in-flight DtoH, then break the transport:
+    // responses to the synchronizing calls are dropped.
+    std::vector<remote::StreamOrchestrator::Buffer *> staged;
+    for (std::size_t i = 0; i < orch.totalBuffers(); ++i) {
+        remote::StreamOrchestrator::Buffer *b = orch.acquire(4096);
+        ASSERT_NE(b, nullptr);
+        ASSERT_TRUE(
+            orch.stageOut(b, dev, 4096, orch.streamAt(i)).isOk());
+        staged.push_back(b);
+    }
+    ASSERT_EQ(orch.freeBuffers(), 0u);
+
+    FaultSpec spec;
+    spec.drop = 1.0;
+    spec.kernel_to_user = false; // commands pass; responses vanish
+    lake.channel().installFaults(spec);
+
+    // The sync fails, but every buffer bound to the stream comes home:
+    // a dropped response must not leak the credit into a pool deadlock.
+    EXPECT_NE(orch.syncStream(orch.streamAt(0)), CuResult::Success);
+    EXPECT_NE(orch.syncStream(orch.streamAt(1)), CuResult::Success);
+    EXPECT_EQ(orch.freeBuffers(), orch.totalBuffers());
+    EXPECT_GE(orch.stats().sync_failures, 2u);
+
+    // Acquire still works on the replenished ring (no in-flight work
+    // left, so no further transport traffic is needed).
+    remote::StreamOrchestrator::Buffer *again = orch.acquire(4096);
+    EXPECT_NE(again, nullptr);
+    orch.release(again);
+
+    // Enough consecutive failed syncs trip the degraded-mode latch,
+    // the signal policies use to fall back to CPU-only inference.
+    for (std::size_t i = 0; lake.config().degrade_threshold > i; ++i)
+        (void)orch.syncStream(orch.streamAt(0));
+    EXPECT_TRUE(lake.degraded());
+
+    lake.channel().faults()->disarm();
+}
+
+TEST(StreamPoolFaultTest, DrainUnderFaultsReportsFirstFailure)
+{
+    core::Lake lake;
+    remote::StreamingConfig sc;
+    sc.enabled = true;
+    sc.streams = 2;
+    sc.pool_buffers = 4;
+    sc.class_bytes = 4096;
+    sc.size_classes = 1;
+    remote::StreamOrchestrator orch(lake.lib(), lake.clock(), sc);
+
+    gpu::DevicePtr dev = 0;
+    ASSERT_EQ(lake.lib().cuMemAlloc(&dev, 4096), CuResult::Success);
+    for (std::size_t i = 0; i < 4; ++i) {
+        remote::StreamOrchestrator::Buffer *b = orch.acquire(4096);
+        ASSERT_NE(b, nullptr);
+        ASSERT_TRUE(
+            orch.stageOut(b, dev, 4096, orch.streamAt(i)).isOk());
+    }
+
+    FaultSpec spec;
+    spec.truncate = 1.0;
+    spec.kernel_to_user = false;
+    lake.channel().installFaults(spec);
+
+    EXPECT_NE(orch.drain(), CuResult::Success);
+    EXPECT_EQ(orch.freeBuffers(), orch.totalBuffers());
+
+    lake.channel().faults()->disarm();
 }
 
 // ---------------------------------------------------------------------
