@@ -78,6 +78,13 @@ GpuContext::memFreeAsync(DevicePtr ptr)
     chargeCall();
     if (device_.baseOf(ptr) != ptr)
         return CuResult::InvalidValue;
+    // A second free of a pointer whose first free is still queued must
+    // fail the way the eventual device free would — queueing a
+    // duplicate would mask the double free (runDueFrees discards the
+    // second InvalidValue).
+    for (const PendingFree &f : pending_frees_)
+        if (f.ptr == ptr)
+            return CuResult::InvalidValue;
     // Order the free after the owning stream's queued work: freeing at
     // dispatch time would let a buffer pool recycle the allocation
     // while a copy is still in flight on its stream.
@@ -182,10 +189,15 @@ GpuContext::launchKernel(const LaunchConfig &cfg, StreamId stream)
         return res;
 
     device_.countLaunch();
-    // Pointer-like args pin their allocations to this stream so a
-    // later memFreeAsync orders behind the launch.
+    // Pointer args pin their allocations to this stream so a later
+    // memFreeAsync orders behind the launch. The wire format carries
+    // untagged 64-bit slots, so scalars are told apart by range: only
+    // values inside the device VA space can name an allocation, and a
+    // scalar below kVaBase must never reassign an owning stream (it
+    // would mis-order a later free).
     for (std::uint64_t a : cfg.args)
-        noteOwner(a, stream);
+        if (a >= Device::kVaBase)
+            noteOwner(a, stream);
     Nanos duration =
         device_.spec().launch_overhead + entry->cost(device_, cfg);
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));

@@ -61,7 +61,8 @@ class GpuContext
      * or launch stays live until that stream's streamReadyAt passes —
      * freeing it at dispatch time would recycle a pooled buffer while
      * its transfer is mid-flight (a virtual-time use-after-free).
-     * Unknown pointers fail immediately with InvalidValue.
+     * Unknown pointers — and pointers whose first free is still queued
+     * (a double async free) — fail immediately with InvalidValue.
      */
     CuResult memFreeAsync(DevicePtr ptr);
 

@@ -61,6 +61,15 @@ struct EngineSpan
 class Device
 {
   public:
+    /**
+     * Bottom of the fake device VA space. Every DevicePtr handed out
+     * by memAlloc is >= this, so values below it can never name an
+     * allocation — the property launchKernel uses to tell scalar
+     * kernel arguments (lengths, counts, bit-cast floats) apart from
+     * device pointers without a tagged argument list.
+     */
+    static constexpr DevicePtr kVaBase = 0x0100'0000'0000ull;
+
     /** @param spec performance envelope */
     explicit Device(DeviceSpec spec);
 
@@ -152,7 +161,7 @@ class Device
 
     /** Live allocations keyed by base pointer. */
     std::map<DevicePtr, std::vector<std::uint8_t>> allocs_;
-    DevicePtr next_ptr_ = 0x0100'0000'0000ull; // fake VA space base
+    DevicePtr next_ptr_ = kVaBase;
     std::size_t mem_used_ = 0;
 
     Nanos compute_busy_until_ = 0;

@@ -32,11 +32,16 @@ StreamingConfig::applyEnv()
 {
     // LAKE_STREAMS both selects K and flips the master switch:
     // LAKE_STREAMS=4 enables 4-way streaming, LAKE_STREAMS=0 disables.
+    // A value that does not parse is ignored outright: falling back to
+    // a default here would flip `enabled` on a typo.
     if (const char *v = std::getenv("LAKE_STREAMS"); v != nullptr && *v) {
-        std::size_t n = envSize("LAKE_STREAMS", streams);
-        enabled = n > 0;
-        if (n > 0)
-            streams = static_cast<std::uint32_t>(n);
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(v, &end, 10);
+        if (end != v) {
+            enabled = n > 0;
+            if (n > 0)
+                streams = static_cast<std::uint32_t>(n);
+        }
     }
     pool_buffers = std::max<std::size_t>(1, envSize("LAKE_POOL_BUFFERS",
                                                     pool_buffers));
@@ -54,6 +59,14 @@ StreamOrchestrator::StreamOrchestrator(LakeLib &lib, Clock &clock,
         cfg_.pool_buffers = 1;
     if (cfg_.size_classes == 0)
         cfg_.size_classes = 1;
+    // A class must hold at least one credit per stream. With fewer, a
+    // depth-1-per-stream producer (the cipher/MLP consumers) would hit
+    // a credit stall whose forced sync retires — and immediately
+    // re-issues — a buffer belonging to a stream the caller has not
+    // harvested yet, overwriting unread results with the next item's
+    // input (the read-after-sync window never opens for that buffer).
+    cfg_.pool_buffers = std::max<std::size_t>(cfg_.pool_buffers,
+                                              cfg_.streams);
 
     // Carve the whole pool out of the arena once. These are the only
     // arena calls the orchestrator ever makes outside the destructor:

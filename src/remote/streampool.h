@@ -53,7 +53,12 @@ struct StreamingConfig
     bool enabled = false;
     /** Streams to round-robin across (K >= 1). */
     std::uint32_t streams = 4;
-    /** Buffers per size class (the credit budget per class). */
+    /**
+     * Buffers per size class (the credit budget per class). Clamped up
+     * to >= streams at construction: with fewer credits than streams,
+     * a stalled acquire() would recycle a buffer whose stream the
+     * caller has not synchronized — and therefore not read — yet.
+     */
     std::size_t pool_buffers = 4;
     /** Capacity of the smallest size class, bytes. */
     std::size_t class_bytes = 64ull << 10;
@@ -77,7 +82,11 @@ struct StreamingConfig
  * when that stream synchronizes — including when the sync itself fails
  * (a dropped response must not leak the credit). After syncStream
  * returns, the caller may read retired buffers' shm contents until its
- * next acquire() of the same class ("read-after-sync window").
+ * next acquire() of the same class ("read-after-sync window"). The
+ * constructor clamps pool_buffers >= streams so a depth-1-per-stream
+ * producer that harvests each stream before reusing it never trips a
+ * credit stall — a stalled acquire() closes the window for buffers the
+ * caller never had a chance to read.
  */
 class StreamOrchestrator
 {

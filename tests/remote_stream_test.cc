@@ -182,6 +182,21 @@ TEST(StreamPoolTest, AcquireStallsInVirtualTimeWhenRingIsDry)
     orch.drain();
 }
 
+TEST(StreamPoolTest, PoolBuffersClampedToStreamCount)
+{
+    core::Lake lake;
+    // 8 streams but only 4 credits requested per class: with fewer
+    // credits than streams, a stalled acquire() would recycle a buffer
+    // whose stream the caller has not harvested yet. The constructor
+    // clamps the credit budget up to the stream count.
+    StreamOrchestrator orch(lake.lib(), lake.clock(), testConfig(8, 4));
+    EXPECT_EQ(orch.config().pool_buffers, 8u);
+    EXPECT_EQ(orch.totalBuffers(), 8u);
+    // Enough credits is left alone.
+    StreamOrchestrator deep(lake.lib(), lake.clock(), testConfig(2, 6));
+    EXPECT_EQ(deep.config().pool_buffers, 6u);
+}
+
 TEST(StreamPoolTest, AcquireShedsWhenCallerHoldsEveryCredit)
 {
     core::Lake lake;
@@ -426,6 +441,64 @@ TEST(DeferredFreeTest, InteriorPointerOwnershipOrdersTheFree)
     EXPECT_EQ(device.memUsed(), used - kBytes);
 }
 
+TEST(DeferredFreeTest, DoubleAsyncFreeIsReportedWhileFirstIsPending)
+{
+    gpu::Device device(gpu::DeviceSpec::a100());
+    Clock clock;
+    gpu::GpuContext ctx(device, clock);
+
+    constexpr std::size_t kBytes = 1 << 20;
+    gpu::DevicePtr p = 0;
+    ASSERT_EQ(ctx.memAlloc(&p, kBytes), CuResult::Success);
+    std::size_t used = device.memUsed();
+
+    std::vector<std::uint8_t> host(kBytes, 0x55);
+    ASSERT_EQ(ctx.memcpyHtoDAsync(p, host.data(), kBytes, 3),
+              CuResult::Success);
+    ASSERT_EQ(ctx.memFreeAsync(p), CuResult::Success);
+    ASSERT_EQ(ctx.pendingFrees(), 1u);
+
+    // The second free of the same pointer must fail like the eventual
+    // device free would, not queue a duplicate that runDueFrees later
+    // discards silently.
+    EXPECT_EQ(ctx.memFreeAsync(p), CuResult::InvalidValue);
+    EXPECT_EQ(ctx.pendingFrees(), 1u);
+
+    ASSERT_EQ(ctx.streamSynchronize(3), CuResult::Success);
+    EXPECT_EQ(ctx.pendingFrees(), 0u);
+    EXPECT_EQ(device.memUsed(), used - kBytes);
+}
+
+TEST(LaunchArgTest, ScalarArgsBelowVaBaseNeverPinAllocations)
+{
+    gpu::Device device(gpu::DeviceSpec::a100());
+    Clock clock;
+    gpu::GpuContext ctx(device, clock);
+
+    gpu::DevicePtr a = 0, b = 0, c = 0;
+    constexpr std::size_t kN = 1024;
+    ASSERT_EQ(ctx.memAlloc(&a, kN * 4), CuResult::Success);
+    ASSERT_EQ(ctx.memAlloc(&b, kN * 4), CuResult::Success);
+    ASSERT_EQ(ctx.memAlloc(&c, kN * 4), CuResult::Success);
+    EXPECT_GE(a, gpu::Device::kVaBase);
+
+    // Pin c to stream 9 with a launch whose scalar arg (kN) sits far
+    // below the VA base: only the genuine device pointers may touch
+    // ownership, so a later free of c defers behind stream 9 while the
+    // scalar pins nothing.
+    gpu::LaunchConfig cfg;
+    cfg.kernel = "vec_add";
+    cfg.grid_x = 4;
+    cfg.block_x = 256;
+    cfg.arg(a).arg(b).arg(c).arg(kN, nullptr);
+    ASSERT_EQ(ctx.launchKernel(cfg, 9), CuResult::Success);
+
+    ASSERT_EQ(ctx.memFreeAsync(c), CuResult::Success);
+    EXPECT_EQ(ctx.pendingFrees(), 1u);
+    ASSERT_EQ(ctx.streamSynchronize(9), CuResult::Success);
+    EXPECT_EQ(ctx.pendingFrees(), 0u);
+}
+
 TEST(DeferredFreeTest, UnknownPointerFailsImmediately)
 {
     gpu::Device device(gpu::DeviceSpec::a100());
@@ -521,6 +594,26 @@ TEST(StreamingConfigTest, ApplyEnvDrivesTheMasterSwitch)
     StreamingConfig untouched;
     untouched.applyEnv();
     EXPECT_FALSE(untouched.enabled);
+}
+
+TEST(StreamingConfigTest, MalformedStreamsValueIsIgnored)
+{
+    // An unparsable LAKE_STREAMS must not flip the master switch via
+    // the numeric fallback — a typo would silently enable streaming.
+    ::setenv("LAKE_STREAMS", "abc", 1);
+    StreamingConfig sc;
+    sc.applyEnv();
+    EXPECT_FALSE(sc.enabled);
+    EXPECT_EQ(sc.streams, 4u);
+
+    // ...and must not disable (or re-size) an explicitly enabled one.
+    StreamingConfig on;
+    on.enabled = true;
+    on.streams = 2;
+    on.applyEnv();
+    EXPECT_TRUE(on.enabled);
+    EXPECT_EQ(on.streams, 2u);
+    ::unsetenv("LAKE_STREAMS");
 }
 
 TEST(StreamingConfigTest, LakeConstructsOrchestratorOnlyWhenEnabled)
@@ -639,6 +732,77 @@ TEST(StreamedConsumersTest, StreamedCipherBatchRoundTripsAndAuths)
     EXPECT_FALSE(dec[3].ok);
     EXPECT_TRUE(dec[2].ok);
     EXPECT_TRUE(dec[4].ok);
+}
+
+// Regression: streams > requested pool_buffers. Before the constructor
+// clamp, the 5th in-flight item's acquire() hit a credit stall whose
+// forced sync retired — and immediately re-issued — the oldest staged
+// buffer, overwriting results the caller had not read yet (silently
+// corrupted ciphertext/tags/labels, no error).
+TEST(StreamedConsumersTest, MoreStreamsThanRequestedCreditsStaysExact)
+{
+    ml::registerMlKernels();
+    core::LakeConfig cfg;
+    cfg.streaming.enabled = true;
+    cfg.streaming.streams = 8;
+    cfg.streaming.pool_buffers = 4;
+    core::Lake lake(cfg);
+    ASSERT_NE(lake.streaming(), nullptr);
+    ASSERT_GE(lake.streaming()->config().pool_buffers, 8u);
+
+    // Cipher: enough extents to wrap the 8 streams twice.
+    std::uint8_t key[32];
+    for (int i = 0; i < 32; ++i)
+        key[i] = static_cast<std::uint8_t>(i * 11 + 1);
+    constexpr std::size_t kN = 19;
+    constexpr std::size_t kLen = 4096;
+
+    crypto::LakeGpuCipher serial(key, 32, lake.lib(), kLen);
+    crypto::LakeGpuCipher streamed(key, 32, lake.lib(), kLen);
+    streamed.enableStreaming(lake.streaming());
+
+    std::vector<std::uint8_t> plain(kN * kLen);
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        plain[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    std::vector<std::uint8_t> ivs(kN * crypto::kGcmIvBytes);
+    for (std::size_t i = 0; i < ivs.size(); ++i)
+        ivs[i] = static_cast<std::uint8_t>(i * 3);
+
+    std::vector<std::uint8_t> cipher(kN * kLen);
+    std::vector<crypto::ExtentOp> enc(kN);
+    for (std::size_t i = 0; i < kN; ++i) {
+        enc[i].iv = &ivs[i * crypto::kGcmIvBytes];
+        enc[i].in = &plain[i * kLen];
+        enc[i].len = kLen;
+        enc[i].out = &cipher[i * kLen];
+    }
+    streamed.encryptBatch(enc.data(), kN);
+
+    for (std::size_t i = 0; i < kN; ++i) {
+        std::vector<std::uint8_t> ref(kLen);
+        std::uint8_t ref_tag[crypto::kGcmTagBytes];
+        serial.encryptExtent(enc[i].iv, enc[i].in, kLen, ref.data(),
+                             ref_tag);
+        EXPECT_EQ(std::memcmp(enc[i].out, ref.data(), kLen), 0)
+            << "extent " << i;
+        EXPECT_EQ(std::memcmp(enc[i].tag, ref_tag,
+                              crypto::kGcmTagBytes),
+                  0)
+            << "extent " << i;
+    }
+
+    // MLP: a batch wide enough that all 8 chunks stage concurrently.
+    Rng rng(23);
+    ml::Mlp net(ml::MlpConfig::linnos(), rng);
+    ml::Matrix x(37, 31);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x.data()[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+
+    ml::LakeMlp mlp(net, lake.lib(), /*sync_copy=*/false, 64);
+    mlp.enableStreaming(lake.streaming());
+    Result<std::vector<int>> got = mlp.tryClassify(x);
+    ASSERT_TRUE(got.isOk()) << got.status().message();
+    EXPECT_EQ(got.value(), net.classify(x));
 }
 
 } // namespace
