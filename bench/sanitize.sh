@@ -55,3 +55,12 @@ ctest --test-dir "$BUILD" --output-on-failure -L registry
 # carve-out arithmetic and retire-on-failure path are what ASan/UBSan
 # should sweep here.
 ctest --test-dir "$BUILD" --output-on-failure -L dma
+
+# The serving suite (ctest -L serve) runs the open-loop traffic
+# generator with offer() and pump() racing from multiple threads
+# against the ScoreServer's inline flush — the generator's
+# pick-under-lock/submit-outside-lock dance and the completion
+# callbacks re-entering its mutex are what `bench/sanitize.sh thread`
+# exists to sweep, and the serve_slo smoke adds a full admission +
+# DRR + shed sweep on top.
+ctest --test-dir "$BUILD" --output-on-failure -L serve

@@ -119,6 +119,14 @@ double
 BusyTracker::utilization(Nanos now, Nanos window) const
 {
     LAKE_ASSERT(window > 0, "utilization window must be positive");
+    // Probes must be monotone: spans behind the compaction horizon are
+    // gone, so answering an earlier `now` would silently under-count
+    // busy time instead of wrapping — panic rather than mis-measure.
+    LAKE_ASSERT(now >= last_probe_now_,
+                "non-monotone utilization probe: now=%llu after %llu",
+                static_cast<unsigned long long>(now),
+                static_cast<unsigned long long>(last_probe_now_));
+    last_probe_now_ = now;
     max_window_ = std::max(max_window_, window);
     Nanos lo = now > window ? now - window : 0;
     // Probe times are monotone in every caller, so a span that ended
@@ -160,6 +168,10 @@ BusyTracker::reset()
 {
     spans_.clear();
     total_busy_ = 0;
+    max_window_ = 0;
+    // A reset tracker restarts its timeline (benchmark repetitions
+    // reset the clock too), so the monotone-probe horizon restarts.
+    last_probe_now_ = 0;
 }
 
 RateMeter::RateMeter(Nanos bucket) : bucket_(bucket)

@@ -183,6 +183,14 @@ class BusyTracker
      */
     mutable std::deque<Span> spans_;
     mutable Nanos max_window_ = 0; //!< largest window ever probed
+    /**
+     * Latest probe time seen. The compaction above is only sound while
+     * probe times are monotone (the documented contract); utilization()
+     * asserts it, because a backwards probe after compaction would
+     * silently under-report — the spans it should see are gone — and
+     * its clamped `now - window` arithmetic would mask the bug.
+     */
+    mutable Nanos last_probe_now_ = 0;
     Nanos total_busy_ = 0;
 };
 

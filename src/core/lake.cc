@@ -22,7 +22,9 @@ Lake::Lake(LakeConfig config)
         obs::Tracer::global().bindClock(&clock_);
     lib_.setRetryPolicy(config.retry);
     lib_.setPipeline(config.pipeline);
-    if (config_.scoring.enabled) {
+    // The serving front end dispatches through the scoring service,
+    // so enabling serving implies enabling scoring.
+    if (config_.scoring.enabled || config_.serving.enabled) {
         Status s = registries_.enableScoring(config_.scoring);
         LAKE_ASSERT(s.isOk(), "scoring service boot failed: %s",
                     s.message().c_str());

@@ -30,6 +30,7 @@
 #include "policy/policy.h"
 #include "registry/manager.h"
 #include "remote/daemon.h"
+#include "serve/serve.h"
 #include "remote/lakelib.h"
 #include "remote/streampool.h"
 #include "shm/arena.h"
@@ -82,6 +83,15 @@ struct LakeConfig
      * unchanged unless a caller opts in.
      */
     remote::StreamingConfig streaming;
+    /**
+     * Multi-tenant serving front end (DESIGN.md §11), default off.
+     * When serving.enabled is true, boot brings up the scoring
+     * service the generator dispatches through (using the `scoring`
+     * knobs above even if scoring.enabled was left false); the
+     * TrafficGenerator itself is constructed by the application once
+     * its shard registries exist. While false nothing changes.
+     */
+    serve::ServeConfig serving;
 };
 
 /** Remoting-health counters surfaced for tests and benches. */

@@ -216,6 +216,13 @@ metricsJsonObject(const Metrics &m)
         {"registry.async_sheds", &m.reg_async_sheds},
         {"registry.async_rejects", &m.reg_async_rejects},
         {"registry.score_flushes", &m.reg_score_flushes},
+        {"serve.arrivals", &m.serve_arrivals},
+        {"serve.admits", &m.serve_admits},
+        {"serve.bucket_rejects", &m.serve_bucket_rejects},
+        {"serve.queue_sheds", &m.serve_queue_sheds},
+        {"serve.backpressure", &m.serve_backpressure},
+        {"serve.completions", &m.serve_completions},
+        {"serve.failures", &m.serve_failures},
     };
     bool first = true;
     for (const auto &[name, c] : fixed_counters) {
@@ -245,6 +252,10 @@ metricsJsonObject(const Metrics &m)
     appendU64(out, m.dma_pool_buffers.get());
     out += ",\"registry.score_queue_depth\":";
     appendU64(out, m.reg_score_queue_depth.get());
+    out += ",\"serve.tenants\":";
+    appendU64(out, m.serve_tenants.get());
+    out += ",\"serve.queue_depth\":";
+    appendU64(out, m.serve_queue_depth.get());
     for (const std::string &name : m.gaugeNames()) {
         out += ",\"" + name + "\":";
         appendU64(out, m.findGauge(name)->get());
@@ -264,6 +275,8 @@ metricsJsonObject(const Metrics &m)
         {"registry.fv_len", &m.reg_fv_len},
         {"registry.score_batch", &m.reg_score_batch},
         {"registry.score_queue_ns", &m.reg_score_queue_ns},
+        {"serve.latency_ns", &m.serve_latency_ns},
+        {"serve.batch", &m.serve_batch},
     };
     first = true;
     for (const auto &[name, h] : hists) {

@@ -115,6 +115,17 @@ Metrics::reset()
     reg_score_queue_depth.reset();
     reg_score_batch.reset();
     reg_score_queue_ns.reset();
+    serve_arrivals.reset();
+    serve_admits.reset();
+    serve_bucket_rejects.reset();
+    serve_queue_sheds.reset();
+    serve_backpressure.reset();
+    serve_completions.reset();
+    serve_failures.reset();
+    serve_tenants.reset();
+    serve_queue_depth.reset();
+    serve_latency_ns.reset();
+    serve_batch.reset();
     for (auto &s : stages_)
         s.reset();
     std::lock_guard<std::mutex> lock(named_mu_);

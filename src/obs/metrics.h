@@ -236,6 +236,19 @@ class Metrics
     Histogram reg_score_batch;      //!< coalesced vectors per flush
     Histogram reg_score_queue_ns;   //!< submit -> scored, virtual ns
 
+    // Multi-tenant serving front end (DESIGN.md §11).
+    Counter serve_arrivals;
+    Counter serve_admits;
+    Counter serve_bucket_rejects;   //!< non-conformant at admission
+    Counter serve_queue_sheds;      //!< tenant queue full
+    Counter serve_backpressure;     //!< ScoreServer pushback, re-queued
+    Counter serve_completions;
+    Counter serve_failures;         //!< shed downstream / teardown
+    Gauge serve_tenants;            //!< simulated tenant population
+    Gauge serve_queue_depth;        //!< admitted, undispatched requests
+    Histogram serve_latency_ns;     //!< arrival -> scored, virtual ns
+    Histogram serve_batch;          //!< coalesced batch each ride took
+
     /** Per-ApiId latency histograms for one remoting stage. */
     ApiHistograms &
     stage(Stage s)

@@ -251,8 +251,13 @@ BpfPolicy::BpfPolicy(const BpfVm &vm, std::vector<BpfInsn> program,
 Engine
 BpfPolicy::decide(const PolicyInput &in)
 {
+    // Same clamp as ContentionAwarePolicy::decide: a non-monotone
+    // caller-supplied `now` must not wrap the interval check and defeat
+    // the probe rate limit.
     if (probe_ &&
-        (!probed_once_ || in.now - last_probe_ >= cfg_.probe_interval)) {
+        (!probed_once_ ||
+         (in.now >= last_probe_ &&
+          in.now - last_probe_ >= cfg_.probe_interval))) {
         avg_.add(probe_(in.now));
         last_probe_ = in.now;
         probed_once_ = true;

@@ -9,7 +9,10 @@ MlGate::shouldInfer(Nanos now)
 {
     if (!gated_)
         return true;
-    if (now - last_probe_ >= cfg_.probe_interval) {
+    // Clamped interval: `now` earlier than the closing observation's
+    // timestamp must read as "no time elapsed", not wrap to a huge
+    // unsigned span that releases a probe immediately.
+    if (now >= last_probe_ && now - last_probe_ >= cfg_.probe_interval) {
         last_probe_ = now;
         probe_outstanding_ = true;
         return true;

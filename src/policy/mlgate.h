@@ -68,8 +68,10 @@ class MlGate
     bool
     probeDue(Nanos now) const
     {
-        return gated_ && (probe_outstanding_ ||
-                          now - last_probe_ >= cfg_.probe_interval);
+        return gated_ &&
+               (probe_outstanding_ ||
+                (now >= last_probe_ &&
+                 now - last_probe_ >= cfg_.probe_interval));
     }
 
     /** Times the gate has closed. */

@@ -90,8 +90,23 @@ ContentionAwarePolicy::ContentionAwarePolicy(UtilProbe probe, Config config)
 Engine
 ContentionAwarePolicy::decide(const PolicyInput &in)
 {
+    // Clamped elapsed time since the last probe: the sync scoring path
+    // hands the policy a caller-supplied `now`, and two call sites
+    // racing through scoreSync can consult it with non-monotone times.
+    // Unclamped, `in.now - last_probe_` wraps to a huge unsigned value
+    // and defeats both the rate limit and the staleness bound below.
+    Nanos elapsed =
+        in.now >= last_probe_ ? in.now - last_probe_ : 0;
+    // A window whose readings predate a long idle gap says nothing
+    // about the GPU the next burst will meet: drop it and re-probe
+    // fresh rather than averaging stale contention into the decision.
+    if (probed_once_ && cfg_.stale_windows > 0 &&
+        elapsed > cfg_.stale_windows * cfg_.probe_interval) {
+        avg_.reset();
+        probed_once_ = false;
+    }
     // Rate-limit the (remoted, hence costly) NVML query.
-    if (!probed_once_ || in.now - last_probe_ >= cfg_.probe_interval) {
+    if (!probed_once_ || elapsed >= cfg_.probe_interval) {
         double util = probe_(in.now);
         avg_.add(util);
         last_probe_ = in.now;

@@ -175,6 +175,17 @@ class ContentionAwarePolicy final : public ExecPolicy
         double exec_threshold = 40.0;
         /** Profitability crossover batch size. */
         std::size_t batch_threshold = 8;
+        /**
+         * Max staleness of the smoothed window, in probe intervals:
+         * when more than `stale_windows * probe_interval` elapsed since
+         * the last probe, the moving-average window is dropped and
+         * rebuilt from a fresh reading. Without this, the first
+         * decision after a long idle gap averages readings of
+         * arbitrary age against one fresh probe — a burst arriving
+         * after the gap would be steered by utilization observed
+         * before the gap. 0 disables the reset.
+         */
+        std::size_t stale_windows = 8;
     };
 
     /**

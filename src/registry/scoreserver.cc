@@ -281,6 +281,13 @@ ScoreServer::dispatch(const std::string &sys, std::vector<Request> reqs,
     // depth as PolicyInput::batch_size. The classifier's compute lands
     // on the ThreadPool-parallel GEMM/kNN substrate, which is where a
     // big batch beats per-call dispatch.
+    // Virtual-time wrap audit: `start` is clamped to the clock, so a
+    // poll(now) with a stale (smaller-than-clock) `now` cannot push
+    // dispatch before an enqueue. scored >= start >= clock >= every
+    // r.enqueued (the clock is monotone and stamped each enqueue), so
+    // the interval subtractions below cannot wrap; the explicit clamp
+    // keeps a telemetry value from turning a future regression into a
+    // 2^64-scale histogram sample.
     Registry *rep = reqs.front().reg;
     Nanos start = std::max(now, clock_.now());
     std::vector<float> scores = rep->scoreFeatures(batch, start);
@@ -292,7 +299,8 @@ ScoreServer::dispatch(const std::string &sys, std::vector<Request> reqs,
         m.reg_score_flushes.add();
         m.reg_score_batch.record(batch.size());
         for (const Request &r : reqs)
-            m.reg_score_queue_ns.record(scored - r.enqueued);
+            m.reg_score_queue_ns.record(
+                scored >= r.enqueued ? scored - r.enqueued : 0);
     }
     auto &tr = obs::Tracer::global();
     if (tr.enabled())

@@ -1,0 +1,45 @@
+#include "serve/tenant.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace lake::serve {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst), tokens_(burst)
+{
+    LAKE_ASSERT(rate > 0.0, "token bucket rate must be positive");
+    LAKE_ASSERT(burst >= 1.0, "token bucket burst must hold one token");
+}
+
+void
+TokenBucket::refill(Nanos now)
+{
+    // Clamp instead of wrapping: a probe earlier than the last refill
+    // point earns no tokens (and must not subtract into 2^64 ns).
+    if (now <= last_)
+        return;
+    double dt = toSec(now - last_);
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    last_ = now;
+}
+
+bool
+TokenBucket::tryAcquire(Nanos now, double tokens)
+{
+    refill(now);
+    if (tokens_ < tokens)
+        return false;
+    tokens_ -= tokens;
+    return true;
+}
+
+double
+TokenBucket::available(Nanos now)
+{
+    refill(now);
+    return tokens_;
+}
+
+} // namespace lake::serve

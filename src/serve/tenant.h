@@ -1,0 +1,88 @@
+#ifndef LAKE_SERVE_TENANT_H
+#define LAKE_SERVE_TENANT_H
+
+/**
+ * @file
+ * Per-tenant serving state: the token-bucket admission filter and the
+ * bounded request queue the DRR pump drains (DESIGN.md §11).
+ */
+
+#include <cstdint>
+#include <deque>
+
+#include "base/stats.h"
+#include "base/time.h"
+
+namespace lake::serve {
+
+/**
+ * A virtual-time token bucket.
+ *
+ * Refills continuously at `rate` tokens per virtual second up to
+ * `burst`; tryAcquire() debits one token or reports the request
+ * non-conformant. Probe times that move backwards (two admission
+ * paths racing on the same virtual instant, or a caller replaying a
+ * stale timestamp) are clamped to the last refill point instead of
+ * wrapping the elapsed-time subtraction — the same discipline as the
+ * policy probe timers.
+ */
+class TokenBucket
+{
+  public:
+    /**
+     * @param rate  refill rate, tokens per virtual second (> 0)
+     * @param burst bucket capacity in tokens (>= 1)
+     */
+    TokenBucket(double rate, double burst);
+
+    /** Debits @p tokens at time @p now; false when non-conformant. */
+    bool tryAcquire(Nanos now, double tokens = 1.0);
+
+    /** Tokens available at @p now (refill applied, nothing debited). */
+    double available(Nanos now);
+
+  private:
+    void refill(Nanos now);
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    Nanos last_ = 0;
+};
+
+/** One admitted request waiting in a tenant's queue. */
+struct PendingRequest
+{
+    /** Virtual arrival time (latency is measured from here). */
+    Nanos arrival = 0;
+};
+
+/** Serving state and lifetime statistics for one tenant. */
+struct Tenant
+{
+    Tenant(double rate, double burst) : bucket(rate, burst) {}
+
+    TokenBucket bucket;
+    /** Admitted requests not yet dispatched; bounded by config. */
+    std::deque<PendingRequest> queue;
+    /** DRR deficit carried across pump rounds. */
+    std::size_t deficit = 0;
+
+    /// @name Lifetime counters (one writer: the generator's lock)
+    /// @{
+    std::uint64_t arrivals = 0;
+    std::uint64_t admits = 0;
+    std::uint64_t bucket_rejects = 0;
+    std::uint64_t queue_sheds = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t failures = 0; //!< shed downstream or registry torn down
+    /// @}
+
+    /** Arrival-to-scored latency of every completed request. */
+    PercentileTracker latency_us;
+};
+
+} // namespace lake::serve
+
+#endif // LAKE_SERVE_TENANT_H

@@ -204,12 +204,13 @@ TEST(BusyTrackerTest, WindowedUtilization)
     BusyTracker b;
     b.addBusy(0, 50);
     b.addBusy(100, 150);
+    // Partial overlap first (probes must be monotone): window
+    // [25, 125] covers 25 + 25 busy.
+    EXPECT_NEAR(b.utilization(125, 100), 50.0, 1e-9);
     // Window [0, 200]: 100 busy of 200.
     EXPECT_NEAR(b.utilization(200, 200), 50.0, 1e-9);
     // Window [150, 200]: idle.
     EXPECT_NEAR(b.utilization(200, 50), 0.0, 1e-9);
-    // Partial overlap: window [25, 125] covers 25 + 25 busy.
-    EXPECT_NEAR(b.utilization(125, 100), 50.0, 1e-9);
     EXPECT_EQ(b.totalBusy(), 100u);
 }
 
@@ -219,6 +220,86 @@ TEST(BusyTrackerTest, OutOfOrderSpans)
     b.addBusy(100, 200);
     b.addBusy(0, 50);
     EXPECT_NEAR(b.utilization(200, 200), 75.0, 1e-9);
+}
+
+// Window-edge behaviour of the utilization probe — the admission
+// layer's load signal. Each case uses its own tracker so the
+// monotone-probe contract and max-window compaction of one probe
+// cannot leak into the next.
+TEST(BusyTrackerTest, SpanEndingExactlyAtWindowEdgeIsExcluded)
+{
+    BusyTracker b;
+    b.addBusy(100, 200);
+    // Window [200, 300]: the span's half-open [100, 200) contributes
+    // nothing at the boundary.
+    EXPECT_NEAR(b.utilization(300, 100), 0.0, 1e-9);
+}
+
+TEST(BusyTrackerTest, SpanStartingExactlyAtProbeTimeIsExcluded)
+{
+    BusyTracker b;
+    b.addBusy(100, 200);
+    b.addBusy(300, 400);
+    // Window [100, 300]: the first span is fully inside; the second
+    // starts exactly at `now` and must not count.
+    EXPECT_NEAR(b.utilization(300, 200), 50.0, 1e-9);
+}
+
+TEST(BusyTrackerTest, SpanStraddlingBothWindowEdges)
+{
+    BusyTracker b;
+    b.addBusy(50, 450);
+    // Window [100, 400] sits entirely inside one busy span.
+    EXPECT_NEAR(b.utilization(400, 300), 100.0, 1e-9);
+}
+
+TEST(BusyTrackerTest, ZeroLengthSpansAreIgnored)
+{
+    BusyTracker b;
+    b.addBusy(5, 5);
+    EXPECT_EQ(b.spanCount(), 0u);
+    EXPECT_EQ(b.totalBusy(), 0u);
+    EXPECT_NEAR(b.utilization(10, 10), 0.0, 1e-9);
+}
+
+TEST(BusyTrackerTest, EmptyHistoryProbesZero)
+{
+    BusyTracker b;
+    EXPECT_NEAR(b.utilization(100, 50), 0.0, 1e-9);
+    EXPECT_EQ(b.totalBusy(), 0u);
+}
+
+TEST(BusyTrackerTest, WindowLargerThanElapsedClampsToTimeZero)
+{
+    BusyTracker b;
+    b.addBusy(0, 10);
+    // `now - window` would underflow; the window clamps to [0, 20].
+    EXPECT_NEAR(b.utilization(20, 100), 50.0, 1e-9);
+}
+
+// Regression (ISSUE 7 wrap audit): the probe path compacts spans no
+// *later* probe can see, so a backwards probe silently under-reports
+// — the spans it should integrate are gone. That contract violation
+// now panics instead of mis-measuring.
+TEST(BusyTrackerDeathTest, NonMonotoneProbePanics)
+{
+    BusyTracker b;
+    b.addBusy(0, 1000);
+    b.utilization(2000, 100);
+    EXPECT_DEATH(b.utilization(1000, 100),
+                 "non-monotone utilization probe");
+}
+
+TEST(BusyTrackerTest, ResetRestartsProbeTimeline)
+{
+    BusyTracker b;
+    b.addBusy(0, 1000);
+    b.utilization(2000, 100);
+    b.reset();
+    // Benchmark repetitions reset tracker and clock together; probing
+    // from zero again is legitimate after a reset.
+    b.addBusy(0, 50);
+    EXPECT_NEAR(b.utilization(100, 100), 50.0, 1e-9);
 }
 
 TEST(BusyTrackerTest, CompactDropsOldSpans)

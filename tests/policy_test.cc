@@ -91,6 +91,98 @@ TEST(ContentionPolicyTest, ProbeRateLimited)
     EXPECT_EQ(probes, 2);
 }
 
+// Regression (ISSUE 7): utilization is only sampled inside decide(),
+// so the first decision after a long idle gap averaged one fresh probe
+// against readings of arbitrary age. A bursty arrival trace — busy
+// phase, long gap, burst — must not steer the post-gap burst by
+// contention observed before the gap.
+TEST(ContentionPolicyTest, DropsStaleWindowAfterIdleGap)
+{
+    double util = 90.0;
+    ContentionAwarePolicy::Config cfg;
+    cfg.probe_interval = 5_ms;
+    cfg.avg_window = 4;
+    cfg.exec_threshold = 40.0;
+    cfg.batch_threshold = 4;
+    cfg.stale_windows = 8; // window is stale after 40 ms unprobed
+    ContentionAwarePolicy p([&](Nanos) { return util; }, cfg);
+
+    PolicyInput in;
+    in.batch_size = 16;
+    // Busy phase: the window fills with high readings.
+    for (Nanos t = 0; t <= 15_ms; t += 5_ms) {
+        in.now = t;
+        EXPECT_EQ(p.decide(in), Engine::Cpu);
+    }
+    EXPECT_NEAR(p.smoothedUtilization(), 90.0, 1e-9);
+
+    // Long idle gap; the GPU drains to 0% during it. The first
+    // post-gap decision must act on a fresh probe, not on a window
+    // whose newest reading is 485 ms old (pre-fix: (90*3 + 0)/4 =
+    // 67.5 >= 40 -> Cpu even though the GPU is idle).
+    util = 0.0;
+    in.now = 500_ms;
+    EXPECT_EQ(p.decide(in), Engine::Gpu);
+    EXPECT_NEAR(p.smoothedUtilization(), 0.0, 1e-9);
+}
+
+TEST(ContentionPolicyTest, StaleResetDisabledKeepsWindow)
+{
+    double util = 90.0;
+    ContentionAwarePolicy::Config cfg;
+    cfg.probe_interval = 5_ms;
+    cfg.avg_window = 4;
+    cfg.exec_threshold = 40.0;
+    cfg.batch_threshold = 4;
+    cfg.stale_windows = 0; // opt out: pre-fix smoothing semantics
+    ContentionAwarePolicy p([&](Nanos) { return util; }, cfg);
+
+    PolicyInput in;
+    in.batch_size = 16;
+    for (Nanos t = 0; t <= 15_ms; t += 5_ms) {
+        in.now = t;
+        p.decide(in);
+    }
+    util = 0.0;
+    in.now = 500_ms;
+    // With the reset disabled the stale readings still dominate.
+    EXPECT_EQ(p.decide(in), Engine::Cpu);
+    EXPECT_NEAR(p.smoothedUtilization(), 67.5, 1e-9);
+}
+
+// Regression (ISSUE 7): `in.now - last_probe_` is unsigned; a
+// non-monotone `now` (two sync score paths sharing one policy) wrapped
+// the interval check and defeated the probe rate limit.
+TEST(ContentionPolicyTest, NonMonotoneNowDoesNotWrapProbeInterval)
+{
+    int probes = 0;
+    ContentionAwarePolicy::Config cfg;
+    cfg.probe_interval = 5_ms;
+    cfg.avg_window = 4;
+    ContentionAwarePolicy p(
+        [&](Nanos) {
+            ++probes;
+            return 0.0;
+        },
+        cfg);
+
+    PolicyInput in;
+    in.batch_size = 100;
+    in.now = 10_ms;
+    p.decide(in);
+    EXPECT_EQ(probes, 1);
+    // 1 ms in the past: must read as "no time elapsed", not as a
+    // 2^64-scale interval (pre-fix: re-probes, and with the staleness
+    // bound would also wrongly drop the window).
+    in.now = 9_ms;
+    p.decide(in);
+    EXPECT_EQ(probes, 1);
+    // Time resumes: the rate limit picks up from the newest probe.
+    in.now = 15_ms;
+    p.decide(in);
+    EXPECT_EQ(probes, 2);
+}
+
 TEST(ContentionPolicyTest, SmallBatchStaysOnCpu)
 {
     ContentionAwarePolicy::Config cfg;
@@ -174,6 +266,28 @@ TEST(MlGateTest, EmptyObservationsIgnored)
     MlGate gate;
     gate.observe(0, 0, 0);
     EXPECT_FALSE(gate.gated());
+}
+
+// Regression (ISSUE 7 wrap audit): a shouldInfer()/probeDue() call
+// with `now` earlier than the gate-closing observation wrapped
+// `now - last_probe_` and released a probe immediately.
+TEST(MlGateTest, NonMonotoneNowDoesNotReleaseProbe)
+{
+    MlGate::Config cfg;
+    cfg.window = 4;
+    cfg.min_positive_rate = 0.5;
+    cfg.probe_interval = 10_ms;
+    MlGate gate(cfg);
+
+    gate.shouldInfer(20_ms);
+    gate.observe(0, 4, 20_ms); // closes the gate, last probe = 20 ms
+    ASSERT_TRUE(gate.gated());
+
+    EXPECT_FALSE(gate.probeDue(15_ms));
+    EXPECT_FALSE(gate.shouldInfer(15_ms));
+    // Monotone behaviour unchanged: a probe is due after the interval.
+    EXPECT_TRUE(gate.probeDue(30_ms));
+    EXPECT_TRUE(gate.shouldInfer(30_ms));
 }
 
 // ---- BPF VM ---------------------------------------------------------
@@ -310,6 +424,35 @@ TEST(BpfRunTest, HelperCalls)
     auto prog = b.take();
     ASSERT_TRUE(vm.verify(prog, 0).isOk());
     EXPECT_EQ(vm.run(prog, {}), 42u);
+}
+
+// Regression (ISSUE 7 wrap audit): BpfPolicy shares the rate-limited
+// probe pattern and wrapped the same unsigned subtraction.
+TEST(BpfPolicyTest, NonMonotoneNowDoesNotWrapProbeInterval)
+{
+    BpfVm vm;
+    int probes = 0;
+    BpfPolicy::Config cfg;
+    cfg.probe_interval = 5_ms;
+    cfg.avg_window = 2;
+    BpfPolicy p(vm, buildFig3Program(40.0, 8),
+                [&](Nanos) {
+                    ++probes;
+                    return 0.0;
+                },
+                cfg);
+
+    PolicyInput in;
+    in.batch_size = 16;
+    in.now = 10_ms;
+    p.decide(in);
+    EXPECT_EQ(probes, 1);
+    in.now = 8_ms; // in the past: no wrap, no probe
+    p.decide(in);
+    EXPECT_EQ(probes, 1);
+    in.now = 15_ms;
+    p.decide(in);
+    EXPECT_EQ(probes, 2);
 }
 
 class Fig3EquivalenceTest

@@ -484,6 +484,43 @@ TEST_F(ScoreServerTest, DeadlineFlushViaPoll)
     EXPECT_EQ(s->pending(), 0u);
 }
 
+// ISSUE 7 wrap audit: dispatch clamps its start time to the clock, so
+// a flush driven with a stale (smaller-than-clock) `now` can neither
+// schedule scoring before the enqueue nor wrap the scored-enqueued
+// interval. The clock here is ahead of the flush caller's `now` by a
+// full millisecond; every completion must still observe
+// scored >= enqueued.
+TEST_F(ScoreServerTest, StaleFlushNowCannotWrapQueueLatency)
+{
+    addRegistry("a", "blk", nullptr);
+    ScoringConfig cfg;
+    cfg.max_batch = 32;
+    cfg.max_delay = 50_us;
+    ASSERT_TRUE(mgr_.enableScoring(cfg).isOk());
+    ScoreServer *s = mgr_.scorer();
+
+    clock_.advance(1_ms);
+    int fired = 0;
+    ASSERT_TRUE(s->submit("a", "blk", fvsWith({7}), 0,
+                          [&](const ScoreResult &r) {
+                              ++fired;
+                              EXPECT_TRUE(r.status.isOk());
+                              EXPECT_EQ(r.enqueued, 1_ms);
+                              EXPECT_GE(r.scored, r.enqueued);
+                          })
+                    .isOk());
+
+    // A poll at virtual time zero sees no due deadline (due > now) —
+    // the stale `now` must not flush, let alone wrap.
+    EXPECT_EQ(s->poll(0), 0u);
+    EXPECT_EQ(fired, 0);
+
+    // flushAll with the same stale `now` does dispatch; its start is
+    // clamped up to the clock so the completion stamps stay ordered.
+    EXPECT_EQ(s->flushAll(0), 1u);
+    EXPECT_EQ(fired, 1);
+}
+
 TEST_F(ScoreServerTest, AdmissionErrors)
 {
     addRegistry("a", "blk", nullptr);
