@@ -64,3 +64,13 @@ ctest --test-dir "$BUILD" --output-on-failure -L dma
 # exists to sweep, and the serve_slo smoke adds a full admission +
 # DRR + shed sweep on top.
 ctest --test-dir "$BUILD" --output-on-failure -L serve
+
+# The SoA data-plane suite (ctest -L soa) stresses the columnar
+# capture plane: relaxed-atomic column lanes written from many threads
+# while a capture is open, slot recycling deferred behind pinned batch
+# views across window wraps and truncates, and the registry_scoring
+# smoke's capture→commit→submitView fast path — the atomic_ref lanes
+# and the pin/unpin lifecycle are exactly what `bench/sanitize.sh
+# thread -L soa` (and ASan for the shm carve-out arithmetic) exist to
+# sweep.
+ctest --test-dir "$BUILD" --output-on-failure -L soa

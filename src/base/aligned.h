@@ -1,0 +1,79 @@
+#ifndef LAKE_BASE_ALIGNED_H
+#define LAKE_BASE_ALIGNED_H
+
+/**
+ * @file
+ * Cache-line-aligned allocation for hot numeric containers.
+ *
+ * The tiled GEMM microkernels and the SoA capture plane both assume
+ * their base pointers sit on cache-line boundaries: the compute layer
+ * so vector loads never straddle lines, the column store so writers of
+ * different columns never share one. std::vector<float> guarantees
+ * only alignof(float); AlignedAlloc upgrades any std container to a
+ * fixed alignment via the aligned operator new (C++17).
+ */
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace lake::base {
+
+/** Cache-line size every aligned container in LAKE assumes. */
+constexpr std::size_t kCacheLine = 64;
+
+/**
+ * Minimal std-compatible allocator handing out @p Align-aligned
+ * storage. Alignment must be a power of two at least alignof(T).
+ */
+template <typename T, std::size_t Align = kCacheLine>
+struct AlignedAlloc
+{
+    static_assert((Align & (Align - 1)) == 0, "alignment not a power of two");
+    static_assert(Align >= alignof(T), "alignment below the type's own");
+
+    using value_type = T;
+
+    AlignedAlloc() noexcept = default;
+    template <typename U>
+    AlignedAlloc(const AlignedAlloc<U, Align> &) noexcept
+    {}
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAlloc<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(Align)));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(Align));
+    }
+
+    friend bool
+    operator==(const AlignedAlloc &, const AlignedAlloc &) noexcept
+    {
+        return true;
+    }
+    friend bool
+    operator!=(const AlignedAlloc &, const AlignedAlloc &) noexcept
+    {
+        return false;
+    }
+};
+
+/** A std::vector whose data() is cache-line aligned. */
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAlloc<T>>;
+
+} // namespace lake::base
+
+#endif // LAKE_BASE_ALIGNED_H

@@ -53,6 +53,20 @@ CpuMlp::classify(const Matrix &x)
     return model_.classify(x);
 }
 
+std::vector<int>
+CpuMlp::classify(const std::vector<MatrixView> &xs)
+{
+    std::size_t rows = 0;
+    for (const MatrixView &v : xs)
+        rows += v.rows();
+    double flops_per_sample = model_.flopsPerSample();
+    double efficiency =
+        std::clamp(flops_per_sample / 17000.0, 1.0, 4.0);
+    cpu_.charge(flops_per_sample * static_cast<double>(rows) /
+                efficiency);
+    return model_.classify(xs);
+}
+
 LakeMlp::LakeMlp(const Mlp &model, remote::LakeLib &lib, bool sync_copy,
                  std::size_t max_batch)
     : lib_(lib), arena_(lib.arena()), input_w_(model.config().input),

@@ -77,6 +77,14 @@ class CpuMlp
     /** Classifies a batch, charging CPU time. */
     std::vector<int> classify(const Matrix &x);
 
+    /**
+     * Zero-copy variant over strided windows (SoA slot batches). The
+     * views' rows form one batch: virtual time is charged exactly as a
+     * single classify(Matrix) of the same total row count (one FPU
+     * bracket), and scores are bit-identical to packing the rows.
+     */
+    std::vector<int> classify(const std::vector<MatrixView> &xs);
+
   private:
     const Mlp &model_;
     KernelCpu &cpu_;

@@ -73,9 +73,9 @@ micro4(const float *__restrict x0, const float *__restrict x1,
  */
 inline void
 tailKernel(const float *__restrict x, std::size_t nrows, std::size_t in,
-           const float *__restrict wt, std::size_t out, std::size_t o0,
-           std::size_t o1, const float *__restrict bias,
-           float *__restrict y)
+           std::size_t x_stride, const float *__restrict wt,
+           std::size_t out, std::size_t o0, std::size_t o1,
+           const float *__restrict bias, float *__restrict y)
 {
     for (std::size_t r = 0; r < nrows; ++r) {
         float *__restrict yr = y + r * out;
@@ -83,7 +83,7 @@ tailKernel(const float *__restrict x, std::size_t nrows, std::size_t in,
             yr[o] = bias ? bias[o] : 0.0f;
     }
     for (std::size_t r = 0; r < nrows; ++r) {
-        const float *__restrict xr = x + r * in;
+        const float *__restrict xr = x + r * x_stride;
         float *__restrict yr = y + r * out;
         for (std::size_t i = 0; i < in; ++i) {
             const float a = xr[i];
@@ -115,44 +115,83 @@ packTranspose(const float *w, std::size_t rows, std::size_t cols,
 }
 
 void
-gemmBlock(const float *x, std::size_t n, std::size_t in, const float *wt,
-          std::size_t out, const float *bias, float *y)
+gemmBlock(const float *x, std::size_t n, std::size_t in,
+          std::size_t x_stride, const float *wt, std::size_t out,
+          const float *bias, float *y)
 {
     const std::size_t full_rows = n - n % kRowBlock;
     const std::size_t full_cols = out - out % kRegTile;
 
     for (std::size_t r = 0; r < full_rows; r += kRowBlock) {
-        const float *x0 = x + r * in;
+        const float *x0 = x + r * x_stride;
         float *y0 = y + r * out;
         for (std::size_t o = 0; o < full_cols; o += kRegTile)
-            micro4(x0, x0 + in, x0 + 2 * in, x0 + 3 * in, in, wt, out,
-                   o, bias, y0, y0 + out, y0 + 2 * out, y0 + 3 * out);
+            micro4(x0, x0 + x_stride, x0 + 2 * x_stride,
+                   x0 + 3 * x_stride, in, wt, out, o, bias, y0,
+                   y0 + out, y0 + 2 * out, y0 + 3 * out);
         if (full_cols < out)
-            tailKernel(x0, kRowBlock, in, wt, out, full_cols, out, bias,
-                       y0);
+            tailKernel(x0, kRowBlock, in, x_stride, wt, out, full_cols,
+                       out, bias, y0);
     }
     if (full_rows < n)
-        tailKernel(x + full_rows * in, n - full_rows, in, wt, out, 0,
-                   out, bias, y + full_rows * out);
+        tailKernel(x + full_rows * x_stride, n - full_rows, in,
+                   x_stride, wt, out, 0, out, bias,
+                   y + full_rows * out);
+}
+
+void
+gemmBlock(const float *x, std::size_t n, std::size_t in, const float *wt,
+          std::size_t out, const float *bias, float *y)
+{
+    gemmBlock(x, n, in, in, wt, out, bias, y);
+}
+
+void
+affine(const float *x, std::size_t n, std::size_t in,
+       std::size_t x_stride, const float *w, std::size_t out,
+       const float *bias, float *y)
+{
+    std::vector<float> wt(in * out);
+    packTranspose(w, out, in, wt.data());
+    base::ThreadPool::global().parallelFor(
+        0, n, kGemmGrain, [&](std::size_t b, std::size_t e) {
+            gemmBlock(x + b * x_stride, e - b, in, x_stride, wt.data(),
+                      out, bias, y + b * out);
+        });
 }
 
 void
 affine(const float *x, std::size_t n, std::size_t in, const float *w,
        std::size_t out, const float *bias, float *y)
 {
-    std::vector<float> wt(in * out);
-    packTranspose(w, out, in, wt.data());
+    affine(x, n, in, in, w, out, bias, y);
+}
+
+std::size_t
+padTile(std::size_t out)
+{
+    return (out + kRegTile - 1) / kRegTile * kRegTile;
+}
+
+void
+affinePacked(const float *x, std::size_t n, std::size_t in,
+             std::size_t x_stride, const float *wt, std::size_t out,
+             const float *bias, float *y)
+{
+    LAKE_ASSERT(out % kRegTile == 0,
+                "affinePacked out=%zu is not tile-padded (see padTile)",
+                out);
     base::ThreadPool::global().parallelFor(
         0, n, kGemmGrain, [&](std::size_t b, std::size_t e) {
-            gemmBlock(x + b * in, e - b, in, wt.data(), out, bias,
-                      y + b * out);
+            gemmBlock(x + b * x_stride, e - b, in, x_stride, wt, out,
+                      bias, y + b * out);
         });
 }
 
 void
 knnNeighbors(const float *queries, std::size_t n, std::size_t dim,
-             const float *refs, std::size_t n_refs, std::size_t k,
-             Neighbor *out)
+             std::size_t q_stride, const float *refs, std::size_t n_refs,
+             std::size_t k, Neighbor *out)
 {
     LAKE_ASSERT(k >= 1 && k <= n_refs,
                 "knnNeighbors k=%zu outside 1..%zu", k, n_refs);
@@ -182,15 +221,15 @@ knnNeighbors(const float *queries, std::size_t n, std::size_t dim,
         std::size_t rows = qe - qb;
         // Cross terms q.r for this query block: one GEMM tile.
         std::vector<float> dots(rows * n_refs);
-        gemmBlock(queries + qb * dim, rows, dim, rt.data(), n_refs,
-                  nullptr, dots.data());
+        gemmBlock(queries + qb * q_stride, rows, dim, q_stride,
+                  rt.data(), n_refs, nullptr, dots.data());
 
         // (d2, index) max-heap of the best k, scanned in index order
         // with strict comparison — identical selection (including tie
         // handling) to the scalar reference scan.
         std::vector<Neighbor> best;
         for (std::size_t q = qb; q < qe; ++q) {
-            const float *__restrict qp = queries + q * dim;
+            const float *__restrict qp = queries + q * q_stride;
             float q_n2 = 0.0f;
             for (std::size_t i = 0; i < dim; ++i)
                 q_n2 += qp[i] * qp[i];
@@ -218,6 +257,14 @@ knnNeighbors(const float *queries, std::size_t n, std::size_t dim,
             std::copy(best.begin(), best.end(), out + q * k);
         }
     });
+}
+
+void
+knnNeighbors(const float *queries, std::size_t n, std::size_t dim,
+             const float *refs, std::size_t n_refs, std::size_t k,
+             Neighbor *out)
+{
+    knnNeighbors(queries, n, dim, dim, refs, n_refs, k, out);
 }
 
 } // namespace lake::ml::compute

@@ -51,12 +51,48 @@ void gemmBlock(const float *x, std::size_t n, std::size_t in,
                float *y);
 
 /**
+ * Strided-input gemmBlock: row r of @p x starts at x + r * x_stride
+ * (x_stride >= in). With x_stride == in this *is* gemmBlock — the same
+ * kernels run in the same order, so results are bit-identical. This is
+ * the zero-copy entry the SoA feature plane's MatrixViews use: a
+ * committed slot window feeds the register-tile microkernel directly,
+ * no gather/pack step.
+ */
+void gemmBlock(const float *x, std::size_t n, std::size_t in,
+               std::size_t x_stride, const float *wt, std::size_t out,
+               const float *bias, float *y);
+
+/**
  * y = x * w^T + bias over the global ThreadPool, parallel across row
  * blocks. @p w is row-major (out x in) exactly as Matrix stores layer
  * weights; it is packed once per call.
  */
 void affine(const float *x, std::size_t n, std::size_t in, const float *w,
             std::size_t out, const float *bias, float *y);
+
+/** Strided-input affine (see the strided gemmBlock). */
+void affine(const float *x, std::size_t n, std::size_t in,
+            std::size_t x_stride, const float *w, std::size_t out,
+            const float *bias, float *y);
+
+/** Output width rounded up to a whole register tile: the padded
+ *  column count affinePacked() expects wt and bias to provide. */
+std::size_t padTile(std::size_t out);
+
+/**
+ * y = x * wt [+ bias] with a caller-packed transposed weight: the
+ * same parallel row-block GEMM as affine(), minus the per-call
+ * transpose pack and scratch allocation. @p out must be a whole
+ * number of register tiles (see padTile); a caller padding a narrow
+ * layer fills the extra wt columns and bias entries with zeros and
+ * ignores the padded outputs. Per real output element the reduction
+ * runs in the same ascending-i order as affine(), so results are
+ * bit-identical — padding only moves the ragged column tail off the
+ * scalar edge kernel and onto the vectorized microkernel.
+ */
+void affinePacked(const float *x, std::size_t n, std::size_t in,
+                  std::size_t x_stride, const float *wt, std::size_t out,
+                  const float *bias, float *y);
 
 /** One kNN candidate: squared distance and reference index. */
 struct Neighbor
@@ -79,6 +115,15 @@ struct Neighbor
 void knnNeighbors(const float *queries, std::size_t n, std::size_t dim,
                   const float *refs, std::size_t n_refs, std::size_t k,
                   Neighbor *out);
+
+/**
+ * Strided-query knnNeighbors: query q starts at queries + q * q_stride
+ * (q_stride >= dim). q_stride == dim reproduces the contiguous path
+ * bit-identically.
+ */
+void knnNeighbors(const float *queries, std::size_t n, std::size_t dim,
+                  std::size_t q_stride, const float *refs,
+                  std::size_t n_refs, std::size_t k, Neighbor *out);
 
 } // namespace lake::ml::compute
 

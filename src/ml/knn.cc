@@ -115,6 +115,27 @@ Knn::classifyBatch(const float *queries, std::size_t n) const
     return out;
 }
 
+std::vector<int>
+Knn::classifyBatch(const MatrixView &queries) const
+{
+    LAKE_ASSERT(!labels_.empty(), "knn classify with no references");
+    if (queries.rows() == 0)
+        return {};
+    LAKE_ASSERT(queries.cols() == dim_,
+                "knn view width %zu != dim %zu", queries.cols(), dim_);
+    std::size_t n = queries.rows();
+    std::size_t k = std::min(k_, labels_.size());
+
+    std::vector<compute::Neighbor> nb(n * k);
+    compute::knnNeighbors(queries.data(), n, dim_, queries.stride(),
+                          refs_.data(), labels_.size(), k, nb.data());
+
+    std::vector<int> out(n);
+    for (std::size_t q = 0; q < n; ++q)
+        out[q] = voteNearest(nb.data() + q * k, k, labels_);
+    return out;
+}
+
 double
 Knn::flopsPerQuery() const
 {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "ml/matrix.h"
 
 namespace lake::ml {
 
@@ -55,6 +56,14 @@ class Knn
      */
     std::vector<int> classifyBatch(const float *queries,
                                    std::size_t n) const;
+
+    /**
+     * Zero-copy batch classification over a strided window (see
+     * ml/matrix.h MatrixView): query q starts at queries.row(q). With
+     * stride == dim this is classifyBatch(queries.data(), rows),
+     * bit-identically.
+     */
+    std::vector<int> classifyBatch(const MatrixView &queries) const;
 
     /** FLOPs of one query (distances + selection bookkeeping). */
     double flopsPerQuery() const;

@@ -27,4 +27,19 @@ Matrix::affine(const Matrix &x, const Matrix &w, const std::vector<float> &b)
     return y;
 }
 
+Matrix
+Matrix::affine(const MatrixView &x, const Matrix &w,
+               const std::vector<float> &b)
+{
+    LAKE_ASSERT(x.cols() == w.cols(),
+                "affine shape mismatch: view %zux%zu, w %zux%zu",
+                x.rows(), x.cols(), w.rows(), w.cols());
+    LAKE_ASSERT(b.size() == w.rows(), "bias length mismatch");
+
+    Matrix y(x.rows(), w.rows());
+    compute::affine(x.data(), x.rows(), x.cols(), x.stride(), w.data(),
+                    w.rows(), b.data(), y.data());
+    return y;
+}
+
 } // namespace lake::ml

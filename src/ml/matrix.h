@@ -9,20 +9,76 @@
  * CpuSpec calibration still models the unvectorized float routines a
  * kernel module runs between kernel_fpu_begin/end, so every *virtual*
  * time charge is unchanged from the seed scalar loops.
+ *
+ * MatrixView is the zero-copy companion: a non-owning window over
+ * row-major float storage whose rows may be further apart than cols
+ * (a row *stride*). The SoA feature plane hands committed slots to the
+ * GEMM substrate as MatrixViews, so a coalesced score batch needs no
+ * gather/pack step (DESIGN.md §12).
  */
 
 #include <cstddef>
 #include <vector>
 
+#include "base/aligned.h"
 #include "base/logging.h"
 #include "base/rng.h"
 
 namespace lake::ml {
 
-/** Row-major 2-D float matrix. */
+/**
+ * Non-owning strided window over row-major float data: row r starts at
+ * data + r * stride and holds cols contiguous floats (stride >= cols).
+ * Plain value type; the viewed storage must outlive every read.
+ */
+class MatrixView
+{
+  public:
+    /** Empty 0x0 view. */
+    MatrixView() = default;
+
+    MatrixView(const float *data, std::size_t rows, std::size_t cols,
+               std::size_t stride)
+        : data_(data), rows_(rows), cols_(cols), stride_(stride)
+    {
+        LAKE_ASSERT(stride >= cols,
+                    "view stride %zu below row width %zu", stride, cols);
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    /** Floats between consecutive row starts. */
+    std::size_t stride() const { return stride_; }
+
+    const float *data() const { return data_; }
+    const float *row(std::size_t r) const
+    {
+        LAKE_ASSERT(r < rows_, "view row %zu out of range", r);
+        return data_ + r * stride_;
+    }
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        LAKE_ASSERT(r < rows_ && c < cols_, "view index out of range");
+        return data_[r * stride_ + c];
+    }
+
+  private:
+    const float *data_ = nullptr;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t stride_ = 0;
+};
+
+/** Row-major 2-D float matrix, cache-line-aligned backing store. */
 class Matrix
 {
   public:
+    /** Alignment of data() (and so of row(0)); see base/aligned.h. */
+    static constexpr std::size_t kAlign = base::kCacheLine;
+    static_assert(kAlign % alignof(float) == 0 && kAlign >= 64,
+                  "matrix backing must be cache-line aligned");
+
     /** Empty 0x0 matrix. */
     Matrix() = default;
 
@@ -67,6 +123,13 @@ class Matrix
         return data_.data() + r * cols_;
     }
 
+    /** Whole-matrix view (stride == cols). */
+    MatrixView
+    view() const
+    {
+        return MatrixView(data_.data(), rows_, cols_, cols_);
+    }
+
     /**
      * Gaussian-initialized matrix (He-style scale for ReLU nets when
      * @p scale is sqrt(2/fan_in)).
@@ -78,10 +141,14 @@ class Matrix
     static Matrix affine(const Matrix &x, const Matrix &w,
                          const std::vector<float> &b);
 
+    /** Strided-input overload: identical math, bit-identical results. */
+    static Matrix affine(const MatrixView &x, const Matrix &w,
+                         const std::vector<float> &b);
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
-    std::vector<float> data_;
+    base::AlignedVec<float> data_;
 };
 
 } // namespace lake::ml

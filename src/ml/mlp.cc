@@ -5,8 +5,26 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "ml/compute.h"
 
 namespace lake::ml {
+
+namespace {
+
+/** Argmax per row of a logits matrix. */
+std::vector<int>
+argmaxRows(const Matrix &logits)
+{
+    std::vector<int> out(logits.rows());
+    for (std::size_t r = 0; r < logits.rows(); ++r) {
+        const float *row = logits.row(r);
+        out[r] = static_cast<int>(
+            std::max_element(row, row + logits.cols()) - row);
+    }
+    return out;
+}
+
+} // namespace
 
 MlpConfig
 MlpConfig::linnos(std::size_t extra_layers)
@@ -67,6 +85,48 @@ Mlp::Mlp(MlpConfig config, Rng &rng) : Mlp(std::move(config))
         weights_.push_back(Matrix::randn(d[l + 1], d[l], rng, scale));
         biases_.emplace_back(d[l + 1], 0.0f);
     }
+    repack();
+}
+
+void
+Mlp::repack()
+{
+    packed_.resize(weights_.size());
+    packed_bias_.resize(weights_.size());
+    packed_out_.resize(weights_.size());
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        const Matrix &w = weights_[l]; // out x in
+        std::size_t padded = compute::padTile(w.rows());
+        packed_[l].assign(w.cols() * padded, 0.0f);
+        for (std::size_t o = 0; o < w.rows(); ++o)
+            for (std::size_t i = 0; i < w.cols(); ++i)
+                packed_[l][i * padded + o] = w.at(o, i);
+        packed_bias_[l].assign(padded, 0.0f);
+        std::copy(biases_[l].begin(), biases_[l].end(),
+                  packed_bias_[l].begin());
+        packed_out_[l] = padded;
+    }
+}
+
+void
+Mlp::layerForward(std::size_t l, const float *x, std::size_t n,
+                  std::size_t x_stride, float *y) const
+{
+    const std::size_t in = weights_[l].cols();
+    const std::size_t out = weights_[l].rows();
+    const std::size_t padded = packed_out_[l];
+    if (padded == out) {
+        compute::affinePacked(x, n, in, x_stride, packed_[l].data(),
+                              out, packed_bias_[l].data(), y);
+        return;
+    }
+    // Narrow layer: compute into a tile-padded scratch, then drop the
+    // zero columns. Each real element's reduction is untouched.
+    Matrix pad(n, padded);
+    compute::affinePacked(x, n, in, x_stride, packed_[l].data(), padded,
+                          packed_bias_[l].data(), pad.data());
+    for (std::size_t r = 0; r < n; ++r)
+        std::copy(pad.row(r), pad.row(r) + out, y + r * out);
 }
 
 Matrix
@@ -77,7 +137,50 @@ Mlp::forward(const Matrix &x) const
                 config_.input);
     Matrix a = x;
     for (std::size_t l = 0; l < weights_.size(); ++l) {
-        a = Matrix::affine(a, weights_[l], biases_[l]);
+        Matrix next(a.rows(), weights_[l].rows());
+        layerForward(l, a.data(), a.rows(), a.cols(), next.data());
+        a = std::move(next);
+        if (l + 1 < weights_.size()) { // hidden layers: ReLU
+            for (std::size_t i = 0; i < a.rows(); ++i)
+                for (std::size_t j = 0; j < a.cols(); ++j)
+                    a.at(i, j) = std::max(0.0f, a.at(i, j));
+        }
+    }
+    return a;
+}
+
+Matrix
+Mlp::forward(const std::vector<MatrixView> &xs) const
+{
+    std::size_t n = 0;
+    for (const MatrixView &v : xs) {
+        LAKE_ASSERT(v.rows() == 0 || v.cols() == config_.input,
+                    "mlp view width %zu != expected %u", v.cols(),
+                    config_.input);
+        n += v.rows();
+    }
+
+    // Layer 0 consumes each strided window in place, writing into the
+    // stacked activation matrix. Each row's reduction is identical to
+    // the contiguous path (the strided kernels only change where rows
+    // start), so results are bit-identical to packing first — and the
+    // cached weight transpose is shared across the views, so a
+    // multi-registry flush packs nothing at all.
+    Matrix a(n, weights_[0].rows());
+    std::size_t r0 = 0;
+    for (const MatrixView &v : xs) {
+        if (v.rows() == 0)
+            continue;
+        layerForward(0, v.data(), v.rows(), v.stride(), a.row(r0));
+        r0 += v.rows();
+    }
+
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        if (l > 0) {
+            Matrix next(a.rows(), weights_[l].rows());
+            layerForward(l, a.data(), a.rows(), a.cols(), next.data());
+            a = std::move(next);
+        }
         if (l + 1 < weights_.size()) { // hidden layers: ReLU
             for (std::size_t i = 0; i < a.rows(); ++i)
                 for (std::size_t j = 0; j < a.cols(); ++j)
@@ -90,14 +193,13 @@ Mlp::forward(const Matrix &x) const
 std::vector<int>
 Mlp::classify(const Matrix &x) const
 {
-    Matrix logits = forward(x);
-    std::vector<int> out(logits.rows());
-    for (std::size_t r = 0; r < logits.rows(); ++r) {
-        const float *row = logits.row(r);
-        out[r] = static_cast<int>(
-            std::max_element(row, row + logits.cols()) - row);
-    }
-    return out;
+    return argmaxRows(forward(x));
+}
+
+std::vector<int>
+Mlp::classify(const std::vector<MatrixView> &xs) const
+{
+    return argmaxRows(forward(xs));
 }
 
 Matrix
@@ -194,6 +296,7 @@ Mlp::trainStep(const Matrix &x, const std::vector<int> &labels, float lr)
             delta = std::move(next_delta);
     }
 
+    repack();
     return loss / static_cast<double>(n);
 }
 
@@ -312,6 +415,7 @@ Mlp::deserialize(const std::vector<std::uint8_t> &blob)
     }
     if (pos != blob.size())
         return bad("trailing bytes in MLP blob");
+    net.repack();
     return Result<Mlp>(std::move(net));
 }
 

@@ -60,8 +60,20 @@ class Mlp
     /** Forward pass: (n x input) -> logits (n x output). */
     Matrix forward(const Matrix &x) const;
 
+    /**
+     * Zero-copy forward pass over strided windows: the rows of all
+     * views (in order) form the batch. The first layer consumes each
+     * view in place — no gather/pack into a contiguous Matrix — and
+     * later layers run on the stacked activations. Bit-identical to
+     * copying the rows into one Matrix and calling forward(Matrix).
+     */
+    Matrix forward(const std::vector<MatrixView> &xs) const;
+
     /** Argmax class per row. */
     std::vector<int> classify(const Matrix &x) const;
+
+    /** Argmax over a zero-copy view batch (see forward(views)). */
+    std::vector<int> classify(const std::vector<MatrixView> &xs) const;
 
     /**
      * One SGD minibatch step with softmax cross-entropy loss.
@@ -90,6 +102,19 @@ class Mlp
     /** Per-layer bias vectors. */
     const std::vector<std::vector<float>> &biases() const { return biases_; }
 
+    /**
+     * In-place parameter edit (tests, calibration tools): applies
+     * @p fn to the raw weights and biases, then refreshes the packed
+     * forward-pass weights. The only supported way to mutate
+     * parameters from outside — editing through a const_cast of
+     * weights() leaves inference running on stale packs.
+     */
+    template <typename Fn> void editParams(Fn &&fn)
+    {
+        fn(weights_, biases_);
+        repack();
+    }
+
   private:
     /** Uninitialized network (deserialize fills the parameters). */
     explicit Mlp(MlpConfig config);
@@ -97,9 +122,27 @@ class Mlp
     /** Widths including input and output. */
     std::vector<std::uint32_t> dims() const;
 
+    /**
+     * Rebuilds the packed forward-pass weights; runs whenever the
+     * parameters change (construction, deserialize, trainStep). Each
+     * layer's transpose is padded to a whole register tile of output
+     * columns (zeros the forward pass discards), so inference never
+     * re-packs per call and narrow output layers still run the
+     * vectorized GEMM microkernel.
+     */
+    void repack();
+
+    /** One packed layer: y(n x out) = x * W_l^T + b_l, x rows at
+     *  @p x_stride. y rows are contiguous (stride = layer output). */
+    void layerForward(std::size_t l, const float *x, std::size_t n,
+                      std::size_t x_stride, float *y) const;
+
     MlpConfig config_;
     std::vector<Matrix> weights_;
     std::vector<std::vector<float>> biases_;
+    std::vector<std::vector<float>> packed_;      //!< in x padded-out
+    std::vector<std::vector<float>> packed_bias_; //!< zero-padded
+    std::vector<std::size_t> packed_out_;         //!< padTile(out)
 };
 
 /** Row-wise softmax (exposed for loss computations in tests). */

@@ -212,6 +212,8 @@ metricsJsonObject(const Metrics &m)
         {"registry.features_captured", &m.reg_features_captured},
         {"registry.commits", &m.reg_commits},
         {"registry.scores", &m.reg_scores},
+        {"registry.pack_bytes", &m.reg_pack_bytes},
+        {"registry.capture_ns", &m.reg_capture_ns},
         {"registry.async_submits", &m.reg_async_submits},
         {"registry.async_sheds", &m.reg_async_sheds},
         {"registry.async_rejects", &m.reg_async_rejects},

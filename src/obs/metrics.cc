@@ -107,6 +107,8 @@ Metrics::reset()
     reg_features_captured.reset();
     reg_commits.reset();
     reg_scores.reset();
+    reg_pack_bytes.reset();
+    reg_capture_ns.reset();
     reg_fv_len.reset();
     reg_async_submits.reset();
     reg_async_sheds.reset();

@@ -225,6 +225,8 @@ class Metrics
     Counter reg_features_captured;
     Counter reg_commits;
     Counter reg_scores;
+    Counter reg_pack_bytes;  //!< bytes staged/gathered for scoring
+    Counter reg_capture_ns;  //!< wall ns spent in capture calls
     Histogram reg_fv_len;
 
     // Async scoring service (DESIGN.md §7).

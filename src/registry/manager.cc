@@ -16,6 +16,18 @@ CaptureHandle::key(const std::string &feature) const
     return k;
 }
 
+std::uint32_t
+CaptureHandle::column(const std::string &feature) const
+{
+    LAKE_ASSERT(reg_ != nullptr, "column() on an unbound capture handle");
+    std::uint32_t col = reg_->schema().columnOf(featureKey(feature));
+    LAKE_ASSERT(col != Schema::kNoColumn,
+                "%s/%s: interning undeclared feature '%s'",
+                reg_->sys().c_str(), reg_->name().c_str(),
+                feature.c_str());
+    return col;
+}
+
 // scorer_ is declared last, so it destroys first: its final drain
 // still sees every registry alive.
 RegistryManager::~RegistryManager() = default;
@@ -31,8 +43,33 @@ RegistryManager::createRegistry(const std::string &name,
         return Status(Code::AlreadyExists,
                       "registry " + sys + "/" + name + " exists");
     }
-    registries_.emplace(key, std::make_unique<Registry>(
-                                 name, sys, std::move(schema), window));
+    auto reg = std::make_unique<Registry>(name, sys, std::move(schema),
+                                          window);
+    if (soa_cfg_.enabled) {
+        auto store = SoaStore::create(reg->schema(), window, soa_cfg_,
+                                      *soa_arena_);
+        if (store == nullptr) {
+            return Status(Code::ResourceExhausted,
+                          "registry " + sys + "/" + name +
+                              ": shm arena cannot fit the SoA plane");
+        }
+        reg->attachSoa(std::move(store));
+    }
+    registries_.emplace(key, std::move(reg));
+    return Status::ok();
+}
+
+Status
+RegistryManager::enableSoa(const SoaConfig &cfg, shm::ShmArena *arena)
+{
+    if (!cfg.enabled)
+        return Status::ok();
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    if (soa_cfg_.enabled)
+        return Status(Code::AlreadyExists, "SoA plane already enabled");
+    LAKE_ASSERT(arena != nullptr, "enableSoa without a shm arena");
+    soa_cfg_ = cfg;
+    soa_arena_ = arena;
     return Status::ok();
 }
 

@@ -50,6 +50,14 @@ class CaptureHandle
      */
     std::uint64_t key(const std::string &feature) const;
 
+    /**
+     * Interns a schema feature name to its declaration-order column
+     * index — the SoA plane's hash-free capture coordinate (works on
+     * the legacy plane too; the col overloads forward by key there).
+     * Panics on an undeclared name.
+     */
+    std::uint32_t column(const std::string &feature) const;
+
     /// @name Capture, forwarded to the bound registry
     /// @{
     void beginFvCapture(Nanos ts) { reg_->beginFvCapture(ts); }
@@ -60,6 +68,14 @@ class CaptureHandle
     void captureFeatureIncr(std::uint64_t key, std::int64_t delta)
     {
         reg_->captureFeatureIncr(key, delta);
+    }
+    void captureFeatureCol(std::uint32_t col, std::uint64_t value)
+    {
+        reg_->captureFeatureCol(col, value);
+    }
+    void captureFeatureIncrCol(std::uint32_t col, std::int64_t delta)
+    {
+        reg_->captureFeatureIncrCol(col, delta);
     }
     void commitFvCapture(Nanos ts) { reg_->commitFvCapture(ts); }
     /// @}
@@ -133,6 +149,19 @@ class RegistryManager
                                 const std::string &sys);
 
     /**
+     * Switches future createRegistry() calls onto the SoA data plane
+     * (DESIGN.md §12): each new registry's capture window is carved
+     * from @p arena as a columnar SoaStore. Registries created before
+     * this call keep the legacy plane — enable at boot, before
+     * instrumentation creates registries. AlreadyExists when already
+     * enabled; a disabled @p cfg is a no-op returning Ok.
+     */
+    Status enableSoa(const SoaConfig &cfg, shm::ShmArena *arena);
+
+    /** The SoA plane's arena; nullptr while the plane is off. */
+    shm::ShmArena *soaArena() const { return soa_arena_; }
+
+    /**
      * Brings up the async scoring service (DESIGN.md §7). Idempotent
      * per lifetime: a second call while enabled is AlreadyExists.
      */
@@ -182,6 +211,10 @@ class RegistryManager
         registries_;
     ModelStore models_;
     std::unique_ptr<ScoreServer> scorer_;
+
+    /** SoA plane settings; enabled == false until enableSoa(). */
+    SoaConfig soa_cfg_;
+    shm::ShmArena *soa_arena_ = nullptr;
 };
 
 /// @name Table 1 facade

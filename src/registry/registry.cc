@@ -1,5 +1,6 @@
 #include "registry/registry.h"
 
+#include <chrono>
 #include <utility>
 
 #include "base/logging.h"
@@ -7,6 +8,39 @@
 #include "obs/trace.h"
 
 namespace lake::registry {
+
+namespace {
+
+/**
+ * Host-clock capture timer feeding the reg_capture_ns counter: armed
+ * only while metrics are enabled, so the default hot path pays one
+ * predictable branch.
+ */
+class CaptureTimer
+{
+  public:
+    explicit CaptureTimer(obs::Metrics &m) : m_(m), on_(m.enabled())
+    {
+        if (on_)
+            t0_ = std::chrono::steady_clock::now();
+    }
+    ~CaptureTimer()
+    {
+        if (on_) {
+            auto dt = std::chrono::steady_clock::now() - t0_;
+            m_.reg_capture_ns.add(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                    .count()));
+        }
+    }
+
+  private:
+    obs::Metrics &m_;
+    bool on_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace
 
 std::uint64_t
 FeatureVector::get(std::uint64_t key) const
@@ -26,13 +60,26 @@ FeatureVector::get(const std::string &name) const
 Registry::Registry(std::string name, std::string sys, Schema schema,
                    std::size_t window)
     : name_(std::move(name)), sys_(std::move(sys)),
-      schema_(std::move(schema)),
+      schema_(std::move(schema)), window_(window),
       open_values_(std::max<std::size_t>(schema_.featureCount(), 1) * 2),
       ring_(window)
 {
     LAKE_ASSERT(schema_.featureCount() > 0,
                 "registry %s/%s: empty schema", sys_.c_str(),
                 name_.c_str());
+    col_keys_.reserve(schema_.featureCount());
+    for (const FeatureSpec &spec : schema_.features())
+        col_keys_.push_back(featureKey(spec.name));
+}
+
+void
+Registry::attachSoa(std::unique_ptr<SoaStore> store)
+{
+    LAKE_ASSERT(store != nullptr, "attachSoa(nullptr)");
+    LAKE_ASSERT(!capture_open_ && ring_.size() == 0 && !has_last_,
+                "%s/%s: attachSoa after captures began", sys_.c_str(),
+                name_.c_str());
+    soa_ = std::move(store);
 }
 
 void
@@ -65,11 +112,20 @@ Registry::beginFvCapture(Nanos ts)
 void
 Registry::captureFeature(std::uint64_t key, std::uint64_t value)
 {
-    LAKE_ASSERT(schema_.find(key) != nullptr,
-                "capture of undeclared feature key in %s/%s",
-                sys_.c_str(), name_.c_str());
-    open_values_.put(key, value);
     auto &m = obs::Metrics::global();
+    CaptureTimer timer(m);
+    if (soa_) {
+        std::uint32_t col = schema_.columnOf(key);
+        LAKE_ASSERT(col != Schema::kNoColumn,
+                    "capture of undeclared feature key in %s/%s",
+                    sys_.c_str(), name_.c_str());
+        soa_->set(col, value);
+    } else {
+        LAKE_ASSERT(schema_.find(key) != nullptr,
+                    "capture of undeclared feature key in %s/%s",
+                    sys_.c_str(), name_.c_str());
+        open_values_.put(key, value);
+    }
     if (m.enabled())
         m.reg_features_captured.add();
 }
@@ -83,11 +139,20 @@ Registry::captureFeature(const std::string &name, std::uint64_t value)
 void
 Registry::captureFeatureIncr(std::uint64_t key, std::int64_t delta)
 {
-    LAKE_ASSERT(schema_.find(key) != nullptr,
-                "capture of undeclared feature key in %s/%s",
-                sys_.c_str(), name_.c_str());
-    open_values_.add(key, delta);
     auto &m = obs::Metrics::global();
+    CaptureTimer timer(m);
+    if (soa_) {
+        std::uint32_t col = schema_.columnOf(key);
+        LAKE_ASSERT(col != Schema::kNoColumn,
+                    "capture of undeclared feature key in %s/%s",
+                    sys_.c_str(), name_.c_str());
+        soa_->add(col, delta);
+    } else {
+        LAKE_ASSERT(schema_.find(key) != nullptr,
+                    "capture of undeclared feature key in %s/%s",
+                    sys_.c_str(), name_.c_str());
+        open_values_.add(key, delta);
+    }
     if (m.enabled())
         m.reg_features_captured.add();
 }
@@ -99,10 +164,61 @@ Registry::captureFeatureIncr(const std::string &name, std::int64_t delta)
 }
 
 void
+Registry::captureFeatureCol(std::uint32_t col, std::uint64_t value)
+{
+    LAKE_ASSERT(col < col_keys_.size(),
+                "capture of out-of-schema column %u in %s/%s", col,
+                sys_.c_str(), name_.c_str());
+    auto &m = obs::Metrics::global();
+    CaptureTimer timer(m);
+    if (soa_)
+        soa_->set(col, value);
+    else
+        open_values_.put(col_keys_[col], value);
+    if (m.enabled())
+        m.reg_features_captured.add();
+}
+
+void
+Registry::captureFeatureIncrCol(std::uint32_t col, std::int64_t delta)
+{
+    LAKE_ASSERT(col < col_keys_.size(),
+                "capture of out-of-schema column %u in %s/%s", col,
+                sys_.c_str(), name_.c_str());
+    auto &m = obs::Metrics::global();
+    CaptureTimer timer(m);
+    if (soa_)
+        soa_->add(col, delta);
+    else
+        open_values_.add(col_keys_[col], delta);
+    if (m.enabled())
+        m.reg_features_captured.add();
+}
+
+void
 Registry::commitFvCapture(Nanos ts)
 {
     LAKE_ASSERT(capture_open_, "%s/%s: commit without open capture",
                 sys_.c_str(), name_.c_str());
+
+    if (soa_) {
+        // Slot seal + ring-index append: history inheritance, the
+        // presence snapshot, and the float-row encode all happen inside
+        // the store — no map walk, no allocation.
+        std::size_t fv_len = soa_->seal(open_begin_, ts);
+        auto &m = obs::Metrics::global();
+        if (m.enabled()) {
+            m.reg_commits.add();
+            m.reg_fv_len.record(fv_len);
+        }
+        auto &tr = obs::Tracer::global();
+        if (tr.enabled())
+            tr.span(obs::Side::Runtime, "registry", "fv.capture",
+                    open_begin_, ts - open_begin_, obs::kNoId,
+                    "features", fv_len);
+        open_begin_ = ts;
+        return;
+    }
 
     FeatureVector fv;
     fv.ts_begin = open_begin_;
@@ -151,6 +267,21 @@ std::vector<FeatureVector>
 Registry::getFeatures(std::optional<Nanos> ts) const
 {
     std::vector<FeatureVector> out;
+    if (soa_) {
+        // Compatibility shim: materialize sealed slots into legacy
+        // vectors with identical selection semantics.
+        std::size_t n = soa_->sealedCount();
+        for (std::size_t i = 0; i < n; ++i) {
+            FeatureVector fv = soa_->materializeAt(i);
+            if (!ts.has_value()) {
+                out.push_back(std::move(fv));
+            } else if (fv.ts_begin <= *ts && *ts <= fv.ts_end) {
+                out.push_back(std::move(fv));
+                break;
+            }
+        }
+        return out;
+    }
     if (!ts.has_value())
         return ring_.snapshot();
     for (std::size_t i = 0; i < ring_.size(); ++i) {
@@ -167,12 +298,32 @@ void
 Registry::truncateFeatures(std::optional<Nanos> ts)
 {
     std::size_t keep_newest = schema_.hasHistory() ? 1 : 0;
+    if (soa_) {
+        soa_->truncate(ts, keep_newest);
+        return;
+    }
     while (ring_.size() > keep_newest) {
         const FeatureVector &oldest = ring_.front();
         if (ts.has_value() && oldest.ts_end >= *ts)
             break;
         ring_.pop();
     }
+}
+
+FvBatchView
+Registry::batchView()
+{
+    LAKE_ASSERT(soa_ != nullptr, "%s/%s: batchView on the legacy plane",
+                sys_.c_str(), name_.c_str());
+    return soa_->viewAll();
+}
+
+FvBatchView
+Registry::tailView(std::size_t n)
+{
+    LAKE_ASSERT(soa_ != nullptr, "%s/%s: tailView on the legacy plane",
+                sys_.c_str(), name_.c_str());
+    return soa_->viewTail(n);
 }
 
 Status
@@ -203,10 +354,55 @@ Registry::hasClassifier(Arch arch) const
     return false;
 }
 
+Status
+Registry::registerViewClassifier(Arch arch, ViewClassifier fn)
+{
+    switch (arch) {
+      case Arch::Cpu:
+        cpu_view_classifier_ = std::move(fn);
+        return Status::ok();
+      case Arch::Gpu:
+        gpu_view_classifier_ = std::move(fn);
+        return Status::ok();
+      case Arch::Xpu:
+        break;
+    }
+    return Status(Code::InvalidArgument,
+                  sys_ + "/" + name_ +
+                      ": Arch::Xpu classifiers are not dispatchable "
+                      "(policy::Engine has no Xpu leg)");
+}
+
+bool
+Registry::hasViewClassifier(Arch arch) const
+{
+    switch (arch) {
+      case Arch::Cpu: return cpu_view_classifier_ != nullptr;
+      case Arch::Gpu: return gpu_view_classifier_ != nullptr;
+      case Arch::Xpu: return false;
+    }
+    return false;
+}
+
 void
 Registry::registerPolicy(std::unique_ptr<policy::ExecPolicy> p)
 {
     policy_ = std::move(p);
+}
+
+policy::Engine
+Registry::decideEngine(std::size_t batch, Nanos now)
+{
+    policy::Engine engine = policy::Engine::Cpu;
+    if (policy_) {
+        policy::PolicyInput in;
+        in.batch_size = batch;
+        in.now = now;
+        engine = policy_->decide(in);
+    } else if (gpu_classifier_ || gpu_view_classifier_) {
+        engine = policy::Engine::Gpu;
+    }
+    return engine;
 }
 
 std::vector<float>
@@ -218,23 +414,22 @@ Registry::scoreFeatures(const std::vector<FeatureVector> &fvs, Nanos now)
                 "%s/%s: scoreFeatures without a CPU classifier",
                 sys_.c_str(), name_.c_str());
 
-    policy::Engine engine = policy::Engine::Cpu;
-    if (policy_) {
-        policy::PolicyInput in;
-        in.batch_size = fvs.size();
-        in.now = now;
-        engine = policy_->decide(in);
-    } else if (gpu_classifier_) {
-        engine = policy::Engine::Gpu;
-    }
-
+    policy::Engine engine = decideEngine(fvs.size(), now);
     if (engine == policy::Engine::Gpu && !gpu_classifier_)
         engine = policy::Engine::Cpu; // no GPU variant installed
 
     last_engine_ = engine;
     auto &m = obs::Metrics::global();
-    if (m.enabled())
+    if (m.enabled()) {
         m.reg_scores.add();
+        // The legacy path stages every vector's map payload into the
+        // classifier's featurize/pack step; the SoA view path moves 0.
+        std::size_t staged = 0;
+        for (const FeatureVector &fv : fvs)
+            for (const auto &[key, entries] : fv.values)
+                staged += entries.size() * sizeof(std::uint64_t);
+        m.reg_pack_bytes.add(staged);
+    }
     auto &tr = obs::Tracer::global();
     if (tr.enabled())
         tr.instant(obs::Side::Runtime, "registry", "fv.score", now,
@@ -246,6 +441,59 @@ Registry::scoreFeatures(const std::vector<FeatureVector> &fvs, Nanos now)
     LAKE_ASSERT(scores.size() == fvs.size(),
                 "%s/%s: classifier returned %zu scores for %zu vectors",
                 sys_.c_str(), name_.c_str(), scores.size(), fvs.size());
+    return scores;
+}
+
+std::vector<float>
+Registry::scoreFeatures(const FvBatchView &view, Nanos now)
+{
+    if (view.empty())
+        return {};
+    LAKE_ASSERT(cpu_view_classifier_ != nullptr ||
+                    cpu_classifier_ != nullptr,
+                "%s/%s: scoreFeatures(view) without a CPU classifier",
+                sys_.c_str(), name_.c_str());
+
+    policy::Engine engine = decideEngine(view.size(), now);
+    if (engine == policy::Engine::Gpu && !gpu_view_classifier_ &&
+        !gpu_classifier_)
+        engine = policy::Engine::Cpu;
+
+    last_engine_ = engine;
+    auto &m = obs::Metrics::global();
+    bool use_view = engine == policy::Engine::Gpu
+                        ? gpu_view_classifier_ != nullptr
+                        : cpu_view_classifier_ != nullptr;
+    if (m.enabled()) {
+        m.reg_scores.add();
+        // Zero-copy dispatch stages nothing; the materialize fallback
+        // counts the same staged bytes the legacy path would.
+        if (!use_view)
+            m.reg_pack_bytes.add(view.packBytesAvoided());
+    }
+    auto &tr = obs::Tracer::global();
+    if (tr.enabled())
+        tr.instant(obs::Side::Runtime, "registry", "fv.score", now,
+                   obs::kNoId, "batch", view.size(),
+                   engine == policy::Engine::Gpu ? "gpu" : "cpu", 1);
+
+    std::vector<float> scores;
+    if (use_view) {
+        ViewClassifier &fn = engine == policy::Engine::Gpu
+                                 ? gpu_view_classifier_
+                                 : cpu_view_classifier_;
+        scores = fn(view);
+    } else {
+        // Compatibility shim: a legacy-only registry still scores SoA
+        // batches, paying the gather the view path eliminates.
+        Classifier &fn = engine == policy::Engine::Gpu
+                             ? gpu_classifier_
+                             : cpu_classifier_;
+        scores = fn(view.materialize());
+    }
+    LAKE_ASSERT(scores.size() == view.size(),
+                "%s/%s: classifier returned %zu scores for %zu vectors",
+                sys_.c_str(), name_.c_str(), scores.size(), view.size());
     return scores;
 }
 

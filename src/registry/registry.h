@@ -27,6 +27,7 @@
 #include "base/time.h"
 #include "policy/policy.h"
 #include "registry/schema.h"
+#include "registry/soa.h"
 
 namespace lake::registry {
 
@@ -63,6 +64,15 @@ using Classifier =
     std::function<std::vector<float>(const std::vector<FeatureVector> &)>;
 
 /**
+ * Zero-copy batch inference callback over the SoA plane: scores a
+ * pinned batch view directly (typically via view.matrixViews() into
+ * the strided GEMM/kNN substrate). Registered alongside the legacy
+ * Classifier; scoreFeatures(view) prefers it and falls back to
+ * materializing for a legacy-only registry.
+ */
+using ViewClassifier = std::function<std::vector<float>(const FvBatchView &)>;
+
+/**
  * A feature registry.
  */
 class Registry
@@ -83,6 +93,19 @@ class Registry
     const std::string &sys() const { return sys_; }
     /** Schema in force. */
     const Schema &schema() const { return schema_; }
+    /** Ring capacity in feature vectors. */
+    std::size_t window() const { return window_; }
+
+    /**
+     * Attaches the SoA data plane: capture/commit/get/truncate route
+     * through @p store instead of the legacy hashmap path. Must run
+     * before the first capture (the two planes don't interconvert
+     * mid-stream); the manager attaches at createRegistry time.
+     */
+    void attachSoa(std::unique_ptr<SoaStore> store);
+
+    /** The SoA store; nullptr on the legacy path. */
+    SoaStore *soa() const { return soa_.get(); }
 
     /// @name Capture (Table 1: begin/capture/capture_incr/commit)
     /// @{
@@ -117,6 +140,17 @@ class Registry
     void captureFeatureIncr(const std::string &name, std::int64_t delta);
 
     /**
+     * Column-indexed capture: the hash-free hot path. @p col is the
+     * schema declaration order index (Schema::columnOf, interned once
+     * by the instrumentation site). On the SoA plane this is a single
+     * relaxed-atomic store into the open slot's column lane; on the
+     * legacy plane it forwards to the key-based capture.
+     */
+    void captureFeatureCol(std::uint32_t col, std::uint64_t value);
+    /** Column-indexed atomic increment. */
+    void captureFeatureIncrCol(std::uint32_t col, std::int64_t delta);
+
+    /**
      * Freezes the open vector with end timestamp @p ts and appends it
      * to the ring (overwriting the oldest when full). History features
      * inherit entries 1..N-1 from the previous committed vector.
@@ -145,7 +179,21 @@ class Registry
     void truncateFeatures(std::optional<Nanos> ts = std::nullopt);
 
     /** Committed vectors currently in the ring. */
-    std::size_t pendingCount() const { return ring_.size(); }
+    std::size_t pendingCount() const
+    {
+        return soa_ ? soa_->sealedCount() : ring_.size();
+    }
+
+    /**
+     * Pinned zero-copy view over every committed vector, oldest first
+     * (SoA plane only; panics on the legacy plane). The view keeps its
+     * slots' bytes immutable until it destructs — window wraps and
+     * truncates defer recycling behind it.
+     */
+    FvBatchView batchView();
+
+    /** Pinned view over the newest @p n committed vectors. */
+    FvBatchView tailView(std::size_t n);
 
     /// @}
     /// @name Inference dispatch (Table 1: register/score)
@@ -164,6 +212,13 @@ class Registry
     /** True when a classifier is installed for @p arch. */
     bool hasClassifier(Arch arch) const;
 
+    /** Installs the zero-copy batch-view classifier for @p arch (same
+     *  Arch::Xpu rejection as registerClassifier). */
+    Status registerViewClassifier(Arch arch, ViewClassifier fn);
+
+    /** True when a view classifier is installed for @p arch. */
+    bool hasViewClassifier(Arch arch) const;
+
     /** Installs the execution policy (owned by the registry). */
     void registerPolicy(std::unique_ptr<policy::ExecPolicy> p);
 
@@ -177,15 +232,28 @@ class Registry
     std::vector<float> scoreFeatures(const std::vector<FeatureVector> &fvs,
                                      Nanos now);
 
+    /**
+     * Zero-copy batch-view overload: same policy decision (batch size =
+     * view.size()), dispatched to the engine's view classifier when one
+     * is registered — no gather, no pack, reg_pack_bytes += 0 — and
+     * otherwise materialized through the legacy classifier (the
+     * compatibility shim, which counts its staged bytes).
+     */
+    std::vector<float> scoreFeatures(const FvBatchView &view, Nanos now);
+
     /** Engine the last scoreFeatures dispatch used. */
     policy::Engine lastEngine() const { return last_engine_; }
 
     /// @}
 
   private:
+    /** Picks the engine for a batch of @p batch vectors at @p now. */
+    policy::Engine decideEngine(std::size_t batch, Nanos now);
+
     std::string name_;
     std::string sys_;
     Schema schema_;
+    std::size_t window_;
 
     /** The open (capturing) vector. */
     LockFreeMap open_values_;
@@ -197,8 +265,16 @@ class Registry
     FeatureVector last_committed_;
     bool has_last_ = false;
 
+    /** The SoA data plane; capture/commit/get/truncate route through
+     *  it when attached (LakeConfig.soa_plane / LAKE_SOA). */
+    std::unique_ptr<SoaStore> soa_;
+    /** Column → key, for the legacy fallback of the col capture path. */
+    std::vector<std::uint64_t> col_keys_;
+
     Classifier cpu_classifier_;
     Classifier gpu_classifier_;
+    ViewClassifier cpu_view_classifier_;
+    ViewClassifier gpu_view_classifier_;
     std::unique_ptr<policy::ExecPolicy> policy_;
     policy::Engine last_engine_ = policy::Engine::Cpu;
 };

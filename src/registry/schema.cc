@@ -41,4 +41,13 @@ Schema::find(std::uint64_t key) const
     return it == by_key_.end() ? nullptr : &order_[it->second];
 }
 
+std::uint32_t
+Schema::columnOf(std::uint64_t key) const
+{
+    auto it = by_key_.find(key);
+    return it == by_key_.end()
+               ? kNoColumn
+               : static_cast<std::uint32_t>(it->second);
+}
+
 } // namespace lake::registry

@@ -47,6 +47,15 @@ class Schema
     /** Looks up a feature by key; nullptr when undeclared. */
     const FeatureSpec *find(std::uint64_t key) const;
 
+    /** columnOf's undeclared-key sentinel. */
+    static constexpr std::uint32_t kNoColumn = 0xffffffffu;
+
+    /**
+     * Declaration-order column index of @p key — the SoA plane's
+     * hash-free capture coordinate; kNoColumn when undeclared.
+     */
+    std::uint32_t columnOf(std::uint64_t key) const;
+
     /** Number of declared features. */
     std::size_t featureCount() const { return by_key_.size(); }
 

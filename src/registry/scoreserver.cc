@@ -83,11 +83,37 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
 {
     if (fvs.empty())
         return Status(Code::InvalidArgument, "empty score batch");
-
     const std::size_t n = fvs.size();
+    Request req;
+    req.fvs = std::move(fvs);
+    req.deadline = deadline;
+    req.cb = std::move(cb);
+    return submitImpl(name, sys, std::move(req), n, /*is_view=*/false);
+}
+
+Status
+ScoreServer::submitView(const std::string &name, const std::string &sys,
+                        FvBatchView view, Nanos deadline, ScoreCallback cb)
+{
+    if (view.empty())
+        return Status(Code::InvalidArgument, "empty score batch");
+    const std::size_t n = view.size();
+    Request req;
+    req.view = std::move(view);
+    req.deadline = deadline;
+    req.cb = std::move(cb);
+    return submitImpl(name, sys, std::move(req), n, /*is_view=*/true);
+}
+
+Status
+ScoreServer::submitImpl(const std::string &name, const std::string &sys,
+                        Request req, std::size_t n, bool is_view)
+{
     Nanos now = clock_.now();
-    if (deadline == 0)
-        deadline = now + cfg_.max_delay;
+    if (req.deadline == 0)
+        req.deadline = now + cfg_.max_delay;
+    req.enqueued = now;
+    const Nanos deadline = req.deadline;
 
     std::vector<Request> to_shed;
     bool trigger = false;
@@ -102,9 +128,15 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
         if (reg == nullptr)
             return Status(Code::InvalidArgument,
                           "no registry " + sys + "/" + name);
-        if (!reg->hasClassifier(Arch::Cpu))
+        // A view request can also ride the zero-copy view classifier;
+        // either CPU leg admits it (dispatch materializes if needed).
+        bool admissible =
+            reg->hasClassifier(Arch::Cpu) ||
+            (is_view && reg->hasViewClassifier(Arch::Cpu));
+        if (!admissible)
             return Status(Code::InvalidArgument,
                           sys + "/" + name + " has no CPU classifier");
+        req.reg = reg;
 
         std::lock_guard<std::mutex> lock(mu_);
         Group &g = groups_[sys];
@@ -123,7 +155,7 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
             while (rq.depth + n > cfg_.queue_capacity && !rq.q.empty()) {
                 Request victim = std::move(rq.q.front());
                 rq.q.pop_front();
-                std::size_t vn = victim.fvs.size();
+                std::size_t vn = victim.size();
                 rq.depth -= vn;
                 g.depth -= vn;
                 pending_ -= vn;
@@ -135,8 +167,7 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
             g.due = minDueLocked(g);
         }
 
-        rq.q.push_back(
-            Request{reg, std::move(fvs), now, deadline, std::move(cb)});
+        rq.q.push_back(std::move(req));
         rq.depth += n;
         g.depth += n;
         pending_ += n;
@@ -153,7 +184,8 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
         m.reg_score_queue_depth.set(total_pending);
     }
 
-    // Shed callbacks fire outside mu_ so they may re-submit.
+    // Shed callbacks fire outside mu_ so they may re-submit. A shed
+    // view request's pinned slots release when the victim destructs.
     if (!to_shed.empty()) {
         shed_.fetch_add(to_shed.size(), std::memory_order_relaxed);
         auto &tr = obs::Tracer::global();
@@ -162,7 +194,7 @@ ScoreServer::submit(const std::string &name, const std::string &sys,
                 m.reg_async_sheds.add();
             if (tr.enabled())
                 tr.instant(obs::Side::Runtime, "registry", "score.shed",
-                           now, obs::kNoId, "vectors", victim.fvs.size());
+                           now, obs::kNoId, "vectors", victim.size());
             if (victim.cb) {
                 ScoreResult res;
                 res.status = Status(Code::ResourceExhausted,
@@ -191,7 +223,7 @@ ScoreServer::drainGroupLocked(Group &g)
     std::vector<Request> out;
     for (auto &[name, rq] : g.queues) {
         for (Request &r : rq.q) {
-            pending_ -= r.fvs.size();
+            pending_ -= r.size();
             out.push_back(std::move(r));
         }
         rq.q.clear();
@@ -264,15 +296,12 @@ ScoreServer::dispatch(const std::string &sys, std::vector<Request> reqs,
 {
     (void)sys;
     std::size_t total = 0;
-    for (const Request &r : reqs)
-        total += r.fvs.size();
-    std::vector<FeatureVector> batch;
-    batch.reserve(total);
-    // Elements are moved out individually, so r.fvs.size() stays
-    // valid for the scatter offsets below.
-    for (Request &r : reqs)
-        for (FeatureVector &fv : r.fvs)
-            batch.push_back(std::move(fv));
+    bool all_views = true;
+    for (const Request &r : reqs) {
+        total += r.size();
+        if (r.view.empty())
+            all_views = false;
+    }
 
     // The first name-ordered registry dispatches for the whole
     // subsystem: registries under one subsystem share classifier
@@ -290,14 +319,62 @@ ScoreServer::dispatch(const std::string &sys, std::vector<Request> reqs,
     // 2^64-scale histogram sample.
     Registry *rep = reqs.front().reg;
     Nanos start = std::max(now, clock_.now());
-    std::vector<float> scores = rep->scoreFeatures(batch, start);
-    Nanos scored = std::max(start, clock_.now());
+    std::vector<float> scores;
+    if (all_views) {
+        // Pure-view flush: append() coalesces the pinned windows (same-
+        // store consecutive runs merge, so a steady capture stream
+        // yields one strided MatrixView) and the batch dispatches with
+        // zero bytes gathered.
+        FvBatchView combined;
+        // Request sizes are recorded first — append() steals the rows.
+        std::vector<std::size_t> sizes;
+        sizes.reserve(reqs.size());
+        for (Request &r : reqs) {
+            sizes.push_back(r.view.size());
+            combined.append(std::move(r.view));
+        }
+        scores = rep->scoreFeatures(combined, start);
+        Nanos scored = std::max(start, clock_.now());
+        finish(reqs, sizes, scores, rep, total, start, scored);
+        return;
+    }
 
+    std::vector<FeatureVector> batch;
+    batch.reserve(total);
+    // Elements are moved out individually (views materialized), so
+    // r.size() recorded here stays valid for the scatter offsets.
+    std::vector<std::size_t> sizes;
+    sizes.reserve(reqs.size());
+    for (Request &r : reqs) {
+        sizes.push_back(r.size());
+        for (FeatureVector &fv : r.fvs)
+            batch.push_back(std::move(fv));
+        if (!r.view.empty()) {
+            // Mixed flush: a legacy-batch sibling forces the gather
+            // this view was built to avoid; count the staged bytes.
+            auto &m = obs::Metrics::global();
+            if (m.enabled())
+                m.reg_pack_bytes.add(r.view.packBytesAvoided());
+            for (FeatureVector &fv : r.view.materialize())
+                batch.push_back(std::move(fv));
+        }
+    }
+    scores = rep->scoreFeatures(batch, start);
+    Nanos scored = std::max(start, clock_.now());
+    finish(reqs, sizes, scores, rep, total, start, scored);
+}
+
+void
+ScoreServer::finish(std::vector<Request> &reqs,
+                    const std::vector<std::size_t> &sizes,
+                    const std::vector<float> &scores, Registry *rep,
+                    std::size_t total, Nanos start, Nanos scored)
+{
     flushes_.fetch_add(1, std::memory_order_relaxed);
     auto &m = obs::Metrics::global();
     if (m.enabled()) {
         m.reg_score_flushes.add();
-        m.reg_score_batch.record(batch.size());
+        m.reg_score_batch.record(total);
         for (const Request &r : reqs)
             m.reg_score_queue_ns.record(
                 scored >= r.enqueued ? scored - r.enqueued : 0);
@@ -305,17 +382,18 @@ ScoreServer::dispatch(const std::string &sys, std::vector<Request> reqs,
     auto &tr = obs::Tracer::global();
     if (tr.enabled())
         tr.span(obs::Side::Runtime, "registry", "score.flush", start,
-                scored - start, obs::kNoId, "batch", batch.size(),
+                scored - start, obs::kNoId, "batch", total,
                 "requests", reqs.size());
 
     ScoreResult res;
     res.status = Status::ok();
     res.scored = scored;
     res.engine = rep->lastEngine();
-    res.batch = batch.size();
+    res.batch = total;
     std::size_t off = 0;
-    for (Request &r : reqs) {
-        std::size_t rn = r.fvs.size();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        Request &r = reqs[i];
+        std::size_t rn = sizes[i];
         if (r.cb) {
             res.enqueued = r.enqueued;
             res.scores.assign(scores.begin() + off,
@@ -346,8 +424,8 @@ ScoreServer::failPending(const std::string &name, const std::string &sys)
             return;
         orphaned = std::move(qit->second.q);
         for (const Request &r : orphaned) {
-            git->second.depth -= r.fvs.size();
-            pending_ -= r.fvs.size();
+            git->second.depth -= r.size();
+            pending_ -= r.size();
         }
         git->second.queues.erase(qit);
         // The erased queue may have carried the earliest deadline;
@@ -379,6 +457,15 @@ ScoreServer::scoreSync(Registry &reg, const std::vector<FeatureVector> &fvs,
         return reg.scoreFeatures(fvs, now);
     std::lock_guard<std::mutex> flock(flush_mu_);
     return reg.scoreFeatures(fvs, now);
+}
+
+std::vector<float>
+ScoreServer::scoreSync(Registry &reg, const FvBatchView &view, Nanos now)
+{
+    if (tls_flushing == this)
+        return reg.scoreFeatures(view, now);
+    std::lock_guard<std::mutex> flock(flush_mu_);
+    return reg.scoreFeatures(view, now);
 }
 
 std::size_t

@@ -161,6 +161,20 @@ class ScoreServer
                   ScoreCallback cb);
 
     /**
+     * Queues a pinned SoA batch view for batched scoring — the
+     * zero-copy fast path. Same admission/coalescing/deadline contract
+     * as submit(); a flush whose requests are all views append()s them
+     * into one combined view and dispatches through
+     * Registry::scoreFeatures(view) (no gather, no pack), falling back
+     * to materializing when legacy-batch requests are coalesced into
+     * the same flush. Admission additionally accepts a registry that
+     * only has a *view* classifier. The view's slots stay pinned until
+     * its request completes (scored, shed, or failed).
+     */
+    Status submitView(const std::string &name, const std::string &sys,
+                      FvBatchView view, Nanos deadline, ScoreCallback cb);
+
+    /**
      * Flushes every subsystem whose deadline has passed (or whose
      * depth reached max_batch while a flush was already running).
      * @return coalesced batches dispatched
@@ -189,6 +203,10 @@ class ScoreServer
                                  const std::vector<FeatureVector> &fvs,
                                  Nanos now);
 
+    /** Zero-copy synchronous overload, same serialization contract. */
+    std::vector<float> scoreSync(Registry &reg, const FvBatchView &view,
+                                 Nanos now);
+
     /// @name Introspection (exact under quiescence)
     /// @{
     std::uint64_t submitted() const { return submitted_.load(std::memory_order_relaxed); }
@@ -203,16 +221,23 @@ class ScoreServer
     const ScoringConfig &config() const { return cfg_; }
 
   private:
-    /** One queued submit(). */
+    /** One queued submit() / submitView(). */
     struct Request
     {
         Registry *reg;
+        /** Legacy payload; empty on the view path. */
         std::vector<FeatureVector> fvs;
+        /** SoA payload; empty (unpinned) on the legacy path. Dropping
+         *  the request — shed, teardown — unpins it via its dtor. */
+        FvBatchView view;
         Nanos enqueued;
         /** Absolute flush deadline, kept so shedding/teardown can
          *  recompute the group's earliest deadline from survivors. */
         Nanos deadline;
         ScoreCallback cb;
+
+        /** Vectors this request contributes to depth accounting. */
+        std::size_t size() const { return fvs.size() + view.size(); }
     };
 
     /** One registry's FIFO queue, with its depth maintained inline so
@@ -235,6 +260,10 @@ class ScoreServer
         Nanos due = 0;
     };
 
+    /** Shared enqueue behind submit()/submitView(). */
+    Status submitImpl(const std::string &name, const std::string &sys,
+                      Request req, std::size_t n, bool is_view);
+
     /** Pops every pending request of @p g, oldest-deadline bookkeeping reset. */
     std::vector<Request> drainGroupLocked(Group &g);
 
@@ -244,6 +273,12 @@ class ScoreServer
     /** Dispatches one coalesced batch; caller holds flush_mu_ only. */
     void dispatch(const std::string &sys, std::vector<Request> reqs,
                   Nanos now);
+
+    /** Post-dispatch bookkeeping + callback scatter (by @p sizes). */
+    void finish(std::vector<Request> &reqs,
+                const std::vector<std::size_t> &sizes,
+                const std::vector<float> &scores, Registry *rep,
+                std::size_t total, Nanos start, Nanos scored);
 
     /** Flushes subsystems selected by @p due_only; see poll/flushAll. */
     std::size_t flushWhere(Nanos now, bool due_only);

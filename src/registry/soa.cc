@@ -1,0 +1,554 @@
+#include "registry/soa.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "base/logging.h"
+#include "registry/registry.h"
+
+namespace lake::registry {
+
+namespace {
+
+/** Parses a non-negative integer env var; @p fallback when unset/bad
+ *  (same parse-safety idiom as ScoringConfig::applyEnv). */
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0')
+        return fallback;
+    return static_cast<std::size_t>(parsed);
+}
+
+/** Rounds a u64 count up to a whole number of cache lines. */
+std::size_t
+roundUpLanes(std::size_t u64s)
+{
+    constexpr std::size_t per_line = base::kCacheLine / sizeof(std::uint64_t);
+    return (u64s + per_line - 1) / per_line * per_line;
+}
+
+/** Rounds a float count up to a whole number of cache lines: the
+ *  float-plane row stride, dense enough that a batch window stays
+ *  cache-resident under the strided GEMM. */
+std::size_t
+roundUpFloats(std::size_t floats)
+{
+    constexpr std::size_t per_line = base::kCacheLine / sizeof(float);
+    return (floats + per_line - 1) / per_line * per_line;
+}
+
+} // namespace
+
+void
+SoaConfig::applyEnv()
+{
+    enabled = envSize("LAKE_SOA", enabled ? 1 : 0) != 0;
+    slack = envSize("LAKE_SOA_SLACK", slack);
+}
+
+// ---------------------------------------------------------------------------
+// SoaStore
+
+SoaStore::SoaStore(const Schema &schema, std::size_t window,
+                   const SoaConfig &cfg, shm::ShmArena &arena)
+    : schema_(schema), arena_(arena),
+      capacity_(window + 1 + cfg.slack),
+      words_((schema.featureCount() + 63) / 64),
+      float_cols_(schema.featureCount()),
+      float_stride_(roundUpFloats(schema.featureCount())),
+      ring_(window)
+{
+    LAKE_ASSERT(schema_.featureCount() > 0, "soa store on empty schema");
+
+    // Column layout: per feature, entries lanes of capacity u64s, the
+    // whole region padded to cache-line multiples so concurrent writers
+    // of different columns never share a line (the arena's base
+    // alignment is already 64).
+    std::size_t total = 0, lane_total = 0;
+    cols_.reserve(schema_.featureCount());
+    keys_.reserve(schema_.featureCount());
+    for (const FeatureSpec &spec : schema_.features()) {
+        cols_.push_back(Column{total, lane_total, spec.entries});
+        keys_.push_back(featureKey(spec.name));
+        total += roundUpLanes(static_cast<std::size_t>(spec.entries) *
+                              capacity_);
+        lane_total += spec.entries;
+    }
+
+    plane_off_ = arena_.alloc(total * sizeof(std::uint64_t));
+    if (plane_off_ == shm::kNullOffset)
+        return; // create() reports exhaustion via nullptr
+    plane_ = static_cast<std::uint64_t *>(arena_.at(plane_off_));
+    std::memset(plane_, 0, total * sizeof(std::uint64_t));
+
+    ever_.assign(words_, 0);
+    presence_.assign(capacity_ * words_, 0);
+    ts_begin_.assign(capacity_, 0);
+    ts_end_.assign(capacity_, 0);
+    last_lanes_.assign(lane_total, 0);
+    last_presence_.assign(words_, 0);
+    state_.assign(capacity_, SlotState::Free);
+    pins_.assign(capacity_, 0);
+
+    // Descending free stack: pop_back claims ascending slot ids, so
+    // steady-state seals produce consecutive slots (one MatrixView run).
+    free_.reserve(capacity_);
+    for (std::size_t s = capacity_; s-- > 0;)
+        free_.push_back(static_cast<std::uint32_t>(s));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    claimLocked();
+}
+
+SoaStore::~SoaStore()
+{
+    if (plane_off_ != shm::kNullOffset)
+        arena_.free(plane_off_);
+    if (fplane_off_ != shm::kNullOffset)
+        arena_.free(fplane_off_);
+}
+
+std::unique_ptr<SoaStore>
+SoaStore::create(const Schema &schema, std::size_t window,
+                 const SoaConfig &cfg, shm::ShmArena &arena)
+{
+    std::unique_ptr<SoaStore> store(
+        new SoaStore(schema, window, cfg, arena));
+    if (store->plane_ == nullptr)
+        return nullptr;
+    return store;
+}
+
+void
+SoaStore::setFloatEncoder(std::size_t float_cols, FloatEncoder fn)
+{
+    LAKE_ASSERT(fplane_off_ == shm::kNullOffset && !has_last_,
+                "setFloatEncoder after the first seal");
+    if (float_cols > 0) {
+        float_cols_ = float_cols;
+        float_stride_ = roundUpFloats(float_cols);
+    }
+    encoder_ = std::move(fn);
+}
+
+void
+SoaStore::ensureFloatPlane()
+{
+    if (fplane_ != nullptr)
+        return;
+    fplane_off_ = arena_.alloc(capacity_ * float_stride_ * sizeof(float));
+    LAKE_ASSERT(fplane_off_ != shm::kNullOffset,
+                "lakeShm exhausted carving the soa float plane");
+    fplane_ = static_cast<float *>(arena_.at(fplane_off_));
+    std::memset(fplane_, 0, capacity_ * float_stride_ * sizeof(float));
+}
+
+std::uint64_t
+SoaStore::RowReader::value(std::uint32_t col, std::uint32_t entry) const
+{
+    LAKE_ASSERT(col < store_->cols_.size() &&
+                    entry < store_->cols_[col].entries,
+                "row reader (%u, %u) out of schema range", col, entry);
+    if (!store_->presentAt(slot_, col))
+        return 0;
+    return store_->lane(col, entry, slot_);
+}
+
+std::size_t
+SoaStore::seal(Nanos ts_begin, Nanos ts_end)
+{
+    const std::uint32_t s = open_slot_;
+    std::size_t fv_len = 0;
+
+    // History inheritance from the shadow of the previous sealed
+    // vector (never from a slot a window wrap may have recycled):
+    // previous entry i becomes entry i+1, exactly the legacy map walk.
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+        if (!everCaptured(static_cast<std::uint32_t>(c)))
+            continue;
+        ++fv_len;
+        const Column &col = cols_[c];
+        bool prev_present =
+            has_last_ && ((last_presence_[c >> 6] >> (c & 63)) & 1u);
+        for (std::uint32_t i = col.entries; i-- > 1;) {
+            plane_[col.base + i * capacity_ + s] =
+                prev_present ? last_lanes_[col.lane_off + (i - 1)] : 0;
+        }
+    }
+
+    // Presence snapshot: the ever-captured set at seal time (the open
+    // map is never cleared, so presence is monotone across vectors).
+    for (std::size_t w = 0; w < words_; ++w) {
+        std::atomic_ref<std::uint64_t> ev(ever_[w]);
+        presence_[s * words_ + w] = ev.load(std::memory_order_relaxed);
+    }
+    ts_begin_[s] = ts_begin;
+    ts_end_[s] = ts_end;
+
+    // Encode the float row once, at seal: score time is pure view
+    // consumption (zero bytes moved per scored vector).
+    ensureFloatPlane();
+    float *frow = fplane_ + static_cast<std::size_t>(s) * float_stride_;
+    RowReader row(this, s);
+    if (encoder_) {
+        encoder_(row, frow);
+    } else {
+        for (std::size_t c = 0; c < float_cols_; ++c)
+            frow[c] = static_cast<float>(
+                row.value(static_cast<std::uint32_t>(c), 0));
+    }
+
+    // Refresh the shadow from the just-sealed lanes.
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+        if (!presentAt(s, static_cast<std::uint32_t>(c)))
+            continue;
+        const Column &col = cols_[c];
+        for (std::uint32_t i = 0; i < col.entries; ++i)
+            last_lanes_[col.lane_off + i] =
+                plane_[col.base + i * capacity_ + s];
+    }
+    std::memcpy(last_presence_.data(), presence_.data() + s * words_,
+                words_ * sizeof(std::uint64_t));
+    has_last_ = true;
+
+    std::lock_guard<std::mutex> lock(mu_);
+    state_[s] = SlotState::Sealed;
+    if (ring_.full())
+        recycleLocked(ring_.pop()); // window wrap: recycle the oldest
+    ring_.push(s);
+    claimLocked();
+    return fv_len;
+}
+
+void
+SoaStore::claimLocked()
+{
+    LAKE_ASSERT(!free_.empty(),
+                "soa slot pool exhausted (%zu slots): every spare slot "
+                "is pinned by an in-flight batch view — raise "
+                "SoaConfig.slack / LAKE_SOA_SLACK",
+                capacity_);
+    std::uint32_t s = free_.back();
+    free_.pop_back();
+    state_[s] = SlotState::Open;
+    open_slot_ = s;
+
+    // Lane-0 carry-forward: incremental counters (pend_ios) persist
+    // across commits because the legacy open map is never cleared.
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+        bool carry = has_last_ &&
+                     everCaptured(static_cast<std::uint32_t>(c));
+        plane_[cols_[c].base + s] =
+            carry ? last_lanes_[cols_[c].lane_off] : 0;
+    }
+}
+
+void
+SoaStore::recycleLocked(std::uint32_t slot)
+{
+    if (pins_[slot] > 0) {
+        // An in-flight batch view still reads these bytes: defer the
+        // recycle until the last unpin so the view never sees a rewrite.
+        state_[slot] = SlotState::Retired;
+        return;
+    }
+    state_[slot] = SlotState::Free;
+    free_.push_back(slot);
+}
+
+void
+SoaStore::truncate(std::optional<Nanos> ts, std::size_t keep_newest)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    while (ring_.size() > keep_newest) {
+        std::uint32_t oldest = ring_.front();
+        if (ts.has_value() && ts_end_[oldest] >= *ts)
+            break;
+        ring_.pop();
+        recycleLocked(oldest);
+    }
+}
+
+std::size_t
+SoaStore::sealedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+}
+
+std::size_t
+SoaStore::retiredCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (SlotState s : state_)
+        n += s == SlotState::Retired ? 1 : 0;
+    return n;
+}
+
+FvBatchView
+SoaStore::viewAll()
+{
+    FvBatchView v;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() == 0)
+        return v;
+    std::vector<std::uint32_t> slots;
+    slots.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        std::uint32_t s = ring_.at(i);
+        ++pins_[s];
+        slots.push_back(s);
+    }
+    v.rows_ = slots.size();
+    v.blocks_.push_back(FvBatchView::Block{this, std::move(slots)});
+    return v;
+}
+
+FvBatchView
+SoaStore::viewTail(std::size_t n)
+{
+    FvBatchView v;
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t have = ring_.size();
+    std::size_t take = std::min(n, have);
+    if (take == 0)
+        return v;
+    std::vector<std::uint32_t> slots;
+    slots.reserve(take);
+    for (std::size_t i = have - take; i < have; ++i) {
+        std::uint32_t s = ring_.at(i);
+        ++pins_[s];
+        slots.push_back(s);
+    }
+    v.rows_ = slots.size();
+    v.blocks_.push_back(FvBatchView::Block{this, std::move(slots)});
+    return v;
+}
+
+FeatureVector
+SoaStore::materializeAt(std::size_t idx) const
+{
+    std::uint32_t slot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        slot = ring_.at(idx);
+    }
+    return materializeSlot(slot);
+}
+
+FeatureVector
+SoaStore::materializeSlot(std::uint32_t slot) const
+{
+    FeatureVector fv;
+    fv.ts_begin = ts_begin_[slot];
+    fv.ts_end = ts_end_[slot];
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+        if (!presentAt(slot, static_cast<std::uint32_t>(c)))
+            continue;
+        const Column &col = cols_[c];
+        std::vector<std::uint64_t> entries(col.entries, 0);
+        for (std::uint32_t i = 0; i < col.entries; ++i)
+            entries[i] = plane_[col.base + i * capacity_ + slot];
+        fv.values.emplace(keys_[c], std::move(entries));
+    }
+    return fv;
+}
+
+void
+SoaStore::pinSlots(const std::vector<std::uint32_t> &slots)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t s : slots)
+        ++pins_[s];
+}
+
+void
+SoaStore::unpinSlots(const std::vector<std::uint32_t> &slots)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint32_t s : slots) {
+        LAKE_ASSERT(pins_[s] > 0, "unpin of unpinned soa slot %u", s);
+        if (--pins_[s] == 0 && state_[s] == SlotState::Retired) {
+            state_[s] = SlotState::Free;
+            free_.push_back(s);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FvBatchView
+
+FvBatchView::~FvBatchView()
+{
+    for (Block &b : blocks_)
+        b.store->unpinSlots(b.slots);
+}
+
+FvBatchView &
+FvBatchView::operator=(FvBatchView &&other) noexcept
+{
+    if (this != &other) {
+        for (Block &b : blocks_)
+            b.store->unpinSlots(b.slots);
+        blocks_ = std::move(other.blocks_);
+        rows_ = other.rows_;
+        other.blocks_.clear();
+        other.rows_ = 0;
+    }
+    return *this;
+}
+
+const FvBatchView::Block &
+FvBatchView::blockOf(std::size_t row, std::size_t *idx) const
+{
+    LAKE_ASSERT(row < rows_, "view row %zu out of range", row);
+    for (const Block &b : blocks_) {
+        if (row < b.slots.size()) {
+            *idx = row;
+            return b;
+        }
+        row -= b.slots.size();
+    }
+    fatal("batch view row accounting corrupt");
+}
+
+Nanos
+FvBatchView::tsBegin(std::size_t row) const
+{
+    std::size_t i;
+    const Block &b = blockOf(row, &i);
+    return b.store->ts_begin_[b.slots[i]];
+}
+
+Nanos
+FvBatchView::tsEnd(std::size_t row) const
+{
+    std::size_t i;
+    const Block &b = blockOf(row, &i);
+    return b.store->ts_end_[b.slots[i]];
+}
+
+std::uint64_t
+FvBatchView::get(std::size_t row, std::uint64_t key) const
+{
+    std::size_t i;
+    const Block &b = blockOf(row, &i);
+    std::uint32_t col = b.store->schema_.columnOf(key);
+    if (col == Schema::kNoColumn)
+        return 0;
+    return value(row, col, 0);
+}
+
+std::uint64_t
+FvBatchView::value(std::size_t row, std::uint32_t col,
+                   std::uint32_t entry) const
+{
+    std::size_t i;
+    const Block &b = blockOf(row, &i);
+    std::uint32_t slot = b.slots[i];
+    LAKE_ASSERT(col < b.store->cols_.size() &&
+                    entry < b.store->cols_[col].entries,
+                "view value (%u, %u) out of schema range", col, entry);
+    if (!b.store->presentAt(slot, col))
+        return 0;
+    return b.store->lane(col, entry, slot);
+}
+
+std::vector<ml::MatrixView>
+FvBatchView::matrixViews() const
+{
+    std::vector<ml::MatrixView> out;
+    for (const Block &b : blocks_) {
+        const SoaStore *st = b.store;
+        if (st->fplane_ == nullptr || b.slots.empty())
+            continue;
+        // Maximal runs of consecutive slot ids share one uniform row
+        // stride: each run is one strided window, zero bytes gathered.
+        std::size_t run_start = 0;
+        for (std::size_t i = 1; i <= b.slots.size(); ++i) {
+            if (i < b.slots.size() &&
+                b.slots[i] == b.slots[i - 1] + 1)
+                continue;
+            out.emplace_back(
+                st->fplane_ +
+                    static_cast<std::size_t>(b.slots[run_start]) *
+                        st->float_stride_,
+                i - run_start, st->float_cols_, st->float_stride_);
+            run_start = i;
+        }
+    }
+    return out;
+}
+
+FvBatchView
+FvBatchView::select(const std::vector<std::size_t> &rows) const
+{
+    FvBatchView v;
+    for (std::size_t row : rows) {
+        std::size_t i;
+        const Block &b = blockOf(row, &i);
+        if (!v.blocks_.empty() && v.blocks_.back().store == b.store)
+            v.blocks_.back().slots.push_back(b.slots[i]);
+        else
+            v.blocks_.push_back(Block{b.store, {b.slots[i]}});
+    }
+    for (Block &b : v.blocks_) {
+        b.store->pinSlots(b.slots);
+        v.rows_ += b.slots.size();
+    }
+    return v;
+}
+
+void
+FvBatchView::append(FvBatchView other)
+{
+    rows_ += other.rows_;
+    for (Block &b : other.blocks_) {
+        // Merge same-store blocks so consecutive slots sealed across
+        // requests still coalesce into one MatrixView run.
+        if (!blocks_.empty() && blocks_.back().store == b.store) {
+            blocks_.back().slots.insert(blocks_.back().slots.end(),
+                                        b.slots.begin(), b.slots.end());
+        } else {
+            blocks_.push_back(std::move(b));
+        }
+    }
+    other.blocks_.clear(); // pins transferred, not released
+    other.rows_ = 0;
+}
+
+std::vector<FeatureVector>
+FvBatchView::materialize() const
+{
+    std::vector<FeatureVector> out;
+    out.reserve(rows_);
+    for (const Block &b : blocks_)
+        for (std::uint32_t slot : b.slots)
+            out.push_back(b.store->materializeSlot(slot));
+    return out;
+}
+
+std::size_t
+FvBatchView::packBytesAvoided() const
+{
+    std::size_t bytes = 0;
+    for (const Block &b : blocks_)
+        for (std::uint32_t slot : b.slots)
+            for (std::size_t c = 0; c < b.store->cols_.size(); ++c)
+                if (b.store->presentAt(slot,
+                                       static_cast<std::uint32_t>(c)))
+                    bytes += b.store->cols_[c].entries *
+                             sizeof(std::uint64_t);
+    return bytes;
+}
+
+} // namespace lake::registry

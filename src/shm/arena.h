@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/aligned.h"
+
 namespace lake::shm {
 
 /** Position of a buffer within the arena, valid in both address spaces. */
@@ -118,7 +120,13 @@ class ShmArena
     void eraseFree(ShmOffset offset, std::size_t size);
 
     mutable std::mutex mu_;
-    std::vector<std::uint8_t> region_;
+    /**
+     * Cache-line-aligned backing: every offset alloc() hands out is a
+     * kAlign multiple, so the *base* must sit on a cache line too or
+     * no carve-out (SoA column planes, GEMM staging buffers) actually
+     * gets the alignment the offsets promise.
+     */
+    std::vector<std::uint8_t, base::AlignedAlloc<std::uint8_t>> region_;
     /** Free blocks by offset, for neighbour coalescing. */
     std::map<ShmOffset, std::size_t> free_by_offset_;
     /**

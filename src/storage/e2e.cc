@@ -52,26 +52,35 @@ struct DeviceState
     bool flush_scheduled = false;
     Nanos next_commit_ts = 1;
     registry::Registry *reg = nullptr;
-    /** Cached capture handle + interned keys: the completion and
+    /** Cached capture handle + interned columns: the completion and
      *  submission paths fire per I/O, so they must not re-hash feature
      *  names or re-walk the manager's registry map. */
     registry::CaptureHandle cap;
-    std::array<std::uint64_t, kLinnosHistory> lat_keys{};
-    std::uint64_t pend_key = 0;
+    std::array<std::uint32_t, kLinnosHistory> lat_cols{};
+    std::uint32_t pend_col = 0;
 };
 
 /** Builds the 31-feature matrix from registry feature vectors. */
 ml::Matrix
 featurize(const std::vector<registry::FeatureVector> &fvs)
 {
+    // Interned once, outside the hot loop: per-row get() by name would
+    // re-hash every feature string for every scored vector.
+    static const std::uint64_t pend_key = registry::featureKey("pend_ios");
+    static const std::array<std::uint64_t, kLinnosHistory> lat_keys = [] {
+        std::array<std::uint64_t, kLinnosHistory> keys{};
+        for (std::size_t h = 0; h < kLinnosHistory; ++h)
+            keys[h] = registry::featureKey(kLatFeature[h]);
+        return keys;
+    }();
     ml::Matrix x(fvs.size(), kLinnosFeatures);
     for (std::size_t r = 0; r < fvs.size(); ++r) {
         std::array<std::uint32_t, kLinnosHistory> hist{};
         for (std::size_t h = 0; h < kLinnosHistory; ++h)
             hist[h] =
-                static_cast<std::uint32_t>(fvs[r].get(kLatFeature[h]));
+                static_cast<std::uint32_t>(fvs[r].get(lat_keys[h]));
         encodeLinnosFeatures(
-            static_cast<std::uint32_t>(fvs[r].get("pend_ios")), hist,
+            static_cast<std::uint32_t>(fvs[r].get(pend_key)), hist,
             x.row(r));
     }
     return x;
@@ -92,6 +101,7 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
     sim::Simulator simr;
     core::LakeConfig lake_cfg;
     lake_cfg.streaming = config.streaming;
+    lake_cfg.soa_plane = config.soa;
     core::Lake lake(lake_cfg);
     E2eResult result;
     PercentileTracker read_lats;
@@ -145,8 +155,8 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
                 lake.registries().captureHandle(devs[d].dev->name(),
                                                 kSys);
             for (std::size_t h = 0; h < kLinnosHistory; ++h)
-                devs[d].lat_keys[h] = devs[d].cap.key(kLatFeature[h]);
-            devs[d].pend_key = devs[d].cap.key("pend_ios");
+                devs[d].lat_cols[h] = devs[d].cap.column(kLatFeature[h]);
+            devs[d].pend_col = devs[d].cap.column("pend_ios");
             // Fig. 3 plumbing with the ISSUE-2 guard: once remoting
             // degrades, every decision comes back Engine::Cpu.
             devs[d].reg->registerPolicy(lake.degradationGuard(
@@ -180,6 +190,62 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
                     }
                     return std::vector<float>(c.begin(), c.end());
                 });
+            if (registry::SoaStore *store = devs[d].reg->soa()) {
+                // Seal-time encoder: the LinnOS digit encoding runs
+                // once per commit, so scoring reads finished float
+                // rows straight out of shm.
+                const auto lat_cols = devs[d].lat_cols;
+                const std::uint32_t pend_col = devs[d].pend_col;
+                store->setFloatEncoder(
+                    kLinnosFeatures,
+                    [lat_cols, pend_col](
+                        const registry::SoaStore::RowReader &row,
+                        float *out) {
+                        std::array<std::uint32_t, kLinnosHistory> hist{};
+                        for (std::size_t h = 0; h < kLinnosHistory; ++h)
+                            hist[h] = static_cast<std::uint32_t>(
+                                row.value(lat_cols[h]));
+                        encodeLinnosFeatures(
+                            static_cast<std::uint32_t>(
+                                row.value(pend_col)),
+                            hist, out);
+                    });
+                // Zero-copy CPU dispatch: the strided windows feed the
+                // GEMM substrate in place.
+                devs[d].reg->registerViewClassifier(
+                    registry::Arch::Cpu,
+                    [&cpu_mlp](const registry::FvBatchView &v) {
+                        std::vector<int> c =
+                            cpu_mlp->classify(v.matrixViews());
+                        return std::vector<float>(c.begin(), c.end());
+                    });
+                // GPU dispatch uploads to the device regardless;
+                // gather the strided rows into the staging matrix
+                // directly (no FeatureVector materialization).
+                devs[d].reg->registerViewClassifier(
+                    registry::Arch::Gpu,
+                    [&lake_mlp, &cpu_mlp,
+                     &lake](const registry::FvBatchView &v) {
+                        ml::Matrix x(v.size(), kLinnosFeatures);
+                        std::size_t r = 0;
+                        for (const ml::MatrixView &mv : v.matrixViews())
+                            for (std::size_t i = 0; i < mv.rows();
+                                 ++i, ++r)
+                                std::copy(mv.row(i),
+                                          mv.row(i) + mv.cols(),
+                                          x.row(r));
+                        Result<std::vector<int>> res =
+                            lake_mlp->tryClassify(x);
+                        std::vector<int> c;
+                        if (res.isOk()) {
+                            c = res.takeValue();
+                        } else {
+                            lake.noteFallback();
+                            c = cpu_mlp->classify(x);
+                        }
+                        return std::vector<float>(c.begin(), c.end());
+                    });
+            }
             devs[d].reg->beginFvCapture(0);
         }
     }
@@ -198,9 +264,9 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
         ds.history[0] = lat_us;
         if (ds.cap.valid()) {
             for (std::size_t h = 0; h < kLinnosHistory; ++h)
-                ds.cap.captureFeature(ds.lat_keys[h], ds.history[h]);
-            ds.cap.captureFeature(
-                ds.pend_key,
+                ds.cap.captureFeatureCol(ds.lat_cols[h], ds.history[h]);
+            ds.cap.captureFeatureCol(
+                ds.pend_col,
                 static_cast<std::uint64_t>(ds.dev->pending()));
         }
     };
@@ -220,14 +286,14 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
         ds.dev->submit(io, [&, d](Nanos) {
             DeviceState &s = devs[d];
             if (s.cap.valid()) {
-                s.cap.captureFeature(
-                    s.pend_key,
+                s.cap.captureFeatureCol(
+                    s.pend_col,
                     static_cast<std::uint64_t>(s.dev->pending()));
             }
         });
         if (ds.cap.valid()) {
-            ds.cap.captureFeature(
-                ds.pend_key,
+            ds.cap.captureFeatureCol(
+                ds.pend_col,
                 static_cast<std::uint64_t>(ds.dev->pending()));
         }
     };
@@ -239,19 +305,38 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
         if (ds.queued.empty())
             return;
 
-        // Listing 4: pull the ring, score it, act, truncate.
-        std::vector<registry::FeatureVector> fvs =
-            ds.reg->getFeatures();
         std::unordered_map<Nanos, std::size_t> by_ts;
         for (std::size_t i = 0; i < ds.queued.size(); ++i)
             by_ts.emplace(ds.queued[i].commit_ts, i);
-        std::vector<registry::FeatureVector> batch;
         std::vector<std::size_t> order;
-        for (auto &fv : fvs) {
-            auto it = by_ts.find(fv.ts_end);
-            if (it != by_ts.end()) {
-                batch.push_back(std::move(fv));
-                order.push_back(it->second);
+        std::vector<registry::FeatureVector> batch;
+        registry::FvBatchView view;
+        const bool soa = ds.reg->soa() != nullptr;
+        if (soa) {
+            // Listing 4 on the SoA plane: pin the window and select
+            // the queued rows — no copies, the scored floats stay in
+            // shm, and a truncate below defers recycling behind the
+            // pinned view.
+            registry::FvBatchView all = ds.reg->batchView();
+            std::vector<std::size_t> rows;
+            for (std::size_t i = 0; i < all.size(); ++i) {
+                auto it = by_ts.find(all.tsEnd(i));
+                if (it != by_ts.end()) {
+                    rows.push_back(i);
+                    order.push_back(it->second);
+                }
+            }
+            view = all.select(rows);
+        } else {
+            // Listing 4: pull the ring, score it, act, truncate.
+            std::vector<registry::FeatureVector> fvs =
+                ds.reg->getFeatures();
+            for (auto &fv : fvs) {
+                auto it = by_ts.find(fv.ts_end);
+                if (it != by_ts.end()) {
+                    batch.push_back(std::move(fv));
+                    order.push_back(it->second);
+                }
             }
         }
 
@@ -275,7 +360,8 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
         clk.advanceTo(simr.now());
         Nanos t0 = clk.now();
         std::vector<float> scores =
-            ds.reg->scoreFeatures(batch, clk.now());
+            soa ? ds.reg->scoreFeatures(view, clk.now())
+                : ds.reg->scoreFeatures(batch, clk.now());
         Nanos infer = clk.now() - t0;
         if (use_gate) {
             std::size_t positives = 0;
@@ -285,7 +371,7 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
         }
 
         ++result.inference_batches;
-        batch_sizes.add(static_cast<double>(batch.size()));
+        batch_sizes.add(static_cast<double>(order.size()));
         if (ds.reg->lastEngine() == policy::Engine::Gpu)
             ++result.gpu_batches;
 
@@ -377,8 +463,8 @@ runE2e(const std::vector<TraceSpec> &per_device, const E2eConfig &config)
                     }
                     // Listing 4: the arriving I/O becomes a feature
                     // vector; flush on batch size or quantum.
-                    ds.cap.captureFeature(
-                        ds.pend_key,
+                    ds.cap.captureFeatureCol(
+                        ds.pend_col,
                         static_cast<std::uint64_t>(ds.dev->pending()));
                     Nanos ts = std::max(simr.now(), ds.next_commit_ts);
                     ds.next_commit_ts = ts + 1;

@@ -34,6 +34,25 @@ TEST(MatrixTest, AffineComputesXWtPlusB)
     EXPECT_FLOAT_EQ(y.at(1, 1), 25.0f);
 }
 
+TEST(MatrixTest, BackingIsCacheLineAligned)
+{
+    // The GEMM substrate and the SoA float plane both assume row 0
+    // starts on a cache line; odd shapes and moves must not break it.
+    for (std::size_t rows : {1u, 3u, 17u}) {
+        for (std::size_t cols : {1u, 5u, 31u}) {
+            Matrix m(rows, cols);
+            EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) %
+                          Matrix::kAlign,
+                      0u)
+                << rows << "x" << cols;
+            Matrix moved = std::move(m);
+            EXPECT_EQ(reinterpret_cast<std::uintptr_t>(moved.data()) %
+                          Matrix::kAlign,
+                      0u);
+        }
+    }
+}
+
 TEST(MatrixTest, RandnMomentsRoughlyGaussian)
 {
     Rng rng(5);
@@ -115,8 +134,14 @@ TEST(MlpTest, GradientMatchesNumericalDifferentiation)
 
         const float eps = 1e-3f;
         Mlp plus = base, minus = base;
-        const_cast<Matrix &>(plus.weights()[layer]).at(row, col) += eps;
-        const_cast<Matrix &>(minus.weights()[layer]).at(row, col) -= eps;
+        plus.editParams([&, layer = layer, row = row, col = col](
+                            std::vector<Matrix> &w, auto &) {
+            w[layer].at(row, col) += eps;
+        });
+        minus.editParams([&, layer = layer, row = row, col = col](
+                             std::vector<Matrix> &w, auto &) {
+            w[layer].at(row, col) -= eps;
+        });
         double numeric = (loss_of(plus) - loss_of(minus)) / (2.0 * eps);
 
         EXPECT_NEAR(analytic, numeric,

@@ -233,7 +233,7 @@ TEST(RegistryScoreTest, FallsBackToCpuWithoutGpuClassifier)
 TEST(RegistryScoreTest, EmptyBatchIsNoop)
 {
     Registry reg("r", "s", Schema().add("x"), 8);
-    EXPECT_TRUE(reg.scoreFeatures({}, 0).empty());
+    EXPECT_TRUE(reg.scoreFeatures(std::vector<FeatureVector>{}, 0).empty());
 }
 
 TEST(RegistryScoreTest, XpuClassifierIsRejected)
