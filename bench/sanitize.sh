@@ -74,3 +74,11 @@ ctest --test-dir "$BUILD" --output-on-failure -L serve
 # thread -L soa` (and ASan for the shm carve-out arithmetic) exist to
 # sweep.
 ctest --test-dir "$BUILD" --output-on-failure -L soa
+
+# The fleet suite (ctest -L fleet) runs K lakeD shards dispatching
+# concurrently from per-thread serving stacks through the shared
+# FleetRouter — the policy-mutex/shard-mutex lock order, the relaxed
+# pending-depth atomics, and the per-shard health latches are what
+# `bench/sanitize.sh thread -L fleet` exists to sweep, and the
+# fleet_scaling smoke adds the CuSetDevice muxing path under load.
+ctest --test-dir "$BUILD" --output-on-failure -L fleet

@@ -1,5 +1,6 @@
 #include "core/lake.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/logging.h"
@@ -41,21 +42,27 @@ Lake::Lake(LakeConfig config)
         streaming_ = std::make_unique<remote::StreamOrchestrator>(
             lib_, clock_, config_.streaming);
     // Latch degraded mode after degrade_threshold consecutive RPC
-    // failures; any success before that resets the streak.
+    // failures; any success before that resets the streak. The latch
+    // is per remoting lane (ShardHealth), not per system.
     lib_.setFailureObserver([this](const Status &s) {
-        if (s.isOk()) {
-            consecutive_failures_ = 0;
-            return;
-        }
-        ++consecutive_failures_;
-        if (config_.degrade_threshold > 0 && !degraded_ &&
-            consecutive_failures_ >= config_.degrade_threshold) {
-            degraded_ = true;
-            warn("lake: remoting degraded after %zu consecutive "
-                 "failures (last: %s); policies fall back to CPU",
-                 consecutive_failures_, s.message().c_str());
-        }
+        health_.observe(s, config_.degrade_threshold, "lake");
     });
+    if (config_.fleet.enabled) {
+        fleet_ = std::make_unique<gpu::DeviceFleet>(config_.fleet);
+        remote::ShardParams params;
+        params.channel = config_.channel;
+        params.shm_bytes = config_.shm_bytes;
+        params.degrade_threshold = config_.degrade_threshold;
+        params.retry = config_.retry;
+        params.pipeline = config_.pipeline;
+        std::size_t shards =
+            std::max<std::size_t>(1, config_.fleet.shards);
+        shards = std::min(shards, fleet_->size());
+        shards_ = std::make_unique<remote::ShardFleet>(*fleet_, shards,
+                                                       params);
+        router_ = std::make_unique<remote::FleetRouter>(
+            *shards_, policy::FleetPlacementPolicy::Config{});
+    }
 }
 
 Lake::~Lake()
@@ -76,6 +83,8 @@ Lake::publishObs() const
     daemon_.publishMetrics();
     if (streaming_)
         streaming_->publishMetrics();
+    if (router_)
+        router_->publishMetrics();
 }
 
 policy::UtilProbe
@@ -96,8 +105,7 @@ Lake::nvmlProbe()
 void
 Lake::resetDegraded()
 {
-    degraded_ = false;
-    consecutive_failures_ = 0;
+    health_.reset();
 }
 
 RemoteStats
@@ -106,8 +114,24 @@ Lake::remoteStats() const
     RemoteStats s;
     s.faults_seen = lib_.faultsSeen();
     s.retries = lib_.retries();
-    s.fallbacks = fallbacks_;
-    s.degraded = degraded_;
+    s.fallbacks = health_.fallbacks.load(std::memory_order_relaxed);
+    s.degraded = degraded();
+    return s;
+}
+
+RemoteStats
+Lake::shardStats(std::size_t shard) const
+{
+    RemoteStats s;
+    if (!shards_ || shard >= shards_->size())
+        return s;
+    // shard() is non-const only because it hands out mutable stacks;
+    // reading counters is safe from a const Lake.
+    auto &sh = const_cast<remote::ShardFleet *>(shards_.get())->shard(shard);
+    s.faults_seen = sh.lib().faultsSeen();
+    s.retries = sh.lib().retries();
+    s.fallbacks = sh.health().fallbacks.load(std::memory_order_relaxed);
+    s.degraded = sh.health().degraded.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -115,8 +139,8 @@ std::unique_ptr<policy::ExecPolicy>
 Lake::degradationGuard(std::unique_ptr<policy::ExecPolicy> inner)
 {
     return std::make_unique<policy::FallbackPolicy>(
-        std::move(inner), [this] { return degraded_.load(); },
-        [this] { ++fallbacks_; });
+        std::move(inner), [this] { return degraded(); },
+        [this] { ++health_.fallbacks; });
 }
 
 } // namespace lake::core

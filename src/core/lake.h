@@ -24,7 +24,9 @@
 #include "base/time.h"
 #include "channel/channel.h"
 #include "gpu/device.h"
+#include "gpu/fleet.h"
 #include "gpu/spec.h"
+#include "remote/fleet.h"
 #include "ml/backends.h"
 #include "obs/obs.h"
 #include "policy/policy.h"
@@ -102,6 +104,16 @@ struct LakeConfig
      * its shard registries exist. While false nothing changes.
      */
     serve::ServeConfig serving;
+    /**
+     * Sharded multi-device fleet (DESIGN.md §13), default off: with
+     * fleet.enabled false no extra device, shard, or router is
+     * constructed and the single-device stack above is bit-identical
+     * to the pre-fleet runtime. When enabled, boot builds
+     * fleet.devices simulated devices in disjoint VA windows,
+     * fleet.shards lakeD worker shards over them, and a FleetRouter
+     * whose policies place work per device.
+     */
+    gpu::FleetConfig fleet;
 };
 
 /** Remoting-health counters surfaced for tests and benches. */
@@ -157,6 +169,25 @@ class Lake
     /** Configuration in force. */
     const LakeConfig &config() const { return config_; }
 
+    /// @name Device fleet (DESIGN.md §13); null unless fleet.enabled
+    /// @{
+
+    /** The device fleet, or nullptr (the default single-device path). */
+    gpu::DeviceFleet *fleet() { return fleet_.get(); }
+    /** The lakeD worker shards, or nullptr. */
+    remote::ShardFleet *shardFleet() { return shards_.get(); }
+    /** The placement router, or nullptr. */
+    remote::FleetRouter *router() { return router_.get(); }
+
+    /**
+     * Remoting-health counters of one shard. Per-shard on purpose
+     * (the bugfix this PR carries): one sick device's failures must
+     * be visible — and actionable — without implicating the fleet.
+     */
+    RemoteStats shardStats(std::size_t shard) const;
+
+    /// @}
+
     /**
      * A utilization probe for contention policies: each call performs
      * a LAKE-remoted NVML query (so it really costs channel time and
@@ -173,7 +204,11 @@ class Lake
      * True once repeated remoting failures latched degraded mode:
      * policies wrapped by degradationGuard() pick the CPU from then on.
      */
-    bool degraded() const { return degraded_; }
+    bool
+    degraded() const
+    {
+        return health_.degraded.load(std::memory_order_relaxed);
+    }
 
     /**
      * Operator action: re-arms accelerator use after the remoting path
@@ -203,7 +238,7 @@ class Lake
      * Records one classifier-level CPU fallback (a call site that
      * caught a remoting error mid-batch and finished on the CPU).
      */
-    void noteFallback() { ++fallbacks_; }
+    void noteFallback() { ++health_.fallbacks; }
 
     /// @}
 
@@ -231,13 +266,19 @@ class Lake
      */
     std::unique_ptr<remote::StreamOrchestrator> streaming_;
 
-    /** Remoting failures since the last success. */
-    std::size_t consecutive_failures_ = 0;
-    // Atomic because degradationGuard()'s predicate/notify run on
-    // whichever thread triggers a ScoreServer flush, racing the owner
-    // thread's failure observer and stats readers.
-    std::atomic<bool> degraded_{false};
-    std::atomic<std::uint64_t> fallbacks_{0};
+    /** The device fleet and its shards; null unless fleet.enabled. */
+    std::unique_ptr<gpu::DeviceFleet> fleet_;
+    std::unique_ptr<remote::ShardFleet> shards_;
+    std::unique_ptr<remote::FleetRouter> router_;
+
+    /**
+     * This Lake's own remoting lane's health. Same per-lane type the
+     * fleet shards use: the degraded latch and fallback counter are
+     * scoped to one remoting path, never to the system (the atomics
+     * inside absorb the ScoreServer-flush-thread races the old
+     * Lake-global members handled ad hoc).
+     */
+    remote::ShardHealth health_;
     /** True while the global Tracer is bound to this Lake's clock. */
     bool bound_tracer_clock_ = false;
 };

@@ -15,13 +15,15 @@ namespace {
  * which may sit ahead of the caller's clock for async work.
  */
 void
-traceEngineSpan(const char *name, const EngineSpan &span,
+traceEngineSpan(const Device &dev, const char *name, const EngineSpan &span,
                 std::uint64_t stream, std::uint64_t bytes_or_grid)
 {
     auto &tr = obs::Tracer::global();
     if (tr.enabled())
+        // The span correlation id carries the fleet device index, so a
+        // multi-device export separates per-device engine lanes.
         tr.span(obs::Side::Gpu, "gpu", name, span.start,
-                span.end - span.start, obs::kNoId, "stream", stream,
+                span.end - span.start, dev.id(), "stream", stream,
                 "arg", bytes_or_grid);
 }
 
@@ -112,7 +114,7 @@ GpuContext::memcpyHtoD(DevicePtr dst, const void *src, std::size_t bytes)
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[0] = span.end;
     clock_.advanceTo(span.end);
-    traceEngineSpan("dma.htod", span, 0, bytes);
+    traceEngineSpan(device_, "dma.htod", span, 0, bytes);
     return CuResult::Success;
 }
 
@@ -131,7 +133,7 @@ GpuContext::memcpyDtoH(void *dst, DevicePtr src, std::size_t bytes)
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[0] = span.end;
     clock_.advanceTo(span.end);
-    traceEngineSpan("dma.dtoh", span, 0, bytes);
+    traceEngineSpan(device_, "dma.dtoh", span, 0, bytes);
     return CuResult::Success;
 }
 
@@ -151,7 +153,7 @@ GpuContext::memcpyHtoDAsync(DevicePtr dst, const void *src,
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[stream] = span.end;
-    traceEngineSpan("dma.htod_async", span, stream, bytes);
+    traceEngineSpan(device_, "dma.htod_async", span, stream, bytes);
     return CuResult::Success;
 }
 
@@ -168,7 +170,7 @@ GpuContext::memcpyDtoHAsync(void *dst, DevicePtr src, std::size_t bytes,
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCopy(at, device_.transferTime(bytes));
     stream_ready_[stream] = span.end;
-    traceEngineSpan("dma.dtoh_async", span, stream, bytes);
+    traceEngineSpan(device_, "dma.dtoh_async", span, stream, bytes);
     return CuResult::Success;
 }
 
@@ -183,6 +185,14 @@ GpuContext::launchKernel(const LaunchConfig &cfg, StreamId stream)
         KernelRegistry::global().find(cfg.kernel);
     if (!entry)
         return CuResult::NotFound;
+
+    // A pointer-ranged argument minted by another fleet device must be
+    // rejected before the body touches memory: disjoint VA windows make
+    // foreign pointers detectable (they used to alias silently when
+    // every Device allocated from the same kVaBase).
+    for (std::uint64_t a : cfg.args)
+        if (a >= Device::kVaBase && !device_.ownsVa(a))
+            return CuResult::InvalidValue;
 
     CuResult res = entry->body(device_, cfg);
     if (res != CuResult::Success)
@@ -203,7 +213,7 @@ GpuContext::launchKernel(const LaunchConfig &cfg, StreamId stream)
     Nanos at = std::max(clock_.now(), streamReadyAt(stream));
     EngineSpan span = device_.reserveCompute(at, duration);
     stream_ready_[stream] = span.end;
-    traceEngineSpan("kernel", span, stream, cfg.grid_x);
+    traceEngineSpan(device_, "kernel", span, stream, cfg.grid_x);
     return CuResult::Success;
 }
 

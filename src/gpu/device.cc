@@ -67,7 +67,21 @@ cuResultName(CuResult r)
     return "CUDA_ERROR_UNKNOWN";
 }
 
-Device::Device(DeviceSpec spec) : spec_(std::move(spec)) {}
+Device::Device(DeviceSpec spec)
+    : Device(std::move(spec), 0, kVaBase, ~DevicePtr{0})
+{
+}
+
+Device::Device(DeviceSpec spec, std::uint32_t id, DevicePtr va_base,
+               DevicePtr va_limit)
+    : spec_(std::move(spec)), id_(id), va_base_(va_base),
+      va_limit_(va_limit), next_ptr_(va_base)
+{
+    LAKE_ASSERT(va_base >= kVaBase && va_limit > va_base,
+                "device %u VA window [%llx, %llx) is malformed", id,
+                static_cast<unsigned long long>(va_base),
+                static_cast<unsigned long long>(va_limit));
+}
 
 CuResult
 Device::memAlloc(DevicePtr *out, std::size_t bytes)
@@ -79,7 +93,12 @@ Device::memAlloc(DevicePtr *out, std::size_t bytes)
     DevicePtr ptr = next_ptr_;
     // Keep allocations 256-byte aligned and non-adjacent so interior
     // pointer arithmetic bugs fault instead of silently aliasing.
-    next_ptr_ += (bytes + 511) / 256 * 256;
+    DevicePtr next = next_ptr_ + (bytes + 511) / 256 * 256;
+    // Running off the end of this device's VA window would let the
+    // bump allocator mint pointers that alias the next fleet device.
+    if (next > va_limit_)
+        return CuResult::OutOfMemory;
+    next_ptr_ = next;
     allocs_.emplace(ptr, std::vector<std::uint8_t>(bytes));
     mem_used_ += bytes;
     *out = ptr;
@@ -100,6 +119,8 @@ Device::memFree(DevicePtr ptr)
 void *
 Device::resolve(DevicePtr ptr, std::size_t bytes)
 {
+    if (!ownsVa(ptr))
+        return nullptr;
     // Find the allocation with the greatest base <= ptr.
     auto it = allocs_.upper_bound(ptr);
     if (it == allocs_.begin())
@@ -120,6 +141,8 @@ Device::resolve(DevicePtr ptr, std::size_t bytes) const
 DevicePtr
 Device::baseOf(DevicePtr ptr) const
 {
+    if (!ownsVa(ptr))
+        return 0;
     auto it = allocs_.upper_bound(ptr);
     if (it == allocs_.begin())
         return 0;

@@ -70,14 +70,44 @@ class Device
      */
     static constexpr DevicePtr kVaBase = 0x0100'0000'0000ull;
 
+    /**
+     * Width of one fleet device's VA window. Fleet device i allocates
+     * out of [kVaBase + i*kVaWindow, kVaBase + (i+1)*kVaWindow), so a
+     * DevicePtr names exactly one device and a foreign pointer is
+     * detectable instead of silently aliasing (DESIGN.md §13).
+     */
+    static constexpr DevicePtr kVaWindow = 1ull << 40;
+
     /** @param spec performance envelope */
     explicit Device(DeviceSpec spec);
+
+    /**
+     * Fleet constructor: device @p id allocating out of the disjoint
+     * half-open window [@p va_base, @p va_limit). The single-device
+     * constructor above delegates here with an unbounded window so
+     * existing callers are bit-identical.
+     */
+    Device(DeviceSpec spec, std::uint32_t id, DevicePtr va_base,
+           DevicePtr va_limit);
 
     Device(const Device &) = delete;
     Device &operator=(const Device &) = delete;
 
     /** Performance envelope. */
     const DeviceSpec &spec() const { return spec_; }
+
+    /** Fleet index (0 for a standalone device). */
+    std::uint32_t id() const { return id_; }
+
+    /**
+     * True when @p ptr falls inside this device's VA window. Scalars
+     * below kVaBase are never owned; for a standalone device every
+     * value >= kVaBase is (the window is unbounded above).
+     */
+    bool ownsVa(DevicePtr ptr) const
+    {
+        return ptr >= va_base_ && ptr < va_limit_;
+    }
 
     /// @name Device memory
     /// @{
@@ -158,6 +188,9 @@ class Device
 
   private:
     DeviceSpec spec_;
+    std::uint32_t id_ = 0;
+    DevicePtr va_base_ = kVaBase;
+    DevicePtr va_limit_ = ~DevicePtr{0};
 
     /** Live allocations keyed by base pointer. */
     std::map<DevicePtr, std::vector<std::uint8_t>> allocs_;

@@ -1,0 +1,81 @@
+#include "gpu/fleet.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace lake::gpu {
+
+namespace {
+
+/** Parses a positive integer env var; @p fallback when unset/bad. */
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || parsed == 0)
+        return fallback;
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace
+
+void
+FleetConfig::applyEnv()
+{
+    const char *on = std::getenv("LAKE_FLEET");
+    if (on && *on)
+        enabled = std::strcmp(on, "0") != 0;
+    devices = envSize("LAKE_DEVICES", devices);
+    shards = envSize("LAKE_SHARDS", shards);
+    if (shards > devices)
+        shards = devices;
+}
+
+DeviceSpec
+scaleSpec(DeviceSpec spec, double w)
+{
+    w = std::clamp(w, 1e-3, 1.0);
+    spec.mem_capacity =
+        static_cast<std::size_t>(static_cast<double>(spec.mem_capacity) * w);
+    spec.pcie_gbps *= w;
+    spec.effective_gflops *= w;
+    spec.mem_gbps *= w;
+    spec.aes_gbps *= w;
+    return spec;
+}
+
+DeviceFleet::DeviceFleet(const FleetConfig &cfg)
+{
+    LAKE_ASSERT(cfg.devices >= 1, "fleet needs at least one device");
+    LAKE_ASSERT(cfg.weights.empty() || cfg.weights.size() == cfg.devices,
+                "fleet weights (%zu) must match devices (%zu)",
+                cfg.weights.size(), cfg.devices);
+    devices_.reserve(cfg.devices);
+    for (std::size_t i = 0; i < cfg.devices; ++i) {
+        DeviceSpec spec = cfg.weights.empty()
+                              ? cfg.spec
+                              : scaleSpec(cfg.spec, cfg.weights[i]);
+        DevicePtr base = Device::kVaBase + i * Device::kVaWindow;
+        devices_.push_back(std::make_unique<Device>(
+            std::move(spec), static_cast<std::uint32_t>(i), base,
+            base + Device::kVaWindow));
+    }
+}
+
+std::size_t
+DeviceFleet::ownerOf(DevicePtr ptr) const
+{
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+        if (devices_[i]->ownsVa(ptr))
+            return i;
+    return devices_.size();
+}
+
+} // namespace lake::gpu

@@ -221,6 +221,11 @@ class Metrics
     Counter policy_fallback_overrides;
     Histogram policy_util_permille; //!< utilization input, 0-1000
 
+    // Sharded device fleet (DESIGN.md §13). Per-device lanes are
+    // name-keyed ("fleet.dev<i>.*", FleetRouter::publishMetrics).
+    Counter fleet_migrations; //!< sticky placements moved devices
+    Counter fleet_setdevice;  //!< CuSetDevice switches actually sent
+
     Counter reg_capture_begins;
     Counter reg_features_captured;
     Counter reg_commits;

@@ -80,8 +80,36 @@ FallbackPolicy::decide(const PolicyInput &in)
     return inner_->decide(in);
 }
 
+double
+UtilSmoother::sample(const UtilProbe &probe, Nanos now,
+                     const ContentionConfig &cfg)
+{
+    // Clamped elapsed time since the last probe: the sync scoring path
+    // hands the policy a caller-supplied `now`, and two call sites
+    // racing through scoreSync can consult it with non-monotone times.
+    // Unclamped, `now - last_probe_` wraps to a huge unsigned value
+    // and defeats both the rate limit and the staleness bound below.
+    Nanos elapsed = now >= last_probe_ ? now - last_probe_ : 0;
+    // A window whose readings predate a long idle gap says nothing
+    // about the GPU the next burst will meet: drop it and re-probe
+    // fresh rather than averaging stale contention into the decision.
+    if (probed_once_ && cfg.stale_windows > 0 &&
+        elapsed > cfg.stale_windows * cfg.probe_interval) {
+        avg_.reset();
+        probed_once_ = false;
+    }
+    // Rate-limit the (remoted, hence costly) NVML query.
+    if (!probed_once_ || elapsed >= cfg.probe_interval) {
+        double util = probe(now);
+        avg_.add(util);
+        last_probe_ = now;
+        probed_once_ = true;
+    }
+    return avg_.value();
+}
+
 ContentionAwarePolicy::ContentionAwarePolicy(UtilProbe probe, Config config)
-    : probe_(std::move(probe)), cfg_(config), avg_(config.avg_window)
+    : probe_(std::move(probe)), cfg_(config), smoother_(config)
 {
     LAKE_ASSERT(probe_ != nullptr,
                 "contention policy needs a utilization probe");
@@ -90,37 +118,112 @@ ContentionAwarePolicy::ContentionAwarePolicy(UtilProbe probe, Config config)
 Engine
 ContentionAwarePolicy::decide(const PolicyInput &in)
 {
-    // Clamped elapsed time since the last probe: the sync scoring path
-    // hands the policy a caller-supplied `now`, and two call sites
-    // racing through scoreSync can consult it with non-monotone times.
-    // Unclamped, `in.now - last_probe_` wraps to a huge unsigned value
-    // and defeats both the rate limit and the staleness bound below.
-    Nanos elapsed =
-        in.now >= last_probe_ ? in.now - last_probe_ : 0;
-    // A window whose readings predate a long idle gap says nothing
-    // about the GPU the next burst will meet: drop it and re-probe
-    // fresh rather than averaging stale contention into the decision.
-    if (probed_once_ && cfg_.stale_windows > 0 &&
-        elapsed > cfg_.stale_windows * cfg_.probe_interval) {
-        avg_.reset();
-        probed_once_ = false;
-    }
-    // Rate-limit the (remoted, hence costly) NVML query.
-    if (!probed_once_ || elapsed >= cfg_.probe_interval) {
-        double util = probe_(in.now);
-        avg_.add(util);
-        last_probe_ = in.now;
-        probed_once_ = true;
-    }
-
-    bool uncontended = avg_.value() < cfg_.exec_threshold;
+    double util = smoother_.sample(probe_, in.now, cfg_);
+    bool uncontended = util < cfg_.exec_threshold;
     bool profitable = in.batch_size >= cfg_.batch_threshold;
     Engine out = (uncontended && profitable) ? Engine::Gpu : Engine::Cpu;
     // The smoothed utilization is the input the paper's Fig. 3 policy
     // acts on; export it in permille so the trace stays integer-only.
     observeDecision("policy.contention_aware", in, out,
-                    static_cast<std::uint64_t>(avg_.value() * 10.0), true);
+                    static_cast<std::uint64_t>(util * 10.0), true);
     return out;
+}
+
+FleetPlacementPolicy::FleetPlacementPolicy(std::vector<UtilProbe> probes,
+                                           Config config)
+    : probes_(std::move(probes)), cfg_(config)
+{
+    LAKE_ASSERT(!probes_.empty(),
+                "fleet placement needs at least one device probe");
+    for (const UtilProbe &p : probes_)
+        LAKE_ASSERT(p != nullptr, "fleet placement probe is null");
+    smoothers_.resize(probes_.size(), UtilSmoother(cfg_.contention));
+}
+
+Placement
+FleetPlacementPolicy::place(const PolicyInput &in, std::size_t sticky)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (sticky >= probes_.size())
+        sticky = 0;
+
+    auto vetoed = [&](std::size_t d) { return veto_ && veto_(d); };
+    auto depthOf = [&](std::size_t d) {
+        return depth_ ? depth_(d) : std::size_t{0};
+    };
+    auto scoreOf = [&](std::size_t d) {
+        double util = smoothers_[d].sample(probes_[d], in.now, cfg_.contention);
+        return util + cfg_.depth_weight * static_cast<double>(depthOf(d));
+    };
+
+    const double threshold = cfg_.contention.exec_threshold;
+    bool profitable = in.batch_size >= cfg_.contention.batch_threshold;
+    Placement out{Engine::Cpu, sticky};
+
+    if (!vetoed(sticky)) {
+        // Sample the sticky device first, on *every* decision — the
+        // Fig. 3 probe cadence — so a one-device fleet is
+        // decision-identical to ContentionAwarePolicy.
+        double score = scoreOf(sticky);
+        if (profitable && score < threshold) {
+            out = {Engine::Gpu, sticky};
+        } else if (profitable) {
+            // Sticky device contended: hunt for the least-loaded other
+            // device, accepting it only when genuinely uncontended —
+            // a migration re-uploads the model, so it must buy real
+            // headroom, not a marginal score difference.
+            std::size_t best = sticky;
+            double best_score = score;
+            for (std::size_t d = 0; d < probes_.size(); ++d) {
+                if (d == sticky || vetoed(d))
+                    continue;
+                double s = scoreOf(d);
+                if (s < best_score) {
+                    best = d;
+                    best_score = s;
+                }
+            }
+            if (best != sticky && best_score < threshold)
+                out = {Engine::Gpu, best};
+        }
+    } else if (profitable) {
+        // Degraded sticky shard: never probe over its failing path;
+        // adopt the healthiest other device instead.
+        std::size_t best = probes_.size();
+        double best_score = 0.0;
+        for (std::size_t d = 0; d < probes_.size(); ++d) {
+            if (vetoed(d))
+                continue;
+            double s = scoreOf(d);
+            if (best == probes_.size() || s < best_score) {
+                best = d;
+                best_score = s;
+            }
+        }
+        if (best != probes_.size() && best_score < threshold)
+            out = {Engine::Gpu, best};
+    }
+
+    if (out.engine == Engine::Gpu)
+        last_device_.store(out.device, std::memory_order_relaxed);
+    observeDecision("policy.fleet_placement", in, out.engine,
+                    static_cast<std::uint64_t>(
+                        smoothers_[out.device].value() * 10.0),
+                    true);
+    return out;
+}
+
+Engine
+FleetPlacementPolicy::decide(const PolicyInput &in)
+{
+    return place(in, last_device_.load(std::memory_order_relaxed)).engine;
+}
+
+double
+FleetPlacementPolicy::smoothedUtilization(std::size_t d)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return d < smoothers_.size() ? smoothers_[d].value() : 0.0;
 }
 
 } // namespace lake::policy

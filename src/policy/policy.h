@@ -18,8 +18,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "base/stats.h"
 #include "base/time.h"
@@ -153,6 +155,68 @@ class FallbackPolicy final : public ExecPolicy
     std::atomic<std::uint64_t> overrides_{0};
 };
 
+/** Tunables of the Fig. 3 pseudocode. */
+struct ContentionConfig
+{
+    /** Minimum time between NVML queries ("...5 ms elapsed..."). */
+    Nanos probe_interval = 5_ms;
+    /** Moving-average window (number of readings). */
+    std::size_t avg_window = 4;
+    /** Smoothed utilization (%) above which the GPU is contended. */
+    double exec_threshold = 40.0;
+    /** Profitability crossover batch size. */
+    std::size_t batch_threshold = 8;
+    /**
+     * Max staleness of the smoothed window, in probe intervals:
+     * when more than `stale_windows * probe_interval` elapsed since
+     * the last probe, the moving-average window is dropped and
+     * rebuilt from a fresh reading. Without this, the first
+     * decision after a long idle gap averages readings of
+     * arbitrary age against one fresh probe — a burst arriving
+     * after the gap would be steered by utilization observed
+     * before the gap. 0 disables the reset.
+     */
+    std::size_t stale_windows = 8;
+};
+
+/**
+ * One device's rate-limited, staleness-bounded smoothed utilization:
+ * the per-probe state of the Fig. 3 policy (moving average + last
+ * probe time) factored out so a multi-device policy can hold one per
+ * device instead of blending every device's readings into a single
+ * stale signal (the pre-fleet bug).
+ */
+class UtilSmoother
+{
+  public:
+    explicit UtilSmoother(const ContentionConfig &cfg) : avg_(cfg.avg_window)
+    {
+    }
+
+    /**
+     * One Fig. 3 probe step at @p now: applies the staleness reset,
+     * rate-limits the (costly, remoted) @p probe call, and returns the
+     * smoothed value.
+     */
+    double sample(const UtilProbe &probe, Nanos now,
+                  const ContentionConfig &cfg);
+
+    /** Current smoothed utilization (no probe). */
+    double value() const { return avg_.value(); }
+
+    void
+    reset()
+    {
+        avg_.reset();
+        probed_once_ = false;
+    }
+
+  private:
+    MovingAverage avg_;
+    Nanos last_probe_ = 0;
+    bool probed_once_ = false;
+};
+
 /**
  * The Fig. 3 policy: contention management + profitability.
  *
@@ -164,29 +228,7 @@ class FallbackPolicy final : public ExecPolicy
 class ContentionAwarePolicy final : public ExecPolicy
 {
   public:
-    /** Tunables of the Fig. 3 pseudocode. */
-    struct Config
-    {
-        /** Minimum time between NVML queries ("...5 ms elapsed..."). */
-        Nanos probe_interval = 5_ms;
-        /** Moving-average window (number of readings). */
-        std::size_t avg_window = 4;
-        /** Smoothed utilization (%) above which the GPU is contended. */
-        double exec_threshold = 40.0;
-        /** Profitability crossover batch size. */
-        std::size_t batch_threshold = 8;
-        /**
-         * Max staleness of the smoothed window, in probe intervals:
-         * when more than `stale_windows * probe_interval` elapsed since
-         * the last probe, the moving-average window is dropped and
-         * rebuilt from a fresh reading. Without this, the first
-         * decision after a long idle gap averages readings of
-         * arbitrary age against one fresh probe — a burst arriving
-         * after the gap would be steered by utilization observed
-         * before the gap. 0 disables the reset.
-         */
-        std::size_t stale_windows = 8;
-    };
+    using Config = ContentionConfig;
 
     /**
      * @param probe  utilization source (remoted NVML)
@@ -198,14 +240,85 @@ class ContentionAwarePolicy final : public ExecPolicy
     const char *name() const override { return "contention-aware"; }
 
     /** Most recent smoothed utilization, for telemetry. */
-    double smoothedUtilization() const { return avg_.value(); }
+    double smoothedUtilization() const { return smoother_.value(); }
 
   private:
     UtilProbe probe_;
     Config cfg_;
-    MovingAverage avg_;
-    Nanos last_probe_ = 0;
-    bool probed_once_ = false;
+    UtilSmoother smoother_;
+};
+
+/** A placement: the engine and, when Gpu, which fleet device. */
+struct Placement
+{
+    Engine engine = Engine::Cpu;
+    std::size_t device = 0;
+};
+
+/**
+ * The Fig. 3 policy extended across a device fleet: one UtilSmoother
+ * per device (bugfix: a single blended MovingAverage cannot steer
+ * between devices), a pending-dispatch depth signal per device, and
+ * sticky placement so a registry's captures keep landing on the device
+ * that already holds its model.
+ *
+ * Thread-safe: shard worker threads may call place()/decide()
+ * concurrently. Lock order is policy mutex -> shard mutex (the probes
+ * call into their owning shard); callers must never hold a shard
+ * mutex while calling in here.
+ */
+class FleetPlacementPolicy final : public ExecPolicy
+{
+  public:
+    /** Pending (dispatched, uncompleted) batches on one device. */
+    using DepthProbe = std::function<std::size_t(std::size_t device)>;
+    /** True when a device must not be chosen (its shard is degraded). */
+    using DeviceVeto = std::function<bool(std::size_t device)>;
+
+    struct Config
+    {
+        ContentionConfig contention;
+        /**
+         * Utilization-points equivalent of one pending batch: the
+         * placement score is `smoothed_util + depth_weight * depth`,
+         * so queue depth breaks ties between equally idle devices.
+         */
+        double depth_weight = 5.0;
+    };
+
+    /** @param probes one utilization source per fleet device */
+    FleetPlacementPolicy(std::vector<UtilProbe> probes, Config config);
+
+    void setDepthProbe(DepthProbe p) { depth_ = std::move(p); }
+    void setVeto(DeviceVeto v) { veto_ = std::move(v); }
+
+    /**
+     * Picks CPU or a device for one call, preferring @p sticky (the
+     * caller's current placement). Samples the sticky device's
+     * smoother on every decision — the exact Fig. 3 probe cadence —
+     * and hunts across the other devices only when the sticky one is
+     * contended, so a single-device fleet is decision-identical to
+     * ContentionAwarePolicy.
+     */
+    Placement place(const PolicyInput &in, std::size_t sticky);
+
+    Engine decide(const PolicyInput &in) override;
+    const char *name() const override { return "fleet-placement"; }
+
+    std::size_t deviceCount() const { return probes_.size(); }
+
+    /** Device @p d's current smoothed utilization (telemetry). */
+    double smoothedUtilization(std::size_t d);
+
+  private:
+    std::vector<UtilProbe> probes_;
+    Config cfg_;
+    std::vector<UtilSmoother> smoothers_;
+    DepthProbe depth_;
+    DeviceVeto veto_;
+    /** decide()'s sticky seed when the caller tracks no placement. */
+    std::atomic<std::size_t> last_device_{0};
+    std::mutex mu_; //!< guards smoothers_ (probes run under it)
 };
 
 } // namespace lake::policy

@@ -13,9 +13,16 @@ using gpu::DevicePtr;
 
 LakeDaemon::LakeDaemon(channel::Channel &chan, shm::ShmArena &arena,
                        gpu::Device &dev, Clock &clock)
-    : chan_(chan), arena_(arena), clock_(clock), ctx_(dev, clock),
-      nvml_(dev)
+    : chan_(chan), arena_(arena), clock_(clock)
 {
+    addDevice(dev);
+}
+
+void
+LakeDaemon::addDevice(gpu::Device &dev)
+{
+    ctxs_.push_back(std::make_unique<gpu::GpuContext>(dev, clock_));
+    nvmls_.emplace_back(dev);
 }
 
 void
@@ -228,6 +235,9 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
                        Encoder &resp)
 {
     Nanos exec_t0 = clock_.now();
+    // Bound once per command: a CuSetDevice handled *by* this command
+    // switches the binding for the commands that follow it.
+    gpu::GpuContext &ctx = *ctxs_[active_];
     auto status = [&resp](CuResult r) {
         resp.u32(static_cast<std::uint32_t>(r));
     };
@@ -252,7 +262,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
             break;
         }
         DevicePtr ptr = 0;
-        CuResult r = ctx_.memAlloc(&ptr, bytes);
+        CuResult r = ctx.memAlloc(&ptr, bytes);
         status(r);
         resp.u64(ptr);
         break;
@@ -263,7 +273,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
             reject();
             break;
         }
-        status(ctx_.memFree(ptr));
+        status(ctx.memFree(ptr));
         break;
       }
       case ApiId::CuMemFreeAsync: {
@@ -278,7 +288,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
         // memFreeAsync (not memFree): the free must order after the
         // owning stream's in-flight work, or a pooled buffer could be
         // recycled while its copy is mid-flight.
-        recordDeferred(ctx_.memFreeAsync(ptr));
+        recordDeferred(ctx.memFreeAsync(ptr));
         break;
       }
       case ApiId::CuMemcpyHtoD: {
@@ -290,7 +300,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
             reject();
             break;
         }
-        status(ctx_.memcpyHtoD(dst, src, n));
+        status(ctx.memcpyHtoD(dst, src, n));
         break;
       }
       case ApiId::CuMemcpyDtoH: {
@@ -305,7 +315,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
             break;
         }
         dtoh_scratch_.resize(static_cast<std::size_t>(n));
-        CuResult r = ctx_.memcpyDtoH(dtoh_scratch_.data(), src, n);
+        CuResult r = ctx.memcpyDtoH(dtoh_scratch_.data(), src, n);
         status(r);
         if (r == CuResult::Success)
             resp.bytes(dtoh_scratch_.data(), dtoh_scratch_.size());
@@ -330,7 +340,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
                 break;
             }
             const void *src = arena_.at(off);
-            status(drainDeferred(ctx_.memcpyHtoD(dst, src, n)));
+            status(drainDeferred(ctx.memcpyHtoD(dst, src, n)));
         } else {
             if (!valid) {
                 ++malformed_;
@@ -338,7 +348,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
                 break;
             }
             const void *src = arena_.at(off);
-            recordDeferred(ctx_.memcpyHtoDAsync(dst, src, n, stream));
+            recordDeferred(ctx.memcpyHtoDAsync(dst, src, n, stream));
         }
         break;
       }
@@ -356,7 +366,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
                 break;
             }
             void *dst = arena_.at(off);
-            status(drainDeferred(ctx_.memcpyDtoH(dst, src, n)));
+            status(drainDeferred(ctx.memcpyDtoH(dst, src, n)));
         } else {
             if (!valid) {
                 ++malformed_;
@@ -364,7 +374,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
                 break;
             }
             void *dst = arena_.at(off);
-            recordDeferred(ctx_.memcpyDtoHAsync(dst, src, n, stream));
+            recordDeferred(ctx.memcpyDtoHAsync(dst, src, n, stream));
         }
         break;
       }
@@ -390,7 +400,7 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
             recordDeferred(CuResult::InvalidValue);
             break;
         }
-        recordDeferred(ctx_.launchKernel(cfg, stream));
+        recordDeferred(ctx.launchKernel(cfg, stream));
         break;
       }
       case ApiId::CuStreamSynchronize: {
@@ -399,19 +409,30 @@ LakeDaemon::handleCuda(ApiId id, std::uint32_t seq, Decoder &dec,
             reject();
             break;
         }
-        status(drainDeferred(ctx_.streamSynchronize(stream)));
+        status(drainDeferred(ctx.streamSynchronize(stream)));
         break;
       }
       case ApiId::CuCtxSynchronize: {
-        status(drainDeferred(ctx_.ctxSynchronize()));
+        status(drainDeferred(ctx.ctxSynchronize()));
         break;
       }
       case ApiId::NvmlGetUtilization: {
         clock_.advance(gpu::Nvml::kQueryCost);
-        gpu::NvmlUtilization u = nvml_.utilization(clock_.now());
+        gpu::NvmlUtilization u = nvmls_[active_].utilization(clock_.now());
         status(CuResult::Success);
         resp.f32(static_cast<float>(u.gpu));
         resp.f32(static_cast<float>(u.memory));
+        break;
+      }
+      case ApiId::CuSetDevice: {
+        std::uint32_t idx = dec.u32();
+        if (!dec.ok() || idx >= ctxs_.size()) {
+            reject();
+            break;
+        }
+        active_ = idx;
+        clock_.advance(gpu::GpuContext::kDriverCallCost);
+        status(CuResult::Success);
         break;
       }
       default:

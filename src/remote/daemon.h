@@ -15,8 +15,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "base/time.h"
 #include "channel/channel.h"
@@ -50,6 +52,20 @@ class LakeDaemon
     LakeDaemon(channel::Channel &chan, shm::ShmArena &arena,
                gpu::Device &dev, Clock &clock);
 
+    /**
+     * Adds a further device behind this daemon (fleet shards owning
+     * more than one). Commands target the *active* device; CuSetDevice
+     * switches it. Call before traffic starts — each device gets its
+     * own GpuContext and Nvml probe at registration time.
+     */
+    void addDevice(gpu::Device &dev);
+
+    /** Devices this daemon fronts (>= 1). */
+    std::size_t deviceCount() const { return ctxs_.size(); }
+
+    /** Index of the device commands currently execute on. */
+    std::size_t activeDevice() const { return active_; }
+
     /** Drains and executes every pending command. */
     void processPending();
 
@@ -62,8 +78,8 @@ class LakeDaemon
     void registerHighLevel(const std::string &name, Handler handler,
                            Nanos cost = 0);
 
-    /** The daemon's GPU context (handlers may use it directly). */
-    gpu::GpuContext &gpuContext() { return ctx_; }
+    /** The active device's GPU context (handlers may use it directly). */
+    gpu::GpuContext &gpuContext() { return *ctxs_[active_]; }
 
     /** Shared memory region. */
     shm::ShmArena &arena() { return arena_; }
@@ -133,8 +149,15 @@ class LakeDaemon
     channel::Channel &chan_;
     shm::ShmArena &arena_;
     Clock &clock_;
-    gpu::GpuContext ctx_;
-    gpu::Nvml nvml_;
+    /**
+     * One context + NVML probe per fronted device, parallel vectors
+     * indexed by the daemon-local device id CuSetDevice selects.
+     * Single-device daemons never see a CuSetDevice, so active_ stays
+     * 0 and dispatch is bit-identical to the pre-fleet layout.
+     */
+    std::vector<std::unique_ptr<gpu::GpuContext>> ctxs_;
+    std::vector<gpu::Nvml> nvmls_;
+    std::size_t active_ = 0;
 
     struct HighLevel
     {

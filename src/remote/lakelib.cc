@@ -451,6 +451,15 @@ LakeLib::cuCtxSynchronize()
 }
 
 CuResult
+LakeLib::cuSetDevice(std::uint32_t device)
+{
+    begin(ApiId::CuSetDevice).u32(device);
+    // Idempotent: re-selecting the same device is a no-op on the
+    // daemon, so a duplicated retry cannot corrupt state.
+    return statusRpc(/*idempotent=*/true);
+}
+
+CuResult
 LakeLib::nvmlGetUtilization(RemoteUtilization *out)
 {
     if (out == nullptr)

@@ -173,6 +173,14 @@ class LakeLib
     /** cuCtxSynchronize. */
     gpu::CuResult cuCtxSynchronize();
 
+    /**
+     * cuSetDevice: selects which of a multi-device daemon's devices
+     * subsequent commands execute on. Single-device stacks never call
+     * this (remote::LakeShard elides the no-op switch), keeping their
+     * wire traffic bit-identical to the pre-fleet protocol.
+     */
+    gpu::CuResult cuSetDevice(std::uint32_t device);
+
     /// @}
 
     /** Remoted nvmlDeviceGetUtilizationRates. */

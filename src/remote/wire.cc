@@ -22,6 +22,7 @@ apiName(ApiId id)
       case ApiId::NvmlGetUtilization:   return "nvmlGetUtilization";
       case ApiId::HighLevelCall:        return "highLevelCall";
       case ApiId::CuMemFreeAsync:       return "cuMemFreeAsync";
+      case ApiId::CuSetDevice:          return "cuSetDevice";
     }
     return "unknown";
 }

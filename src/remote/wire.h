@@ -53,6 +53,12 @@ enum class ApiId : std::uint32_t
      * instead of paying its own doorbell round trip.
      */
     CuMemFreeAsync,
+    /**
+     * Selects the active device of a multi-device daemon (fleet
+     * shards owning >1 device). Appended at the enum tail so every
+     * pre-fleet ApiId keeps its wire value.
+     */
+    CuSetDevice,
 };
 
 /** Printable API name. */
